@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation for the Section 3.4 / Figure 7 design discussion: the
+ * instruction misalignment problem. Sweeps the i-cache line size
+ * (1x, 2x, 4x the fetch width) for the stream fetch architecture and
+ * reports fetch IPC and processor IPC: wide lines reduce the chance
+ * of a stream crossing a line boundary.
+ *
+ * Usage: ablation_linewidth [--insts N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace sfetch;
+
+int
+main(int argc, char **argv)
+{
+    InstCount insts = 1'000'000;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
+            insts = std::strtoull(argv[++i], nullptr, 10);
+
+    const unsigned width = 8;
+    std::printf("Figure 7 ablation: i-cache line size vs stream "
+                "fetch performance (8-wide, optimized codes)\n\n");
+
+    TablePrinter tp;
+    tp.addHeader({"line bytes", "insts/line", "fetch IPC", "IPC"});
+
+    for (unsigned mult : {1u, 2u, 4u}) {
+        unsigned line = mult * width * kInstBytes;
+        std::vector<double> fipc, ipc;
+        for (const auto &bench : suiteNames()) {
+            PlacedWorkload work(bench);
+            RunConfig cfg;
+            cfg.arch = ArchKind::Stream;
+            cfg.width = width;
+            cfg.optimizedLayout = true;
+            cfg.insts = insts;
+            cfg.warmupInsts = insts / 5;
+            cfg.lineBytesOverride = line;
+            SimStats st = runOn(work, cfg);
+            fipc.push_back(st.fetchIpc());
+            ipc.push_back(st.ipc());
+        }
+        tp.addRow({std::to_string(line),
+                   std::to_string(line / kInstBytes),
+                   TablePrinter::fmt(arithmeticMean(fipc)),
+                   TablePrinter::fmt(harmonicMean(ipc))});
+        std::fprintf(stderr, "  done line=%u\n", line);
+    }
+    std::printf("%s", tp.render().c_str());
+    return 0;
+}

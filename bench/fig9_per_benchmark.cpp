@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces Figure 9 of the paper: per-benchmark IPC for the 8-wide
+ * processor with layout-optimized codes, all four architectures.
+ *
+ * Usage: fig9_per_benchmark [--insts N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace sfetch;
+
+int
+main(int argc, char **argv)
+{
+    InstCount insts = 1'500'000;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
+            insts = std::strtoull(argv[++i], nullptr, 10);
+
+    std::printf("Figure 9: per-benchmark IPC, 8-wide processor, "
+                "optimized codes (%llu insts)\n\n",
+                static_cast<unsigned long long>(insts));
+
+    TablePrinter tp;
+    std::vector<std::string> header = {"benchmark"};
+    for (ArchKind arch : allArchs())
+        header.push_back(archName(arch));
+    header.push_back("best");
+    tp.addHeader(header);
+
+    std::map<ArchKind, std::vector<double>> per_arch;
+    std::map<ArchKind, int> wins;
+
+    for (const auto &bench : suiteNames()) {
+        PlacedWorkload work(bench);
+        std::vector<std::string> row = {bench};
+        double best = 0.0;
+        ArchKind best_arch = ArchKind::Ev8;
+        for (ArchKind arch : allArchs()) {
+            RunConfig cfg;
+            cfg.arch = arch;
+            cfg.width = 8;
+            cfg.optimizedLayout = true;
+            cfg.insts = insts;
+            cfg.warmupInsts = insts / 5;
+            SimStats st = runOn(work, cfg);
+            per_arch[arch].push_back(st.ipc());
+            row.push_back(TablePrinter::fmt(st.ipc()));
+            if (st.ipc() > best) {
+                best = st.ipc();
+                best_arch = arch;
+            }
+        }
+        ++wins[best_arch];
+        row.push_back(archName(best_arch));
+        tp.addRow(row);
+        std::fprintf(stderr, "  done %s\n", bench.c_str());
+    }
+
+    tp.addSeparator();
+    std::vector<std::string> hm = {"Hmean"};
+    for (ArchKind arch : allArchs())
+        hm.push_back(TablePrinter::fmt(harmonicMean(per_arch[arch])));
+    hm.push_back("");
+    tp.addRow(hm);
+    std::printf("%s\n", tp.render().c_str());
+
+    std::printf("wins per architecture:");
+    for (ArchKind arch : allArchs())
+        std::printf("  %s: %d", archName(arch).c_str(), wins[arch]);
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces the measurable column of Table 1: the dynamic size of
+ * each architecture's fetch unit (basic blocks ~5-6 insts, trace
+ * cache traces ~14, streams 20+ on optimized codes), plus the
+ * distribution of stream lengths.
+ *
+ * Usage: table1_fetch_units [--insts N]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/stream_builder.hh"
+#include "layout/oracle.hh"
+#include "sim/experiment.hh"
+#include "tcache/fill_unit.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace sfetch;
+
+namespace
+{
+
+/** Sizes measured by walking the committed path of one benchmark. */
+struct UnitSizes
+{
+    Histogram basicBlock{64};
+    Histogram ftbBlockApprox{128}; //!< run to next *static* branch
+    Histogram trace{32};
+    Histogram stream{256};
+};
+
+void
+measure(const PlacedWorkload &work, bool optimized, InstCount insts,
+        UnitSizes &out)
+{
+    const CodeImage &img = work.image(optimized);
+    OracleStream oracle(img, work.model(), kRefSeed);
+
+    StreamBuilder sb(img.entryAddr(), 255,
+                     [&](const StreamDescriptor &s, bool) {
+                         out.stream.sample(s.lenInsts);
+                     });
+    TraceFillUnit fill(img.entryAddr(), FillUnitConfig{},
+                       [&](const TraceDescriptor &t, bool) {
+                           out.trace.sample(t.totalInsts);
+                       });
+
+    std::uint64_t run = 0;
+    for (InstCount i = 0; i < insts; ++i) {
+        OracleInst oi = oracle.next();
+        ++run;
+        if (oi.isBranch()) {
+            out.basicBlock.sample(run);
+            run = 0;
+            CommittedBranch cb;
+            cb.pc = oi.pc;
+            cb.type = oi.btype;
+            cb.taken = oi.taken;
+            cb.target = oi.nextPc;
+            sb.onBranch(cb);
+            fill.onBranch(cb);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    InstCount insts = 1'000'000;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
+            insts = std::strtoull(argv[++i], nullptr, 10);
+
+    std::printf("Table 1 (measured column): dynamic fetch unit sizes "
+                "in instructions\n");
+    std::printf("(suite average over %llu committed insts per "
+                "benchmark)\n\n",
+                static_cast<unsigned long long>(insts));
+
+    for (bool opt : {false, true}) {
+        UnitSizes all;
+        for (const auto &bench : suiteNames()) {
+            PlacedWorkload work(bench);
+            measure(work, opt, insts, all);
+            std::fprintf(stderr, "  done %s (%s)\n", bench.c_str(),
+                         opt ? "opt" : "base");
+        }
+        std::printf("---- %s codes ----\n",
+                    opt ? "optimized" : "baseline");
+        TablePrinter tp;
+        tp.addHeader({"fetch unit", "mean size", "p50", "p90"});
+        auto row = [&](const char *name, const Histogram &h) {
+            tp.addRow({name, TablePrinter::fmt(h.mean(), 1),
+                       TablePrinter::fmt(double(h.percentile(0.5)), 0),
+                       TablePrinter::fmt(double(h.percentile(0.9)),
+                                         0)});
+        };
+        row("basic block (BTB unit)", all.basicBlock);
+        row("trace (<=16 insts, <=3 cond)", all.trace);
+        row("stream", all.stream);
+        std::printf("%s\n", tp.render().c_str());
+    }
+
+    std::printf("Paper's Table 1 reference points: basic block 5-6, "
+                "trace ~14, stream 20+ (optimized).\n");
+    return 0;
+}

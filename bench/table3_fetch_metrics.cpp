@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Table 3 of the paper: branch misprediction rate and
+ * fetch IPC for the 8-wide processor, base and optimized codes,
+ * averaged over the suite. Also prints the processor IPC columns.
+ *
+ * Usage: table3_fetch_metrics [--insts N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace sfetch;
+
+int
+main(int argc, char **argv)
+{
+    InstCount insts = 1'500'000;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
+            insts = std::strtoull(argv[++i], nullptr, 10);
+
+    std::printf("Table 3: branch misprediction rate and fetch IPC, "
+                "8-wide processor (%llu insts)\n\n",
+                static_cast<unsigned long long>(insts));
+
+    struct Agg
+    {
+        std::vector<double> mispred, fetch_ipc, ipc;
+    };
+    std::map<ArchKind, std::map<bool, Agg>> agg;
+
+    for (const auto &bench : suiteNames()) {
+        PlacedWorkload work(bench);
+        for (ArchKind arch : allArchs()) {
+            for (bool opt : {false, true}) {
+                RunConfig cfg;
+                cfg.arch = arch;
+                cfg.width = 8;
+                cfg.optimizedLayout = opt;
+                cfg.insts = insts;
+                cfg.warmupInsts = insts / 5;
+                SimStats st = runOn(work, cfg);
+                Agg &a = agg[arch][opt];
+                a.mispred.push_back(st.mispredictRate());
+                a.fetch_ipc.push_back(st.fetchIpc());
+                a.ipc.push_back(st.ipc());
+            }
+        }
+        std::fprintf(stderr, "  done %s\n", bench.c_str());
+    }
+
+    TablePrinter tp;
+    tp.addHeader({"", "base Mispred.", "base Fetch", "base IPC",
+                  "opt Mispred.", "opt Fetch", "opt IPC"});
+    for (ArchKind arch : allArchs()) {
+        Agg &b = agg[arch][false];
+        Agg &o = agg[arch][true];
+        tp.addRow({archName(arch),
+                   TablePrinter::pct(arithmeticMean(b.mispred)),
+                   TablePrinter::fmt(arithmeticMean(b.fetch_ipc), 1),
+                   TablePrinter::fmt(harmonicMean(b.ipc)),
+                   TablePrinter::pct(arithmeticMean(o.mispred)),
+                   TablePrinter::fmt(arithmeticMean(o.fetch_ipc), 1),
+                   TablePrinter::fmt(harmonicMean(o.ipc))});
+    }
+    std::printf("%s", tp.render().c_str());
+    return 0;
+}

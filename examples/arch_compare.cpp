@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Compare all four fetch architectures on one benchmark, both code
+ * layouts, at a chosen pipe width — a one-benchmark slice of the
+ * paper's evaluation. Usage: arch_compare [benchmark] [width]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace sfetch;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "gcc";
+    unsigned width = argc > 2
+        ? static_cast<unsigned>(std::atoi(argv[2])) : 8;
+
+    std::printf("benchmark %s, %u-wide pipeline\n\n", bench.c_str(),
+                width);
+    PlacedWorkload work(bench);
+    std::printf("static insts: %llu, blocks: %zu, "
+                "stubs base/opt: %zu/%zu\n\n",
+                static_cast<unsigned long long>(
+                    work.program().staticInsts()),
+                work.program().numBlocks(),
+                work.baseImage().numStubs(),
+                work.optImage().numStubs());
+
+    TablePrinter tp;
+    tp.addHeader({"architecture", "layout", "IPC", "fetch IPC",
+                  "mispredict", "L1I miss"});
+
+    const bool verbose = std::getenv("SFETCH_VERBOSE") != nullptr;
+
+    for (ArchKind arch : allArchs()) {
+        for (bool opt : {false, true}) {
+            RunConfig cfg;
+            cfg.arch = arch;
+            cfg.width = width;
+            cfg.optimizedLayout = opt;
+            cfg.insts = 1'000'000;
+            cfg.warmupInsts = 200'000;
+            SimStats st = runOn(work, cfg);
+            tp.addRow({archName(arch), opt ? "optimized" : "base",
+                       TablePrinter::fmt(st.ipc()),
+                       TablePrinter::fmt(st.fetchIpc()),
+                       TablePrinter::pct(st.mispredictRate()),
+                       TablePrinter::pct(st.l1iMissRate, 2)});
+            if (verbose) {
+                std::printf("--- %s %s ---\n", archName(arch).c_str(),
+                            opt ? "opt" : "base");
+                std::printf("cond mispred %.2f%% (%llu/%llu)  "
+                            "other mispred %llu of %llu branches\n",
+                            100.0 * double(st.condMispredicts) /
+                                double(st.committedCondBranches ?
+                                       st.committedCondBranches : 1),
+                            (unsigned long long)st.condMispredicts,
+                            (unsigned long long)st.committedCondBranches,
+                            (unsigned long long)(st.mispredicts -
+                                                 st.condMispredicts),
+                            (unsigned long long)st.committedBranches);
+                std::printf("by type: none %llu cond %llu jump %llu "
+                            "call %llu ret %llu ind %llu\n",
+                            (unsigned long long)st.mispredictsByType[0],
+                            (unsigned long long)st.mispredictsByType[1],
+                            (unsigned long long)st.mispredictsByType[2],
+                            (unsigned long long)st.mispredictsByType[3],
+                            (unsigned long long)st.mispredictsByType[4],
+                            (unsigned long long)st.mispredictsByType[5]);
+                std::printf("%s", st.engine.dump().c_str());
+            }
+        }
+        tp.addSeparator();
+    }
+    std::printf("%s", tp.render().c_str());
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Layout study: shows what the profile-guided code layout optimizer
+ * (the paper's spike substitute) does to a workload — conditional
+ * branch polarization, stream length distribution, stub counts — and
+ * how the stream fetch architecture's key metrics respond.
+ *
+ * Usage: layout_study [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/stream_builder.hh"
+#include "layout/layout_opt.hh"
+#include "layout/oracle.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace sfetch;
+
+namespace
+{
+
+/** Distribution of commit-side stream lengths over one layout. */
+Histogram
+streamLengths(const PlacedWorkload &work, bool optimized,
+              InstCount insts)
+{
+    const CodeImage &img = work.image(optimized);
+    OracleStream oracle(img, work.model(), kRefSeed);
+    Histogram lengths(256);
+    StreamBuilder sb(img.entryAddr(), 255,
+                     [&](const StreamDescriptor &s, bool) {
+                         lengths.sample(s.lenInsts);
+                     });
+    for (InstCount i = 0; i < insts; ++i) {
+        OracleInst oi = oracle.next();
+        if (!oi.isBranch())
+            continue;
+        CommittedBranch cb;
+        cb.pc = oi.pc;
+        cb.type = oi.btype;
+        cb.taken = oi.taken;
+        cb.target = oi.nextPc;
+        sb.onBranch(cb);
+    }
+    return lengths;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "gcc";
+    const InstCount insts = 1'000'000;
+
+    PlacedWorkload work(bench);
+    std::printf("benchmark %s: %zu blocks, %llu static insts\n\n",
+                bench.c_str(), work.program().numBlocks(),
+                static_cast<unsigned long long>(
+                    work.program().staticInsts()));
+
+    EdgeProfile prof = collectProfile(work.program(), work.model(),
+                                      kTrainSeed, 400'000);
+    LayoutQuality qb = evaluateLayout(work.program(), prof,
+                                      work.baseImage());
+    LayoutQuality qo = evaluateLayout(work.program(), prof,
+                                      work.optImage());
+
+    TablePrinter tp;
+    tp.addHeader({"metric", "base", "optimized"});
+    tp.addRow({"cond taken fraction (profile)",
+               TablePrinter::pct(qb.takenFraction()),
+               TablePrinter::pct(qo.takenFraction())});
+    tp.addRow({"layout stub jumps",
+               std::to_string(work.baseImage().numStubs()),
+               std::to_string(work.optImage().numStubs())});
+
+    Histogram hb = streamLengths(work, false, insts);
+    Histogram ho = streamLengths(work, true, insts);
+    tp.addRow({"mean stream length (insts)",
+               TablePrinter::fmt(hb.mean(), 1),
+               TablePrinter::fmt(ho.mean(), 1)});
+    tp.addRow({"p90 stream length",
+               TablePrinter::fmt(double(hb.percentile(0.9)), 0),
+               TablePrinter::fmt(double(ho.percentile(0.9)), 0)});
+
+    // End-to-end effect on the stream fetch architecture.
+    std::string ipc_cells[2];
+    for (bool opt : {false, true}) {
+        RunConfig cfg;
+        cfg.arch = ArchKind::Stream;
+        cfg.width = 8;
+        cfg.optimizedLayout = opt;
+        cfg.insts = 1'000'000;
+        cfg.warmupInsts = 200'000;
+        SimStats st = runOn(work, cfg);
+        ipc_cells[opt] = TablePrinter::fmt(st.ipc());
+    }
+    tp.addRow({"stream engine IPC (8-wide)", ipc_cells[0],
+               ipc_cells[1]});
+
+    std::printf("%s", tp.render().c_str());
+    std::printf("\nThe optimizer aligns hot paths onto the "
+                "fall-through direction, which is exactly what the\n"
+                "stream fetch architecture exploits: longer streams "
+                "=> fewer, more accurate predictions.\n");
+    return 0;
+}

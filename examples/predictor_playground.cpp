@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Offline branch predictor study: feeds the committed (oracle)
+ * branch stream of a suite benchmark straight into the direction
+ * predictor library — no pipeline, no wrong path — to measure the
+ * intrinsic predictability of the workload and compare predictors
+ * under ideal conditions. Usage: predictor_playground [benchmark]
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/direction_pred.hh"
+#include "bpred/history.hh"
+#include "bpred/gskew.hh"
+#include "bpred/perceptron.hh"
+#include "layout/oracle.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace sfetch;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "gzip";
+    const InstCount insts = 3'000'000;
+
+    PlacedWorkload work(bench);
+    const CodeImage &image = work.optImage();
+
+    struct Entry
+    {
+        std::string name;
+        std::unique_ptr<DirectionPredictor> pred;
+        std::uint64_t mispredicts = 0;
+        GlobalHistory hist;
+    };
+    std::vector<Entry> preds;
+    auto add = [&](const std::string &name,
+                   std::unique_ptr<DirectionPredictor> pred) {
+        Entry e;
+        e.name = name;
+        e.pred = std::move(pred);
+        preds.push_back(std::move(e));
+    };
+    add("bimodal-4K", std::make_unique<BimodalPredictor>(4096));
+    add("gshare-16K", std::make_unique<GsharePredictor>(16384, 12));
+    add("local-2level", std::make_unique<LocalPredictor>());
+    add("2bcgskew", std::make_unique<GskewPredictor>());
+    add("perceptron", std::make_unique<PerceptronPredictor>());
+
+    OracleStream oracle(image, work.model(), kRefSeed);
+    std::uint64_t branches = 0;
+    for (InstCount i = 0; i < insts; ++i) {
+        OracleInst oi = oracle.next();
+        if (oi.btype != BranchType::CondDirect)
+            continue;
+        ++branches;
+        for (auto &e : preds) {
+            bool p = e.pred->predict(oi.pc, e.hist.value());
+            if (p != oi.taken)
+                ++e.mispredicts;
+            e.pred->update(oi.pc, e.hist.value(), oi.taken);
+            e.hist.push(oi.taken);
+        }
+    }
+
+    std::printf("%s: %llu conditional branches over %llu insts "
+                "(%.1f%% of stream)\n\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(branches),
+                static_cast<unsigned long long>(insts),
+                100.0 * double(branches) / double(insts));
+
+    TablePrinter tp;
+    tp.addHeader({"predictor", "mispredict rate", "storage (KB)"});
+    for (auto &e : preds) {
+        tp.addRow({e.name,
+                   TablePrinter::pct(double(e.mispredicts) /
+                                     double(branches)),
+                   TablePrinter::fmt(
+                       double(e.pred->storageBits()) / 8192.0, 1)});
+    }
+    std::printf("%s", tp.render().c_str());
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * sfetchsim: command-line driver for arbitrary single simulations.
+ *
+ * Usage:
+ *   sfetchsim [--arch ev8|ftb|stream|trace] [--bench NAME|all]
+ *             [--width 2|4|8] [--layout base|opt] [--insts N]
+ *             [--warmup N] [--line BYTES] [--stats]
+ *
+ * Examples:
+ *   sfetchsim --arch stream --bench gcc --width 8 --layout opt
+ *   sfetchsim --arch trace --bench all --stats
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace sfetch;
+
+namespace
+{
+
+ArchKind
+parseArch(const std::string &s)
+{
+    if (s == "ev8")
+        return ArchKind::Ev8;
+    if (s == "ftb")
+        return ArchKind::Ftb;
+    if (s == "stream" || s == "streams")
+        return ArchKind::Stream;
+    if (s == "trace" || s == "tcache")
+        return ArchKind::Trace;
+    std::fprintf(stderr, "unknown arch '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+void
+usage()
+{
+    std::printf(
+        "sfetchsim --arch ev8|ftb|stream|trace [options]\n"
+        "  --bench NAME|all   suite benchmark (default gcc)\n"
+        "  --width 2|4|8      pipe width (default 8)\n"
+        "  --layout base|opt  code layout (default opt)\n"
+        "  --insts N          measured instructions (default 1M)\n"
+        "  --warmup N         warmup instructions (default insts/5)\n"
+        "  --line BYTES       i-cache line override\n"
+        "  --stats            dump engine-internal statistics\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunConfig cfg;
+    cfg.arch = ArchKind::Stream;
+    cfg.width = 8;
+    cfg.optimizedLayout = true;
+    cfg.insts = 1'000'000;
+    cfg.warmupInsts = 0;
+    std::string bench = "gcc";
+    bool dump_stats = false;
+    bool warmup_set = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto arg = [&](const char *name) {
+            if (a != name)
+                return false;
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return true;
+        };
+        if (arg("--arch")) {
+            cfg.arch = parseArch(argv[++i]);
+        } else if (arg("--bench")) {
+            bench = argv[++i];
+        } else if (arg("--width")) {
+            cfg.width = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg("--layout")) {
+            cfg.optimizedLayout = std::string(argv[++i]) != "base";
+        } else if (arg("--insts")) {
+            cfg.insts = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg("--warmup")) {
+            cfg.warmupInsts = std::strtoull(argv[++i], nullptr, 10);
+            warmup_set = true;
+        } else if (arg("--line")) {
+            cfg.lineBytesOverride =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (a == "--stats") {
+            dump_stats = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (!warmup_set)
+        cfg.warmupInsts = cfg.insts / 5;
+
+    std::vector<std::string> benches;
+    if (bench == "all")
+        benches = suiteNames();
+    else
+        benches.push_back(bench);
+
+    TablePrinter tp;
+    tp.addHeader({"benchmark", "arch", "width", "layout", "IPC",
+                  "fetch IPC", "mispredict", "L1I miss"});
+    std::vector<double> ipcs;
+
+    for (const auto &b : benches) {
+        PlacedWorkload work(b);
+        SimStats st = runOn(work, cfg);
+        ipcs.push_back(st.ipc());
+        tp.addRow({b, archName(cfg.arch),
+                   std::to_string(cfg.width),
+                   cfg.optimizedLayout ? "opt" : "base",
+                   TablePrinter::fmt(st.ipc()),
+                   TablePrinter::fmt(st.fetchIpc()),
+                   TablePrinter::pct(st.mispredictRate()),
+                   TablePrinter::pct(st.l1iMissRate, 2)});
+        if (dump_stats)
+            std::printf("--- %s engine stats ---\n%s", b.c_str(),
+                        st.engine.dump().c_str());
+    }
+    if (benches.size() > 1) {
+        tp.addSeparator();
+        tp.addRow({"Hmean", "", "", "",
+                   TablePrinter::fmt(harmonicMean(ipcs)), "", "",
+                   ""});
+    }
+    std::printf("%s", tp.render().c_str());
+    return 0;
+}

@@ -1,0 +1,81 @@
+#include "bpred/btb.hh"
+
+#include <cassert>
+
+namespace sfetch
+{
+
+Btb::Btb(const BtbConfig &cfg) : cfg_(cfg)
+{
+    assert(cfg_.entries % cfg_.assoc == 0);
+    numSets_ = cfg_.entries / cfg_.assoc;
+    assert(numSets_ && !(numSets_ & (numSets_ - 1)));
+    ways_.resize(cfg_.entries);
+}
+
+std::size_t
+Btb::setIndex(Addr pc) const
+{
+    return (pc / kInstBytes) & (numSets_ - 1);
+}
+
+Addr
+Btb::tagOf(Addr pc) const
+{
+    return (pc / kInstBytes) / numSets_;
+}
+
+BtbEntry
+Btb::lookup(Addr pc)
+{
+    ++lookups_;
+    ++tick_;
+    const std::size_t base = setIndex(pc) * cfg_.assoc;
+    const Addr tag = tagOf(pc);
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = tick_;
+            ++hits_;
+            return BtbEntry{true, way.target, way.type};
+        }
+    }
+    return BtbEntry{};
+}
+
+void
+Btb::update(Addr pc, Addr target, BranchType type)
+{
+    ++tick_;
+    const std::size_t base = setIndex(pc) * cfg_.assoc;
+    const Addr tag = tagOf(pc);
+
+    std::size_t victim = base;
+    std::uint64_t oldest = UINT64_MAX;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.target = target;
+            way.type = type;
+            way.lastUse = tick_;
+            return;
+        }
+        std::uint64_t age = way.valid ? way.lastUse : 0;
+        if (!way.valid) {
+            victim = base + w;
+            oldest = 0;
+        } else if (age < oldest) {
+            oldest = age;
+            victim = base + w;
+        }
+    }
+
+    Way &way = ways_[victim];
+    way.valid = true;
+    way.tag = tag;
+    way.target = target;
+    way.type = type;
+    way.lastUse = tick_;
+}
+
+} // namespace sfetch

@@ -1,0 +1,134 @@
+#include "bpred/direction_pred.hh"
+
+#include <cassert>
+
+namespace sfetch
+{
+
+namespace
+{
+
+[[maybe_unused]] bool
+isPow2(std::size_t x)
+{
+    return x && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+// ---- BimodalPredictor ----
+
+BimodalPredictor::BimodalPredictor(std::size_t entries,
+                                   unsigned counter_bits)
+    : table_(entries, SatCounter(counter_bits,
+                                 std::uint8_t(1u << (counter_bits - 1))))
+{
+    assert(isPow2(entries));
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc / kInstBytes) & (table_.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc, std::uint64_t)
+{
+    return table_[index(pc)].taken();
+}
+
+void
+BimodalPredictor::update(Addr pc, std::uint64_t, bool taken)
+{
+    table_[index(pc)].update(taken);
+}
+
+std::uint64_t
+BimodalPredictor::storageBits() const
+{
+    return table_.size() * table_.front().bits();
+}
+
+// ---- GsharePredictor ----
+
+GsharePredictor::GsharePredictor(std::size_t entries,
+                                 unsigned history_bits,
+                                 unsigned counter_bits)
+    : table_(entries, SatCounter(counter_bits,
+                                 std::uint8_t(1u << (counter_bits - 1)))),
+      historyBits_(history_bits)
+{
+    assert(isPow2(entries));
+}
+
+std::size_t
+GsharePredictor::index(Addr pc, std::uint64_t ghist) const
+{
+    std::uint64_t h = ghist & ((1ULL << historyBits_) - 1);
+    return ((pc / kInstBytes) ^ h) & (table_.size() - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc, std::uint64_t ghist)
+{
+    return table_[index(pc, ghist)].taken();
+}
+
+void
+GsharePredictor::update(Addr pc, std::uint64_t ghist, bool taken)
+{
+    table_[index(pc, ghist)].update(taken);
+}
+
+std::uint64_t
+GsharePredictor::storageBits() const
+{
+    return table_.size() * table_.front().bits();
+}
+
+// ---- LocalPredictor ----
+
+LocalPredictor::LocalPredictor(std::size_t history_entries,
+                               unsigned local_bits,
+                               std::size_t pattern_entries,
+                               unsigned counter_bits)
+    : localHist_(history_entries, 0),
+      pattern_(pattern_entries,
+               SatCounter(counter_bits,
+                          std::uint8_t(1u << (counter_bits - 1)))),
+      localBits_(local_bits)
+{
+    assert(isPow2(history_entries));
+    assert(isPow2(pattern_entries));
+}
+
+bool
+LocalPredictor::predict(Addr pc, std::uint64_t)
+{
+    std::uint32_t lh =
+        localHist_[(pc / kInstBytes) & (localHist_.size() - 1)];
+    std::size_t idx =
+        (lh & ((1u << localBits_) - 1)) & (pattern_.size() - 1);
+    return pattern_[idx].taken();
+}
+
+void
+LocalPredictor::update(Addr pc, std::uint64_t, bool taken)
+{
+    std::uint32_t &lh =
+        localHist_[(pc / kInstBytes) & (localHist_.size() - 1)];
+    std::size_t idx =
+        (lh & ((1u << localBits_) - 1)) & (pattern_.size() - 1);
+    pattern_[idx].update(taken);
+    lh = (lh << 1) | (taken ? 1u : 0u);
+}
+
+std::uint64_t
+LocalPredictor::storageBits() const
+{
+    return localHist_.size() * localBits_ +
+           pattern_.size() * pattern_.front().bits();
+}
+
+} // namespace sfetch

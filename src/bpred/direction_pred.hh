@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Conditional branch direction predictors: the common interface plus
+ * the classic table-based family (bimodal, gshare, two-level local).
+ * The EV8's 2bcgskew and the FTB's perceptron live in their own
+ * headers.
+ */
+
+#ifndef SFETCH_BPRED_DIRECTION_PRED_HH
+#define SFETCH_BPRED_DIRECTION_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sat_counter.hh"
+#include "util/types.hh"
+
+namespace sfetch
+{
+
+/**
+ * Direction predictor interface. The caller supplies the speculative
+ * global history at both predict and update time; predictors with
+ * private state (local histories, perceptron weights) manage it
+ * internally and update it non-speculatively at update() time.
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the branch at @p pc under global history @p ghist. */
+    virtual bool predict(Addr pc, std::uint64_t ghist) = 0;
+
+    /**
+     * Train with the resolved outcome.
+     * @param pc Branch address.
+     * @param ghist Global history *at prediction time*.
+     * @param taken Actual outcome.
+     */
+    virtual void update(Addr pc, std::uint64_t ghist, bool taken) = 0;
+
+    /** Storage budget in bits (for Table 2 style accounting). */
+    virtual std::uint64_t storageBits() const = 0;
+};
+
+/** PC-indexed 2-bit counter table. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(std::size_t entries = 4096,
+                              unsigned counter_bits = 2);
+
+    bool predict(Addr pc, std::uint64_t ghist) override;
+    void update(Addr pc, std::uint64_t ghist, bool taken) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::vector<SatCounter> table_;
+};
+
+/** Gshare: pc XOR global history indexing. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(std::size_t entries = 16384,
+                             unsigned history_bits = 12,
+                             unsigned counter_bits = 2);
+
+    bool predict(Addr pc, std::uint64_t ghist) override;
+    void update(Addr pc, std::uint64_t ghist, bool taken) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    std::size_t index(Addr pc, std::uint64_t ghist) const;
+    std::vector<SatCounter> table_;
+    unsigned historyBits_;
+};
+
+/** Two-level local predictor (per-PC history into a pattern table). */
+class LocalPredictor : public DirectionPredictor
+{
+  public:
+    LocalPredictor(std::size_t history_entries = 1024,
+                   unsigned local_bits = 10,
+                   std::size_t pattern_entries = 1024,
+                   unsigned counter_bits = 2);
+
+    bool predict(Addr pc, std::uint64_t ghist) override;
+    void update(Addr pc, std::uint64_t ghist, bool taken) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    std::vector<std::uint32_t> localHist_;
+    std::vector<SatCounter> pattern_;
+    unsigned localBits_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_BPRED_DIRECTION_PRED_HH

@@ -1,0 +1,125 @@
+#include "bpred/gskew.hh"
+
+#include <cassert>
+
+namespace sfetch
+{
+
+namespace
+{
+
+/**
+ * The H / H^-1 skewing functions of the skewed-associative cache
+ * literature, applied to predictor bank indexing. We use cheap
+ * odd-multiplier hashes that decorrelate the banks equivalently for
+ * simulation purposes.
+ */
+std::uint64_t
+skewHash(unsigned bank, std::uint64_t x)
+{
+    static const std::uint64_t muls[4] = {
+        0x9E3779B97F4A7C15ULL, 0xC2B2AE3D27D4EB4FULL,
+        0x165667B19E3779F9ULL, 0x27D4EB2F165667C5ULL,
+    };
+    std::uint64_t h = x * muls[bank];
+    return h ^ (h >> 29);
+}
+
+} // namespace
+
+GskewPredictor::GskewPredictor(const GskewConfig &cfg) : cfg_(cfg)
+{
+    assert(cfg_.entriesPerBank && !(cfg_.entriesPerBank &
+                                    (cfg_.entriesPerBank - 1)));
+    for (auto &bank : banks_)
+        bank.assign(cfg_.entriesPerBank,
+                    SatCounter(cfg_.counterBits,
+                               std::uint8_t(1u << (cfg_.counterBits - 1))));
+}
+
+std::size_t
+GskewPredictor::index(unsigned bank, Addr pc, std::uint64_t ghist) const
+{
+    std::uint64_t word = pc / kInstBytes;
+    std::uint64_t hist;
+    switch (bank) {
+      case BIM:
+        hist = 0;
+        break;
+      case G0:
+      case META:
+        // The meta predictor uses a short history (Seznec et al.):
+        // a full-history meta fragments its "trust the bimodal"
+        // evidence across patterns and never converges on weakly
+        // biased branches.
+        hist = ghist & ((1ULL << cfg_.shortHistoryBits) - 1);
+        break;
+      default: // G1 uses the full history
+        hist = ghist & ((1ULL << cfg_.historyBits) - 1);
+        break;
+    }
+    std::uint64_t x = word ^ (hist << 18) ^ hist;
+    return skewHash(bank, x) & (cfg_.entriesPerBank - 1);
+}
+
+bool
+GskewPredictor::predict(Addr pc, std::uint64_t ghist)
+{
+    bool bim = banks_[BIM][index(BIM, pc, ghist)].taken();
+    bool g0 = banks_[G0][index(G0, pc, ghist)].taken();
+    bool g1 = banks_[G1][index(G1, pc, ghist)].taken();
+    bool meta = banks_[META][index(META, pc, ghist)].taken();
+
+    bool eskew = (int(bim) + int(g0) + int(g1)) >= 2;
+    return meta ? eskew : bim;
+}
+
+void
+GskewPredictor::update(Addr pc, std::uint64_t ghist, bool taken)
+{
+    std::size_t i_bim = index(BIM, pc, ghist);
+    std::size_t i_g0 = index(G0, pc, ghist);
+    std::size_t i_g1 = index(G1, pc, ghist);
+    std::size_t i_meta = index(META, pc, ghist);
+
+    bool bim = banks_[BIM][i_bim].taken();
+    bool g0 = banks_[G0][i_g0].taken();
+    bool g1 = banks_[G1][i_g1].taken();
+    bool meta = banks_[META][i_meta].taken();
+
+    bool eskew = (int(bim) + int(g0) + int(g1)) >= 2;
+    bool used_eskew = meta;
+    bool pred = used_eskew ? eskew : bim;
+
+    // META trains whenever its two inputs disagree.
+    if (bim != eskew)
+        banks_[META][i_meta].update(eskew == taken);
+
+    if (pred == taken) {
+        // Partial update: only strengthen the banks that supplied
+        // the (correct) prediction and agreed with the outcome.
+        if (used_eskew) {
+            if (bim == taken)
+                banks_[BIM][i_bim].update(taken);
+            if (g0 == taken)
+                banks_[G0][i_g0].update(taken);
+            if (g1 == taken)
+                banks_[G1][i_g1].update(taken);
+        } else {
+            banks_[BIM][i_bim].update(taken);
+        }
+    } else {
+        // On a misprediction every bank is retrained.
+        banks_[BIM][i_bim].update(taken);
+        banks_[G0][i_g0].update(taken);
+        banks_[G1][i_g1].update(taken);
+    }
+}
+
+std::uint64_t
+GskewPredictor::storageBits() const
+{
+    return 4ULL * cfg_.entriesPerBank * cfg_.counterBits;
+}
+
+} // namespace sfetch

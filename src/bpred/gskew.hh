@@ -1,0 +1,53 @@
+/**
+ * @file
+ * 2bcgskew: the Alpha EV8 conditional branch predictor (Seznec,
+ * Felix, Krishnan, Sazeides, ISCA 2002), as used by the paper's EV8
+ * baseline. Four banks (BIM, G0, G1, META) with skewed indexing;
+ * the final prediction arbitrates between the bimodal bank and the
+ * e-gskew majority vote, with the partial-update policy of the EV8.
+ */
+
+#ifndef SFETCH_BPRED_GSKEW_HH
+#define SFETCH_BPRED_GSKEW_HH
+
+#include <vector>
+
+#include "bpred/direction_pred.hh"
+#include "util/sat_counter.hh"
+
+namespace sfetch
+{
+
+/** Configuration of the 2bcgskew predictor. */
+struct GskewConfig
+{
+    std::size_t entriesPerBank = 32768; //!< paper: 4 x 32K entries
+    unsigned historyBits = 15;          //!< paper: 15-bit history
+    unsigned shortHistoryBits = 6;      //!< G0 uses a shorter history
+    unsigned counterBits = 2;
+};
+
+/** The 2bcgskew hybrid skewed predictor. */
+class GskewPredictor : public DirectionPredictor
+{
+  public:
+    explicit GskewPredictor(const GskewConfig &cfg = GskewConfig{});
+
+    bool predict(Addr pc, std::uint64_t ghist) override;
+    void update(Addr pc, std::uint64_t ghist, bool taken) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    enum Bank { BIM = 0, G0 = 1, G1 = 2, META = 3 };
+
+    /** Skewed index of @p bank for (pc, hist). */
+    std::size_t index(unsigned bank, Addr pc,
+                      std::uint64_t ghist) const;
+
+    GskewConfig cfg_;
+    std::vector<SatCounter> banks_[4];
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_BPRED_GSKEW_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Global branch history register with checkpointing. Fetch engines
+ * keep a speculative copy (updated at predict time) and a committed
+ * copy (updated at retire time); on a misprediction the speculative
+ * copy is rebuilt from the committed one, as the paper describes for
+ * the stream predictor's two path registers.
+ */
+
+#ifndef SFETCH_BPRED_HISTORY_HH
+#define SFETCH_BPRED_HISTORY_HH
+
+#include <cstdint>
+
+namespace sfetch
+{
+
+/** Shift-register global direction history (newest bit = LSB). */
+class GlobalHistory
+{
+  public:
+    void
+    push(bool taken)
+    {
+        bits_ = (bits_ << 1) | (taken ? 1u : 0u);
+    }
+
+    std::uint64_t value() const { return bits_; }
+
+    /** Low @p n bits of history. */
+    std::uint64_t
+    low(unsigned n) const
+    {
+        return n >= 64 ? bits_ : (bits_ & ((1ULL << n) - 1));
+    }
+
+    void set(std::uint64_t v) { bits_ = v; }
+    void copyFrom(const GlobalHistory &other) { bits_ = other.bits_; }
+    void clear() { bits_ = 0; }
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_BPRED_HISTORY_HH

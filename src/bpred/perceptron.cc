@@ -1,0 +1,95 @@
+#include "bpred/perceptron.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace sfetch
+{
+
+PerceptronPredictor::PerceptronPredictor(const PerceptronConfig &cfg)
+    : cfg_(cfg)
+{
+    unsigned h = cfg_.globalBits + cfg_.localBits;
+    theta_ = static_cast<int>(std::lround(1.93 * h + 14.0));
+    rowLen_ = 1 + cfg_.globalBits + cfg_.localBits;
+    weights_.assign(cfg_.numPerceptrons * rowLen_, 0);
+    localHist_.assign(cfg_.localEntries, 0);
+}
+
+std::size_t
+PerceptronPredictor::pcIndex(Addr pc) const
+{
+    return (pc / kInstBytes) % cfg_.numPerceptrons;
+}
+
+std::size_t
+PerceptronPredictor::localIndex(Addr pc) const
+{
+    return (pc / kInstBytes) % cfg_.localEntries;
+}
+
+int
+PerceptronPredictor::output(Addr pc, std::uint64_t ghist) const
+{
+    const std::int16_t *w = &weights_[pcIndex(pc) * rowLen_];
+    int y = w[0]; // bias weight
+    for (unsigned i = 0; i < cfg_.globalBits; ++i) {
+        bool bit = (ghist >> i) & 1;
+        y += bit ? w[1 + i] : -w[1 + i];
+    }
+    std::uint32_t lh = localHist_[localIndex(pc)];
+    for (unsigned i = 0; i < cfg_.localBits; ++i) {
+        bool bit = (lh >> i) & 1;
+        y += bit ? w[1 + cfg_.globalBits + i]
+                 : -w[1 + cfg_.globalBits + i];
+    }
+    return y;
+}
+
+bool
+PerceptronPredictor::predict(Addr pc, std::uint64_t ghist)
+{
+    return output(pc, ghist) >= 0;
+}
+
+void
+PerceptronPredictor::update(Addr pc, std::uint64_t ghist, bool taken)
+{
+    int y = output(pc, ghist);
+    bool pred = y >= 0;
+
+    if (pred != taken || std::abs(y) <= theta_) {
+        std::int16_t *w = &weights_[pcIndex(pc) * rowLen_];
+        auto adjust = [&](std::int16_t &weight, bool agree) {
+            int v = weight + (agree ? 1 : -1);
+            if (v > cfg_.weightMax)
+                v = cfg_.weightMax;
+            if (v < -cfg_.weightMax - 1)
+                v = -cfg_.weightMax - 1;
+            weight = static_cast<std::int16_t>(v);
+        };
+        adjust(w[0], taken);
+        for (unsigned i = 0; i < cfg_.globalBits; ++i) {
+            bool bit = (ghist >> i) & 1;
+            adjust(w[1 + i], bit == taken);
+        }
+        std::uint32_t lh = localHist_[localIndex(pc)];
+        for (unsigned i = 0; i < cfg_.localBits; ++i) {
+            bool bit = (lh >> i) & 1;
+            adjust(w[1 + cfg_.globalBits + i], bit == taken);
+        }
+    }
+
+    std::uint32_t &lh = localHist_[localIndex(pc)];
+    lh = ((lh << 1) | (taken ? 1u : 0u)) &
+         ((1u << cfg_.localBits) - 1);
+}
+
+std::uint64_t
+PerceptronPredictor::storageBits() const
+{
+    return std::uint64_t(weights_.size()) * 8 +
+           std::uint64_t(localHist_.size()) * cfg_.localBits;
+}
+
+} // namespace sfetch

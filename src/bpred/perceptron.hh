@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Perceptron branch predictor (Jimenez & Lin, HPCA 2001), in the
+ * global+local configuration the paper pairs with the FTB front end:
+ * 512 perceptrons, 40 bits of global history, and a 4096-entry table
+ * of 14-bit local histories.
+ */
+
+#ifndef SFETCH_BPRED_PERCEPTRON_HH
+#define SFETCH_BPRED_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/direction_pred.hh"
+
+namespace sfetch
+{
+
+/** Configuration of the perceptron predictor. */
+struct PerceptronConfig
+{
+    std::size_t numPerceptrons = 512;  //!< paper: 512 perceptrons
+    unsigned globalBits = 40;          //!< paper: 40-bit global history
+    std::size_t localEntries = 4096;   //!< paper: 4096 local histories
+    unsigned localBits = 14;           //!< paper: 14-bit local history
+    int weightMax = 127;               //!< int8 weights
+};
+
+/** Global+local perceptron predictor. */
+class PerceptronPredictor : public DirectionPredictor
+{
+  public:
+    explicit PerceptronPredictor(
+        const PerceptronConfig &cfg = PerceptronConfig{});
+
+    bool predict(Addr pc, std::uint64_t ghist) override;
+    void update(Addr pc, std::uint64_t ghist, bool taken) override;
+    std::uint64_t storageBits() const override;
+
+    /** Training threshold theta = 1.93 * h + 14 (Jimenez & Lin). */
+    int threshold() const { return theta_; }
+
+  private:
+    /** Dot product of the selected perceptron with the histories. */
+    int output(Addr pc, std::uint64_t ghist) const;
+
+    std::size_t pcIndex(Addr pc) const;
+    std::size_t localIndex(Addr pc) const;
+
+    PerceptronConfig cfg_;
+    int theta_;
+    /** numPerceptrons rows x (1 + globalBits + localBits) weights. */
+    std::vector<std::int16_t> weights_;
+    std::vector<std::uint32_t> localHist_;
+    unsigned rowLen_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_BPRED_PERCEPTRON_HH

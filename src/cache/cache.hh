@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Set-associative cache timing model with true-LRU replacement.
+ * Tracks hits/misses only (no data); latency composition is handled
+ * by MemoryHierarchy.
+ */
+
+#ifndef SFETCH_CACHE_CACHE_HH
+#define SFETCH_CACHE_CACHE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace sfetch
+{
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64u << 10;
+    unsigned assoc = 2;
+    unsigned lineBytes = 64;
+
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (std::uint64_t(assoc) * lineBytes);
+    }
+};
+
+/**
+ * Tag-only set-associative cache with LRU replacement. access()
+ * returns hit/miss and allocates on miss.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Probe and allocate. @return true on hit. */
+    bool access(Addr addr);
+
+    /** Probe without allocating or touching LRU state. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything. */
+    void flush();
+
+    const CacheConfig &config() const { return cfg_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    double
+    missRate() const
+    {
+        std::uint64_t total = hits_ + misses_;
+        return total ? double(misses_) / double(total) : 0.0;
+    }
+
+    /** Align @p addr down to its line base. */
+    Addr
+    lineBase(Addr addr) const
+    {
+        return addr & ~Addr(cfg_.lineBytes - 1);
+    }
+
+    void
+    resetStats()
+    {
+        hits_ = misses_ = 0;
+    }
+
+  private:
+    struct Way
+    {
+        Addr tag = kNoAddr;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheConfig cfg_;
+    std::vector<Way> ways_; // numSets * assoc, row-major by set
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Latencies of the memory system (Table 2 of the paper). */
+struct MemoryConfig
+{
+    CacheConfig l1i{"l1i", 64u << 10, 2, 32};
+    CacheConfig l1d{"l1d", 64u << 10, 2, 64};
+    CacheConfig l2{"l2", 1u << 20, 4, 64};
+    Cycle l1Latency = 1;
+    Cycle l2Latency = 15;
+    Cycle memLatency = 100;
+};
+
+/**
+ * Two-level hierarchy with a unified L2 shared by instruction and
+ * data sides. Returns total access latency in cycles.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MemoryConfig &cfg)
+        : cfg_(cfg), l1i_(cfg.l1i), l1d_(cfg.l1d), l2_(cfg.l2)
+    {}
+
+    /** Instruction fetch of the line containing @p addr. */
+    Cycle
+    accessInst(Addr addr)
+    {
+        if (l1i_.access(addr))
+            return cfg_.l1Latency;
+        if (l2_.access(addr))
+            return cfg_.l1Latency + cfg_.l2Latency;
+        return cfg_.l1Latency + cfg_.l2Latency + cfg_.memLatency;
+    }
+
+    /** Data access of the line containing @p addr. */
+    Cycle
+    accessData(Addr addr)
+    {
+        if (l1d_.access(addr))
+            return cfg_.l1Latency;
+        if (l2_.access(addr))
+            return cfg_.l1Latency + cfg_.l2Latency;
+        return cfg_.l1Latency + cfg_.l2Latency + cfg_.memLatency;
+    }
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    Cache &l1iMutable() { return l1i_; }
+    const MemoryConfig &config() const { return cfg_; }
+
+    void
+    resetStats()
+    {
+        l1i_.resetStats();
+        l1d_.resetStats();
+        l2_.resetStats();
+    }
+
+  private:
+    MemoryConfig cfg_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_CACHE_CACHE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Instruction stream descriptor: the paper's basic fetch entity. A
+ * stream is a run of sequential instructions from the target of a
+ * taken branch to the next taken branch; it is fully identified by
+ * its start address and length, with all intermediate branches
+ * implicitly not-taken and the terminator implicitly taken.
+ */
+
+#ifndef SFETCH_CORE_STREAM_HH
+#define SFETCH_CORE_STREAM_HH
+
+#include "isa/instruction.hh"
+#include "util/types.hh"
+
+namespace sfetch
+{
+
+/** A completed (commit-side) instruction stream. */
+struct StreamDescriptor
+{
+    Addr start = kNoAddr;        //!< target of the previous taken branch
+    std::uint32_t lenInsts = 0;  //!< length including the terminator
+    /**
+     * Type of the terminating branch (for RAS management). None is
+     * used for over-length streams that were split artificially, in
+     * which case @c next is simply start + lenInsts * 4.
+     */
+    BranchType endType = BranchType::None;
+    Addr next = kNoAddr;         //!< start of the following stream
+
+    /** Address of the terminating branch instruction. */
+    Addr
+    terminatorPc() const
+    {
+        return start + instsToBytes(lenInsts - 1);
+    }
+
+    bool
+    operator==(const StreamDescriptor &o) const
+    {
+        return start == o.start && lenInsts == o.lenInsts &&
+               endType == o.endType && next == o.next;
+    }
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_CORE_STREAM_HH

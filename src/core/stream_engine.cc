@@ -1,0 +1,229 @@
+#include "core/stream_engine.hh"
+
+#include <algorithm>
+
+namespace sfetch
+{
+
+StreamFetchEngine::StreamFetchEngine(const StreamConfig &cfg,
+                                     const CodeImage &image,
+                                     MemoryHierarchy *mem)
+    : cfg_(cfg), image_(&image), reader_(mem, cfg.lineBytes),
+      nsp_(cfg.nsp), ras_(cfg.rasEntries), ftq_(cfg.ftqEntries),
+      fetchAddr_(image.entryAddr())
+{
+    builder_ = std::make_unique<StreamBuilder>(
+        image.entryAddr(), cfg_.maxStreamInsts,
+        [this](const StreamDescriptor &s, bool mispredicted) {
+            nsp_.commitStream(s, mispredicted);
+        });
+}
+
+void
+StreamFetchEngine::predictStep()
+{
+    if (ftq_.full() || !image_->contains(fetchAddr_))
+        return;
+
+    StreamPrediction pred = nsp_.predict(fetchAddr_);
+    std::uint64_t token = checkpoints_.put(
+        EngineCheckpoint{ras_.save(), 0});
+
+    if (!pred.hit || pred.lenInsts == 0) {
+        // Predictor miss: resort to sequential fetching, one line at
+        // a time, re-querying the predictor at each line boundary.
+        if (seqStart_ == kNoAddr)
+            seqStart_ = fetchAddr_;
+        Addr line_end = (fetchAddr_ & ~Addr(cfg_.lineBytes - 1)) +
+            cfg_.lineBytes;
+        FetchRequest req;
+        req.start = fetchAddr_;
+        req.lenInsts = static_cast<std::uint32_t>(
+            (line_end - fetchAddr_) / kInstBytes);
+        req.token = token;
+        req.bounded = false;
+        ftq_.push(req);
+        fetchAddr_ = line_end;
+        ++seqRequests_;
+        return;
+    }
+    seqStart_ = kNoAddr;
+
+    const Addr seq = fetchAddr_ + instsToBytes(pred.lenInsts);
+    Addr next = pred.next;
+
+    switch (pred.endType) {
+      case BranchType::Call:
+        ras_.push(seq);
+        break;
+      case BranchType::Return: {
+        Addr t = ras_.pop();
+        if (t != kNoAddr && image_->contains(t))
+            next = t;
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (next == kNoAddr || !image_->contains(next))
+        next = seq; // defensive: stale target falls back sequential
+
+    nsp_.specPush(fetchAddr_);
+
+    FetchRequest req;
+    req.start = fetchAddr_;
+    req.lenInsts = pred.lenInsts;
+    req.token = token;
+    req.bounded = true;
+    ftq_.push(req);
+
+    fetchAddr_ = next;
+    ++streamsPredicted_;
+    streamInstsPredicted_ += pred.lenInsts;
+}
+
+void
+StreamFetchEngine::icacheStep(Cycle now, unsigned max_insts,
+                              std::vector<FetchedInst> &out)
+{
+    if (ftq_.empty())
+        return;
+    FetchRequest &req = ftq_.front();
+    if (!image_->contains(req.start)) {
+        ftq_.pop();
+        return;
+    }
+
+    unsigned avail = reader_.available(now, req.start);
+    if (avail == 0)
+        return;
+
+    unsigned n = std::min(std::min(avail, max_insts), req.lenInsts);
+    Addr pc = req.start;
+    bool steered = false;
+
+    for (unsigned i = 0; i < n; ++i) {
+        if (!image_->contains(pc))
+            break;
+        const StaticInst &si = image_->inst(pc);
+        FetchedInst fi;
+        fi.pc = pc;
+        if (si.isBranch())
+            fi.token = req.token;
+        out.push_back(fi);
+        ++instsFetched_;
+        pc += kInstBytes;
+
+        // An unconditional transfer before the end of the request
+        // only happens in sequential mode (or on a stale aliased
+        // entry): steer using the predecoded target.
+        bool is_terminator = req.bounded && (i + 1 == n) &&
+            req.lenInsts == n;
+        if (si.isBranch() && si.btype != BranchType::CondDirect &&
+            !is_terminator) {
+            Addr seq = pc;
+            Addr next = seq;
+            switch (si.btype) {
+              case BranchType::Jump:
+              case BranchType::Call:
+                next = image_->takenTarget(fi.pc);
+                if (si.btype == BranchType::Call)
+                    ras_.push(seq);
+                break;
+              case BranchType::Return: {
+                Addr t = ras_.pop();
+                next = (t != kNoAddr && image_->contains(t)) ? t : seq;
+                break;
+              }
+              default:
+                break; // indirect: no info, keep sequential
+            }
+            // A taken transfer ends the sequential stream: keep the
+            // speculative path register in step with commit.
+            if (seqStart_ != kNoAddr) {
+                nsp_.specPush(seqStart_);
+                seqStart_ = kNoAddr;
+            }
+            ftq_.clear();
+            fetchAddr_ = next;
+            steered = true;
+            break;
+        }
+    }
+
+    if (steered)
+        return;
+
+    std::uint32_t done = static_cast<std::uint32_t>(
+        (pc - req.start) / kInstBytes);
+    req.start = pc;
+    req.lenInsts -= std::min(req.lenInsts, done);
+    if (req.lenInsts == 0)
+        ftq_.pop();
+}
+
+void
+StreamFetchEngine::fetchCycle(Cycle now, unsigned max_insts,
+                              std::vector<FetchedInst> &out)
+{
+    predictStep();
+    icacheStep(now, max_insts, out);
+}
+
+void
+StreamFetchEngine::redirect(const ResolvedBranch &rb)
+{
+    // Paper: copy the committed path register over the speculative
+    // one, restoring correct history state.
+    nsp_.recoverHistory();
+
+    if (const auto *cp = checkpoints_.get(rb.token))
+        ras_.restore(cp->ras);
+    if (rb.type == BranchType::Call)
+        ras_.push(rb.pc + kInstBytes);
+    else if (rb.type == BranchType::Return)
+        ras_.pop();
+
+    ftq_.clear();
+    fetchAddr_ = rb.target;
+    seqStart_ = kNoAddr;
+    builder_->onMispredict();
+    builder_->onRedirect(rb.target);
+}
+
+void
+StreamFetchEngine::trainCommit(const CommittedBranch &cb)
+{
+    builder_->onBranch(cb);
+}
+
+void
+StreamFetchEngine::reset(Addr start)
+{
+    fetchAddr_ = start;
+    seqStart_ = kNoAddr;
+    ftq_.clear();
+    builder_->reset(start);
+    reader_.reset();
+}
+
+StatSet
+StreamFetchEngine::stats() const
+{
+    StatSet s = nsp_.stats();
+    s.set("stream.predicted", double(streamsPredicted_));
+    s.set("stream.avg_pred_len", streamsPredicted_
+          ? double(streamInstsPredicted_) / double(streamsPredicted_)
+          : 0.0);
+    s.set("stream.seq_requests", double(seqRequests_));
+    s.set("stream.insts_fetched", double(instsFetched_));
+    s.set("stream.icache_misses", double(reader_.misses()));
+    s.set("stream.commit_streams", double(builder_->streamsEmitted()));
+    s.set("stream.partial_streams", double(builder_->partialStreams()));
+    s.set("stream.avg_commit_len",
+          builder_->lengthHistogram().mean());
+    return s;
+}
+
+} // namespace sfetch

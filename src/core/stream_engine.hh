@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The stream fetch engine (Section 3, Figure 4 of the paper): a
+ * decoupled front end whose only instruction source is a wide-line
+ * instruction cache, driven by the cascaded next stream predictor
+ * through a fetch target queue with in-place request updates. On a
+ * predictor miss the engine falls back to sequential fetching until
+ * the predictor hits again or a misprediction redirect arrives.
+ */
+
+#ifndef SFETCH_CORE_STREAM_ENGINE_HH
+#define SFETCH_CORE_STREAM_ENGINE_HH
+
+#include <memory>
+
+#include "bpred/ras.hh"
+#include "core/nsp.hh"
+#include "core/stream_builder.hh"
+#include "fetch/fetch_engine.hh"
+#include "fetch/token_ring.hh"
+
+namespace sfetch
+{
+
+/** Configuration of the stream front end (Table 2 of the paper). */
+struct StreamConfig
+{
+    NspConfig nsp;
+    std::size_t rasEntries = 8;
+    std::size_t ftqEntries = 4;
+    unsigned lineBytes = 128;       //!< 4x an 8-wide pipe
+    std::uint32_t maxStreamInsts = 64; //!< predictor length field cap
+};
+
+/** The stream fetch engine. */
+class StreamFetchEngine : public FetchEngine
+{
+  public:
+    StreamFetchEngine(const StreamConfig &cfg, const CodeImage &image,
+                      MemoryHierarchy *mem);
+
+    void fetchCycle(Cycle now, unsigned max_insts,
+                    std::vector<FetchedInst> &out) override;
+    void redirect(const ResolvedBranch &rb) override;
+    void trainCommit(const CommittedBranch &cb) override;
+    void reset(Addr start) override;
+    std::string name() const override { return "Streams"; }
+    StatSet stats() const override;
+
+    /** Direct access for tests and ablation benches. */
+    const NextStreamPredictor &predictor() const { return nsp_; }
+    const StreamBuilder &builder() const { return *builder_; }
+
+  private:
+    void predictStep();
+    void icacheStep(Cycle now, unsigned max_insts,
+                    std::vector<FetchedInst> &out);
+
+    StreamConfig cfg_;
+    const CodeImage *image_;
+    ICacheReader reader_;
+    NextStreamPredictor nsp_;
+    ReturnAddressStack ras_;
+    FetchTargetQueue ftq_;
+    TokenRing<EngineCheckpoint> checkpoints_;
+    std::unique_ptr<StreamBuilder> builder_;
+
+    Addr fetchAddr_ = kNoAddr;
+
+    /**
+     * Start address of the stream being fetched in sequential
+     * (predictor-miss) mode, so the speculative path register can be
+     * kept in step with the committed one when the sequential run
+     * ends at a steer; kNoAddr when not in sequential mode.
+     */
+    Addr seqStart_ = kNoAddr;
+
+    // stats
+    std::uint64_t streamsPredicted_ = 0;
+    std::uint64_t streamInstsPredicted_ = 0;
+    std::uint64_t seqRequests_ = 0;
+    std::uint64_t instsFetched_ = 0;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_CORE_STREAM_ENGINE_HH

@@ -1,0 +1,207 @@
+#include "fetch/ev8.hh"
+
+#include <algorithm>
+
+namespace sfetch
+{
+
+Ev8Engine::Ev8Engine(const Ev8Config &cfg, const CodeImage &image,
+                     MemoryHierarchy *mem)
+    : cfg_(cfg), image_(&image), reader_(mem, cfg.lineBytes),
+      gskew_(cfg.gskew), btb_(cfg.btb), ras_(cfg.rasEntries),
+      pc_(image.entryAddr()),
+      linePred_(cfg.linePredEntries, kNoAddr)
+{}
+
+std::size_t
+Ev8Engine::linePredIndex(Addr pc) const
+{
+    // Indexed at fetch-block (width) granularity.
+    return (pc / (cfg_.lineBytes / 4)) & (linePred_.size() - 1);
+}
+
+void
+Ev8Engine::fetchCycle(Cycle now, unsigned max_insts,
+                      std::vector<FetchedInst> &out)
+{
+    if (now < stallUntil_)
+        return; // decode-stage target fix in progress
+    if (!image_->contains(pc_))
+        return; // deep wrong path; wait for the redirect
+
+    unsigned avail = reader_.available(now, pc_);
+    if (avail == 0)
+        return; // i-cache miss in service
+    ++cyclesActive_;
+
+    // The EV8 fetches from an aligned window of two width-sized
+    // blocks, up to the first predicted-taken branch.
+    const Addr cycle_start = pc_;
+    const Addr window_bytes = cfg_.lineBytes / 2; // 2W instructions
+    const Addr window_end =
+        (pc_ & ~(window_bytes - 1)) + window_bytes;
+    unsigned to_window = static_cast<unsigned>(
+        (window_end - pc_) / kInstBytes);
+
+    unsigned n = std::min(std::min(avail, max_insts), to_window);
+    for (unsigned i = 0; i < n; ++i) {
+        const StaticInst &si = image_->inst(pc_);
+        FetchedInst fi;
+        fi.pc = pc_;
+
+        if (!si.isBranch()) {
+            out.push_back(fi);
+            ++instsFetched_;
+            pc_ += kInstBytes;
+            continue;
+        }
+
+        // Branch: checkpoint the RAS, then predict.
+        fi.token = checkpoints_.put(
+            EngineCheckpoint{ras_.save(), specHist_.value()});
+        out.push_back(fi);
+        ++instsFetched_;
+
+        Addr seq = pc_ + kInstBytes;
+        bool taken = false;
+        Addr target = seq;
+        bool cycle_break = false;
+
+        // All taken targets come from the BTB (the EV8 fetch stage
+        // has no decoder); direct jumps that miss the BTB are fixed
+        // at decode at the cost of a short bubble.
+        switch (si.btype) {
+          case BranchType::CondDirect: {
+            bool dir = gskew_.predict(pc_, specHist_.value());
+            specHist_.push(dir);
+            if (dir) {
+                BtbEntry e = btb_.lookup(pc_);
+                if (e.hit && image_->contains(e.target)) {
+                    taken = true;
+                    target = e.target;
+                } else {
+                    // Misfetch: predicted taken but no target known;
+                    // fall through and let resolution repair it.
+                    ++btbMissFetches_;
+                }
+            }
+            break;
+          }
+          case BranchType::Jump:
+          case BranchType::Call: {
+            taken = true;
+            BtbEntry e = btb_.lookup(pc_);
+            if (e.hit && image_->contains(e.target)) {
+                target = e.target;
+            } else {
+                target = image_->takenTarget(pc_);
+                stallUntil_ = now + cfg_.decodeFixBubble;
+                ++decodeFixes_;
+                cycle_break = true;
+            }
+            if (si.btype == BranchType::Call)
+                ras_.push(seq);
+            break;
+          }
+          case BranchType::Return: {
+            Addr t = ras_.pop();
+            taken = true;
+            target = (t != kNoAddr && image_->contains(t)) ? t : seq;
+            break;
+          }
+          case BranchType::IndirectJump: {
+            BtbEntry e = btb_.lookup(pc_);
+            if (e.hit && image_->contains(e.target)) {
+                taken = true;
+                target = e.target;
+            } else {
+                target = seq; // no target: keep fetching sequentially
+            }
+            break;
+          }
+          default:
+            break;
+        }
+
+        pc_ = target;
+        if (taken || cycle_break) {
+            // EV8 fetches up to the first taken branch per cycle.
+            ++takenBreaks_;
+            break;
+        }
+    }
+
+    // Line predictor check: the cache was steered by the fast
+    // next-fetch-address table; if the full prediction disagrees,
+    // the next access restarts after a misfetch bubble.
+    std::size_t lp = linePredIndex(cycle_start);
+    if (linePred_[lp] != pc_) {
+        linePred_[lp] = pc_;
+        if (stallUntil_ < now + cfg_.linePredBubble)
+            stallUntil_ = now + cfg_.linePredBubble + 1;
+        ++lineMisfetches_;
+    }
+}
+
+void
+Ev8Engine::redirect(const ResolvedBranch &rb)
+{
+    // Precise repair from the branch's shadow checkpoint: history as
+    // of prediction time, then the resolved outcome appended.
+    if (const auto *cp = checkpoints_.get(rb.token)) {
+        ras_.restore(cp->ras);
+        specHist_.set(cp->hist);
+    } else {
+        specHist_.copyFrom(commitHist_);
+    }
+    if (rb.type == BranchType::CondDirect)
+        specHist_.push(rb.taken);
+
+    if (rb.type == BranchType::Call)
+        ras_.push(rb.pc + kInstBytes);
+    else if (rb.type == BranchType::Return)
+        ras_.pop();
+
+    pc_ = rb.target;
+    stallUntil_ = 0;
+}
+
+void
+Ev8Engine::trainCommit(const CommittedBranch &cb)
+{
+    if (cb.type == BranchType::CondDirect) {
+        gskew_.update(cb.pc, commitHist_.value(), cb.taken);
+        commitHist_.push(cb.taken);
+    }
+    // Every taken branch installs its target.
+    if (cb.taken)
+        btb_.update(cb.pc, cb.target, cb.type);
+}
+
+void
+Ev8Engine::reset(Addr start)
+{
+    pc_ = start;
+    stallUntil_ = 0;
+    specHist_.clear();
+    commitHist_.clear();
+    reader_.reset();
+}
+
+StatSet
+Ev8Engine::stats() const
+{
+    StatSet s;
+    s.set("ev8.cycles_active", double(cyclesActive_));
+    s.set("ev8.insts_fetched", double(instsFetched_));
+    s.set("ev8.taken_breaks", double(takenBreaks_));
+    s.set("ev8.icache_misses", double(reader_.misses()));
+    s.set("ev8.btb_miss_fetches", double(btbMissFetches_));
+    s.set("ev8.decode_fixes", double(decodeFixes_));
+    s.set("ev8.line_misfetches", double(lineMisfetches_));
+    s.set("ev8.btb_hit_rate", btb_.lookups()
+          ? double(btb_.hits()) / double(btb_.lookups()) : 0.0);
+    return s;
+}
+
+} // namespace sfetch

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The fetch engine contract shared by all four front ends (EV8, FTB,
+ * stream, trace cache).
+ *
+ * Engines are *self-directed*: they walk the static CodeImage using
+ * their own predictors, exactly like hardware running ahead of
+ * resolution, and therefore naturally fetch down wrong paths. The
+ * processor model compares the fetched PC stream against the oracle
+ * (committed) path, detects divergence, and calls redirect() when the
+ * mispredicted branch resolves. Engines never see the oracle.
+ *
+ * Model conventions:
+ *  - Instructions are predecoded in the i-cache: the type and taken
+ *    target of direct branches are visible at fetch. Conditional
+ *    directions, return targets, and indirect targets must be
+ *    predicted.
+ *  - When an engine has no target for a branch it must keep fetching
+ *    sequentially (never stall waiting for a redirect it cannot know
+ *    about); the divergence is caught and repaired by the processor.
+ */
+
+#ifndef SFETCH_FETCH_FETCH_ENGINE_HH
+#define SFETCH_FETCH_FETCH_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bpred/ras.hh"
+#include "cache/cache.hh"
+#include "isa/instruction.hh"
+#include "layout/code_image.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace sfetch
+{
+
+/**
+ * Per-branch recovery checkpoint: shadow RAS state (Section 3.2 of
+ * the paper) plus the speculative global direction history at
+ * prediction time, restored exactly on a misprediction.
+ */
+struct EngineCheckpoint
+{
+    ReturnAddressStack::Checkpoint ras;
+    std::uint64_t hist = 0;
+};
+
+/** One instruction produced by a fetch engine. */
+struct FetchedInst
+{
+    Addr pc = kNoAddr;
+    /**
+     * Recovery token for branches (0 for non-branches): identifies
+     * the checkpoint the engine must restore if this branch turns
+     * out mispredicted.
+     */
+    std::uint64_t token = 0;
+};
+
+/** Resolution information passed to redirect(). */
+struct ResolvedBranch
+{
+    Addr pc = kNoAddr;          //!< the mispredicted branch
+    BranchType type = BranchType::None;
+    bool taken = false;         //!< actual direction
+    Addr target = kNoAddr;      //!< actual successor PC
+    std::uint64_t token = 0;    //!< engine token of the branch
+};
+
+/** Commit-time information about a retired branch. */
+struct CommittedBranch
+{
+    Addr pc = kNoAddr;
+    BranchType type = BranchType::None;
+    bool taken = false;
+    Addr target = kNoAddr;      //!< actual successor PC
+};
+
+/** Common interface of all front ends. */
+class FetchEngine
+{
+  public:
+    virtual ~FetchEngine() = default;
+
+    /**
+     * Run one fetch cycle: append up to @p max_insts instructions to
+     * @p out. May produce fewer (or none) on i-cache misses,
+     * predictor stalls, or taken-branch cycle breaks.
+     */
+    virtual void fetchCycle(Cycle now, unsigned max_insts,
+                            std::vector<FetchedInst> &out) = 0;
+
+    /**
+     * A branch fetched earlier was mispredicted and has resolved:
+     * squash all younger state, repair histories, and resume at
+     * @c rb.target.
+     */
+    virtual void redirect(const ResolvedBranch &rb) = 0;
+
+    /** Train commit-side structures with a retired branch. */
+    virtual void trainCommit(const CommittedBranch &cb) = 0;
+
+    /** Reset to a pristine state fetching from @p start. */
+    virtual void reset(Addr start) = 0;
+
+    /** Display name. */
+    virtual std::string name() const = 0;
+
+    /** Engine-internal statistics. */
+    virtual StatSet stats() const { return StatSet{}; }
+};
+
+/**
+ * Fetch target queue entry: a request for a run of sequential
+ * instructions, updated in place as the i-cache drains it (the
+ * paper's "fetch request update mechanism", Fig. 6).
+ */
+struct FetchRequest
+{
+    Addr start = kNoAddr;
+    std::uint32_t lenInsts = 0;
+    std::uint64_t token = 0;
+    /**
+     * True when the request length is a real prediction; false for
+     * sequential fall-back requests (run until something redirects).
+     */
+    bool bounded = true;
+};
+
+/** Fixed-capacity FIFO of fetch requests. */
+class FetchTargetQueue
+{
+  public:
+    explicit FetchTargetQueue(std::size_t capacity = 4)
+        : capacity_(capacity)
+    {}
+
+    bool full() const { return queue_.size() >= capacity_; }
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    void
+    push(const FetchRequest &req)
+    {
+        queue_.push_back(req);
+    }
+
+    FetchRequest &front() { return queue_.front(); }
+
+    void pop() { queue_.erase(queue_.begin()); }
+
+    void clear() { queue_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::vector<FetchRequest> queue_;
+};
+
+/**
+ * Single-ported wide-line i-cache reader: models one line access per
+ * cycle with blocking misses.
+ */
+class ICacheReader
+{
+  public:
+    ICacheReader(MemoryHierarchy *mem, unsigned line_bytes)
+        : mem_(mem), lineBytes_(line_bytes)
+    {}
+
+    /**
+     * Attempt to read instructions starting at @p pc this cycle.
+     * @return the number of sequential instructions available from
+     * @p pc to the end of its cache line, or 0 while a miss is being
+     * serviced.
+     */
+    unsigned
+    available(Cycle now, Addr pc)
+    {
+        if (now < readyAt_)
+            return 0;
+        Cycle lat = mem_->accessInst(pc);
+        if (lat > mem_->config().l1Latency) {
+            // Miss: line arrives after the full latency.
+            readyAt_ = now + lat;
+            ++misses_;
+            return 0;
+        }
+        Addr line_end = (pc & ~Addr(lineBytes_ - 1)) + lineBytes_;
+        return static_cast<unsigned>((line_end - pc) / kInstBytes);
+    }
+
+    void
+    reset()
+    {
+        readyAt_ = 0;
+    }
+
+    std::uint64_t misses() const { return misses_; }
+    unsigned lineBytes() const { return lineBytes_; }
+
+  private:
+    MemoryHierarchy *mem_;
+    unsigned lineBytes_;
+    Cycle readyAt_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_FETCH_FETCH_ENGINE_HH

@@ -1,0 +1,342 @@
+#include "fetch/ftb.hh"
+
+#include <algorithm>
+
+#include <cassert>
+
+namespace sfetch
+{
+
+// ---- FtbTable ----
+
+FtbTable::FtbTable(std::size_t entries, unsigned assoc) : assoc_(assoc)
+{
+    assert(entries % assoc == 0);
+    numSets_ = entries / assoc;
+    assert(numSets_ && !(numSets_ & (numSets_ - 1)));
+    ways_.resize(entries);
+}
+
+std::size_t
+FtbTable::setIndex(Addr start) const
+{
+    return (start / kInstBytes) & (numSets_ - 1);
+}
+
+Addr
+FtbTable::tagOf(Addr start) const
+{
+    return (start / kInstBytes) / numSets_;
+}
+
+FtbHit
+FtbTable::lookup(Addr start)
+{
+    ++lookups_;
+    ++tick_;
+    const std::size_t base = setIndex(start) * assoc_;
+    const Addr tag = tagOf(start);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = tick_;
+            ++hits_;
+            return FtbHit{true, way.lenInsts, way.type, way.target};
+        }
+    }
+    return FtbHit{};
+}
+
+void
+FtbTable::update(Addr start, std::uint32_t len_insts, BranchType type,
+                 Addr target)
+{
+    ++tick_;
+    const std::size_t base = setIndex(start) * assoc_;
+    const Addr tag = tagOf(start);
+
+    std::size_t victim = base;
+    std::uint64_t oldest = UINT64_MAX;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.lenInsts = len_insts;
+            way.type = type;
+            way.target = target;
+            way.lastUse = tick_;
+            return;
+        }
+        std::uint64_t age = way.valid ? way.lastUse : 0;
+        if (!way.valid) {
+            victim = base + w;
+            oldest = 0;
+        } else if (age < oldest) {
+            oldest = age;
+            victim = base + w;
+        }
+    }
+
+    Way &way = ways_[victim];
+    way = Way{tag, len_insts, type, target, tick_, true};
+}
+
+// ---- FtbEngine ----
+
+FtbEngine::FtbEngine(const FtbConfig &cfg, const CodeImage &image,
+                     MemoryHierarchy *mem)
+    : cfg_(cfg), image_(&image), reader_(mem, cfg.lineBytes),
+      ftb_(cfg.ftbEntries, cfg.ftbAssoc), perceptron_(cfg.perceptron),
+      ras_(cfg.rasEntries), ftq_(cfg.ftqEntries),
+      predPc_(image.entryAddr()), commitBlockStart_(image.entryAddr())
+{}
+
+void
+FtbEngine::predictStep()
+{
+    if (ftq_.full() || !image_->contains(predPc_))
+        return;
+
+    std::uint64_t token = checkpoints_.put(
+        EngineCheckpoint{ras_.save(), specHist_.value()});
+    FtbHit hit = ftb_.lookup(predPc_);
+
+    FetchRequest req;
+    req.start = predPc_;
+    req.token = token;
+
+    if (!hit.hit) {
+        // FTB miss: request sequentially to the end of the line and
+        // continue; embedded branches are implicitly not-taken until
+        // the i-cache stage spots an unconditional transfer.
+        Addr line_end = (predPc_ & ~Addr(cfg_.lineBytes - 1)) +
+            cfg_.lineBytes;
+        req.lenInsts = static_cast<std::uint32_t>(
+            (line_end - predPc_) / kInstBytes);
+        req.bounded = false;
+        ftq_.push(req);
+        predPc_ = line_end;
+        ++seqRequests_;
+        return;
+    }
+
+    req.lenInsts = hit.lenInsts;
+    req.bounded = true;
+    Addr term_pc = predPc_ + instsToBytes(hit.lenInsts - 1);
+    Addr seq = predPc_ + instsToBytes(hit.lenInsts);
+    Addr next = seq;
+
+    switch (hit.type) {
+      case BranchType::CondDirect: {
+        bool dir = perceptron_.predict(term_pc, specHist_.value());
+        specHist_.push(dir);
+        if (dir)
+            next = hit.target;
+        break;
+      }
+      case BranchType::Jump:
+      case BranchType::IndirectJump:
+        next = hit.target;
+        break;
+      case BranchType::Call:
+        ras_.push(seq);
+        next = hit.target;
+        break;
+      case BranchType::Return: {
+        Addr t = ras_.pop();
+        next = (t != kNoAddr && image_->contains(t)) ? t : seq;
+        break;
+      }
+      default:
+        break;
+    }
+
+    ftq_.push(req);
+    predPc_ = next;
+    ++blocksPredicted_;
+    blockInstsPredicted_ += hit.lenInsts;
+}
+
+void
+FtbEngine::icacheStep(Cycle now, unsigned max_insts,
+                      std::vector<FetchedInst> &out)
+{
+    if (ftq_.empty())
+        return;
+    FetchRequest &req = ftq_.front();
+    if (!image_->contains(req.start)) {
+        // Wrong-path request ran off the image; drop it.
+        ftq_.pop();
+        return;
+    }
+
+    unsigned avail = reader_.available(now, req.start);
+    if (avail == 0)
+        return;
+
+    unsigned n = std::min(std::min(avail, max_insts), req.lenInsts);
+    Addr pc = req.start;
+    bool steered = false;
+
+    for (unsigned i = 0; i < n; ++i) {
+        if (!image_->contains(pc))
+            break;
+        const StaticInst &si = image_->inst(pc);
+        FetchedInst fi;
+        fi.pc = pc;
+        if (si.isBranch())
+            fi.token = req.token;
+        out.push_back(fi);
+        ++instsFetched_;
+        pc += kInstBytes;
+
+        if (!req.bounded && si.isBranch() &&
+            si.btype != BranchType::CondDirect) {
+            // Sequential (FTB-miss) fetch ran into an unconditional
+            // transfer: steer the front end using predecode info.
+            Addr seq = pc;
+            Addr next = seq;
+            switch (si.btype) {
+              case BranchType::Jump:
+              case BranchType::Call:
+                next = image_->takenTarget(fi.pc);
+                if (si.btype == BranchType::Call)
+                    ras_.push(seq);
+                break;
+              case BranchType::Return: {
+                Addr t = ras_.pop();
+                next = (t != kNoAddr && image_->contains(t)) ? t : seq;
+                break;
+              }
+              case BranchType::IndirectJump:
+                next = seq; // no predictor here: fall through
+                break;
+              default:
+                break;
+            }
+            ftq_.clear();
+            predPc_ = next;
+            steered = true;
+            break;
+        }
+    }
+
+    if (steered)
+        return;
+
+    std::uint32_t done = static_cast<std::uint32_t>(pc - req.start) /
+        kInstBytes;
+    req.start = pc;
+    req.lenInsts -= std::min(req.lenInsts, done);
+    if (req.lenInsts == 0)
+        ftq_.pop();
+}
+
+void
+FtbEngine::fetchCycle(Cycle now, unsigned max_insts,
+                      std::vector<FetchedInst> &out)
+{
+    // The two decoupled pipelines advance in the same cycle; the
+    // prediction stage runs ahead filling the FTQ.
+    predictStep();
+    icacheStep(now, max_insts, out);
+}
+
+void
+FtbEngine::redirect(const ResolvedBranch &rb)
+{
+    if (const auto *cp = checkpoints_.get(rb.token)) {
+        ras_.restore(cp->ras);
+        specHist_.set(cp->hist);
+    } else {
+        specHist_.copyFrom(commitHist_);
+    }
+    // A newly-taken embedded branch enters the ever-taken set at
+    // commit, so its outcome will be part of the committed history.
+    if (rb.type == BranchType::CondDirect &&
+        (everTaken_.count(rb.pc) || rb.taken)) {
+        specHist_.push(rb.taken);
+    }
+
+    if (rb.type == BranchType::Call)
+        ras_.push(rb.pc + kInstBytes);
+    else if (rb.type == BranchType::Return)
+        ras_.pop();
+
+    ftq_.clear();
+    predPc_ = rb.target;
+}
+
+void
+FtbEngine::trainCommit(const CommittedBranch &cb)
+{
+    bool terminates;
+    if (cb.taken) {
+        everTaken_.insert(cb.pc);
+        terminates = true;
+    } else {
+        terminates = everTaken_.count(cb.pc) != 0;
+    }
+
+    if (!terminates)
+        return; // never-taken branch stays embedded in its block
+
+    Addr block_end = cb.pc + kInstBytes;
+    std::uint32_t len = static_cast<std::uint32_t>(
+        (block_end - commitBlockStart_) / kInstBytes);
+
+    // Over-length runs are chained as maximum-size blocks whose
+    // "target" is simply the sequential continuation.
+    while (len > cfg_.maxBlockInsts) {
+        ftb_.update(commitBlockStart_, cfg_.maxBlockInsts,
+                    BranchType::None,
+                    commitBlockStart_ +
+                        instsToBytes(cfg_.maxBlockInsts));
+        commitBlockStart_ += instsToBytes(cfg_.maxBlockInsts);
+        len -= cfg_.maxBlockInsts;
+    }
+
+    if (len >= 1 && block_end > commitBlockStart_) {
+        Addr target = cb.taken ? cb.target
+                               : image_->takenTarget(cb.pc);
+        ftb_.update(commitBlockStart_, len, cb.type, target);
+    }
+
+    if (cb.type == BranchType::CondDirect) {
+        // Note: a branch taken for the first time joins the
+        // ever-taken set above, so it is trained from now on.
+        perceptron_.update(cb.pc, commitHist_.value(), cb.taken);
+        commitHist_.push(cb.taken);
+    }
+
+    commitBlockStart_ = cb.taken ? cb.target : cb.pc + kInstBytes;
+}
+
+void
+FtbEngine::reset(Addr start)
+{
+    predPc_ = start;
+    commitBlockStart_ = start;
+    ftq_.clear();
+    specHist_.clear();
+    commitHist_.clear();
+    everTaken_.clear();
+    reader_.reset();
+}
+
+StatSet
+FtbEngine::stats() const
+{
+    StatSet s;
+    s.set("ftb.lookups", double(ftb_.lookups()));
+    s.set("ftb.hits", double(ftb_.hits()));
+    s.set("ftb.blocks_predicted", double(blocksPredicted_));
+    s.set("ftb.avg_block_len", blocksPredicted_
+          ? double(blockInstsPredicted_) / double(blocksPredicted_)
+          : 0.0);
+    s.set("ftb.seq_requests", double(seqRequests_));
+    s.set("ftb.insts_fetched", double(instsFetched_));
+    s.set("ftb.icache_misses", double(reader_.misses()));
+    return s;
+}
+
+} // namespace sfetch

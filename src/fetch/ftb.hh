@@ -1,0 +1,134 @@
+/**
+ * @file
+ * FTB fetch architecture (Reinman, Austin, Calder, ISCA 1999): the
+ * paper's second baseline. A decoupled front end where the fetch
+ * target buffer stores variable-length fetch blocks (ending at
+ * ever-taken branches, embedding never-taken ones), predictions are
+ * queued in an FTQ, and the i-cache is driven from the FTQ with
+ * in-place request updates. Direction prediction is the Jimenez-Lin
+ * perceptron, per the paper's "FTB+perceptron" configuration.
+ */
+
+#ifndef SFETCH_FETCH_FTB_HH
+#define SFETCH_FETCH_FTB_HH
+
+#include <unordered_set>
+
+#include "bpred/history.hh"
+#include "bpred/perceptron.hh"
+#include "bpred/ras.hh"
+#include "fetch/fetch_engine.hh"
+#include "fetch/token_ring.hh"
+
+namespace sfetch
+{
+
+/** Result of a fetch target buffer lookup. */
+struct FtbHit
+{
+    bool hit = false;
+    std::uint32_t lenInsts = 0;
+    BranchType type = BranchType::None;
+    Addr target = kNoAddr;
+};
+
+/**
+ * The fetch target buffer proper: a tagged set-associative table of
+ * variable-length fetch blocks, indexed by block start address.
+ */
+class FtbTable
+{
+  public:
+    FtbTable(std::size_t entries, unsigned assoc);
+
+    FtbHit lookup(Addr start);
+    void update(Addr start, std::uint32_t len_insts, BranchType type,
+                Addr target);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = kNoAddr;
+        std::uint32_t lenInsts = 0;
+        BranchType type = BranchType::None;
+        Addr target = kNoAddr;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::size_t setIndex(Addr start) const;
+    Addr tagOf(Addr start) const;
+
+    std::size_t numSets_;
+    unsigned assoc_;
+    std::vector<Way> ways_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+/** Configuration of the FTB front end. */
+struct FtbConfig
+{
+    std::size_t ftbEntries = 2048; //!< paper: 2048-entry, 4-way
+    unsigned ftbAssoc = 4;
+    PerceptronConfig perceptron;
+    std::size_t rasEntries = 8;
+    std::size_t ftqEntries = 4;    //!< paper: 4-entry FTQ
+    unsigned lineBytes = 128;
+    std::uint32_t maxBlockInsts = 64;
+};
+
+/** The FTB+perceptron fetch engine. */
+class FtbEngine : public FetchEngine
+{
+  public:
+    FtbEngine(const FtbConfig &cfg, const CodeImage &image,
+              MemoryHierarchy *mem);
+
+    void fetchCycle(Cycle now, unsigned max_insts,
+                    std::vector<FetchedInst> &out) override;
+    void redirect(const ResolvedBranch &rb) override;
+    void trainCommit(const CommittedBranch &cb) override;
+    void reset(Addr start) override;
+    std::string name() const override { return "FTB+perceptron"; }
+    StatSet stats() const override;
+
+  private:
+    /** Prediction pipeline: generate one fetch request per cycle. */
+    void predictStep();
+
+    /** I-cache pipeline: drain the FTQ head. */
+    void icacheStep(Cycle now, unsigned max_insts,
+                    std::vector<FetchedInst> &out);
+
+    FtbConfig cfg_;
+    const CodeImage *image_;
+    ICacheReader reader_;
+    FtbTable ftb_;
+    PerceptronPredictor perceptron_;
+    ReturnAddressStack ras_;
+    GlobalHistory specHist_;
+    GlobalHistory commitHist_;
+    FetchTargetQueue ftq_;
+    TokenRing<EngineCheckpoint> checkpoints_;
+
+    Addr predPc_ = kNoAddr;
+
+    /** Branches that have been taken at least once (block enders). */
+    std::unordered_set<Addr> everTaken_;
+    Addr commitBlockStart_ = kNoAddr;
+
+    // stats
+    std::uint64_t blocksPredicted_ = 0;
+    std::uint64_t blockInstsPredicted_ = 0;
+    std::uint64_t seqRequests_ = 0;
+    std::uint64_t instsFetched_ = 0;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_FETCH_FTB_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Bounded token-indexed checkpoint storage. Fetch engines assign a
+ * monotonically increasing token to every in-flight branch and store
+ * a recovery checkpoint under it; the in-flight window is far smaller
+ * than the ring, so collisions cannot occur for live branches.
+ */
+
+#ifndef SFETCH_FETCH_TOKEN_RING_HH
+#define SFETCH_FETCH_TOKEN_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sfetch
+{
+
+/** Ring buffer mapping tokens to checkpoints of type T. */
+template <typename T>
+class TokenRing
+{
+  public:
+    explicit TokenRing(std::size_t capacity = 4096)
+        : slots_(capacity)
+    {}
+
+    /** Allocate the next token and store @p value under it. */
+    std::uint64_t
+    put(const T &value)
+    {
+        std::uint64_t token = next_++;
+        Slot &s = slots_[token % slots_.size()];
+        s.token = token;
+        s.value = value;
+        return token;
+    }
+
+    /** Retrieve the checkpoint for @p token; null if overwritten. */
+    const T *
+    get(std::uint64_t token) const
+    {
+        const Slot &s = slots_[token % slots_.size()];
+        return (s.token == token) ? &s.value : nullptr;
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t token = UINT64_MAX;
+        T value{};
+    };
+
+    std::vector<Slot> slots_;
+    std::uint64_t next_ = 1; // token 0 means "no token"
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_FETCH_TOKEN_RING_HH

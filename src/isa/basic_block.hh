@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Static basic block: the unit of the program dictionary that the
+ * trace-driven simulator walks for both correct-path and wrong-path
+ * fetch.
+ */
+
+#ifndef SFETCH_ISA_BASIC_BLOCK_HH
+#define SFETCH_ISA_BASIC_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "util/types.hh"
+
+namespace sfetch
+{
+
+/**
+ * A static basic block. Successor semantics by terminator type:
+ *
+ *  - None:         control always continues at @c fallthrough.
+ *  - CondDirect:   control goes to @c target when the branch is
+ *                  semantically "on-path-A" and @c fallthrough
+ *                  otherwise. Which successor is the memory
+ *                  fall-through is a *layout* decision (the optimizer
+ *                  may re-polarize the branch); the CFG stores only
+ *                  the two successors.
+ *  - Jump:         control always goes to @c target.
+ *  - Call:         control goes to @c target (the callee entry);
+ *                  @c fallthrough records the return continuation
+ *                  executed after the callee returns.
+ *  - Return:       successor is dynamic (the call stack).
+ *  - IndirectJump: successor is one of @c indirectTargets.
+ */
+struct BasicBlock
+{
+    BlockId id = kNoBlock;
+
+    /** Number of instructions including the terminating branch. */
+    std::uint32_t numInsts = 1;
+
+    BranchType branchType = BranchType::None;
+
+    /** Taken successor / jump target / callee entry. */
+    BlockId target = kNoBlock;
+
+    /** Not-taken successor / return continuation / sequential next. */
+    BlockId fallthrough = kNoBlock;
+
+    /** Possible targets of an indirect jump. */
+    std::vector<BlockId> indirectTargets;
+
+    /** Per-instruction classes; insts.size() == numInsts. */
+    std::vector<InstClass> insts;
+
+    /** Byte size of the block. */
+    Addr sizeBytes() const { return instsToBytes(numInsts); }
+
+    /** True if the terminating instruction is a control transfer. */
+    bool hasBranch() const { return isControl(branchType); }
+
+    /**
+     * True if this block must be followed in memory by a specific
+     * successor (fallthrough blocks and conditional branches need a
+     * sequential successor; jumps/returns/indirects do not).
+     */
+    bool
+    needsSequentialSuccessor() const
+    {
+        return branchType == BranchType::None ||
+               branchType == BranchType::CondDirect ||
+               branchType == BranchType::Call;
+    }
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_ISA_BASIC_BLOCK_HH

@@ -1,0 +1,35 @@
+#include "isa/instruction.hh"
+
+namespace sfetch
+{
+
+std::string
+toString(InstClass c)
+{
+    switch (c) {
+      case InstClass::IntAlu: return "IntAlu";
+      case InstClass::IntMul: return "IntMul";
+      case InstClass::Load: return "Load";
+      case InstClass::Store: return "Store";
+      case InstClass::FpAlu: return "FpAlu";
+      case InstClass::Branch: return "Branch";
+      case InstClass::Nop: return "Nop";
+    }
+    return "?";
+}
+
+std::string
+toString(BranchType t)
+{
+    switch (t) {
+      case BranchType::None: return "None";
+      case BranchType::CondDirect: return "CondDirect";
+      case BranchType::Jump: return "Jump";
+      case BranchType::Call: return "Call";
+      case BranchType::Return: return "Return";
+      case BranchType::IndirectJump: return "IndirectJump";
+    }
+    return "?";
+}
+
+} // namespace sfetch

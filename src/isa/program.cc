@@ -1,0 +1,80 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+namespace sfetch
+{
+
+Program::Program(std::string name, std::vector<BasicBlock> blocks,
+                 BlockId entry)
+    : name_(std::move(name)), blocks_(std::move(blocks)), entry_(entry)
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        blocks_[i].id = static_cast<BlockId>(i);
+        static_insts_ += blocks_[i].numInsts;
+    }
+}
+
+std::string
+Program::validate() const
+{
+    std::ostringstream err;
+    auto fail = [&](BlockId id, const std::string &what) {
+        err << name_ << ": block " << id << ": " << what;
+        return err.str();
+    };
+
+    if (blocks_.empty())
+        return name_ + ": program has no blocks";
+    if (entry_ >= blocks_.size())
+        return name_ + ": entry block out of range";
+
+    auto in_range = [&](BlockId id) { return id < blocks_.size(); };
+
+    for (const auto &b : blocks_) {
+        if (b.numInsts == 0)
+            return fail(b.id, "empty block");
+        if (b.insts.size() != b.numInsts)
+            return fail(b.id, "insts vector size mismatch");
+        if (b.hasBranch() && b.insts.back() != InstClass::Branch)
+            return fail(b.id, "terminator is not a Branch instruction");
+        if (!b.hasBranch()) {
+            for (auto c : b.insts) {
+                if (c == InstClass::Branch)
+                    return fail(b.id, "branch inside fallthrough block");
+            }
+        }
+
+        switch (b.branchType) {
+          case BranchType::None:
+            if (!in_range(b.fallthrough))
+                return fail(b.id, "fallthrough successor out of range");
+            break;
+          case BranchType::CondDirect:
+            if (!in_range(b.target) || !in_range(b.fallthrough))
+                return fail(b.id, "conditional successor out of range");
+            break;
+          case BranchType::Jump:
+            if (!in_range(b.target))
+                return fail(b.id, "jump target out of range");
+            break;
+          case BranchType::Call:
+            if (!in_range(b.target) || !in_range(b.fallthrough))
+                return fail(b.id, "call target/continuation out of range");
+            break;
+          case BranchType::Return:
+            break;
+          case BranchType::IndirectJump:
+            if (b.indirectTargets.empty())
+                return fail(b.id, "indirect jump with no targets");
+            for (BlockId t : b.indirectTargets) {
+                if (!in_range(t))
+                    return fail(b.id, "indirect target out of range");
+            }
+            break;
+        }
+    }
+    return "";
+}
+
+} // namespace sfetch

@@ -1,0 +1,243 @@
+#include "layout/layout_opt.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "layout/code_image.hh"
+
+namespace sfetch
+{
+
+namespace
+{
+
+struct WeightedEdge
+{
+    BlockId from;
+    BlockId to;
+    std::uint64_t weight;
+};
+
+/** Union-find-ish chain bookkeeping. */
+struct Chains
+{
+    explicit Chains(std::size_t n)
+        : head(n), tail(n), next(n, kNoBlock), chain_of(n),
+          weight(n, 0)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            head[i] = tail[i] = static_cast<BlockId>(i);
+            chain_of[i] = static_cast<BlockId>(i);
+        }
+    }
+
+    // Chain c is identified by its head block id at creation time;
+    // chain_of maps a block to its current chain id.
+    std::vector<BlockId> head;     //!< chain id -> first block
+    std::vector<BlockId> tail;     //!< chain id -> last block
+    std::vector<BlockId> next;     //!< block -> following block
+    std::vector<BlockId> chain_of; //!< block -> chain id
+    std::vector<std::uint64_t> weight; //!< chain id -> total weight
+
+    bool
+    tryMerge(BlockId from, BlockId to, std::uint64_t w)
+    {
+        BlockId cf = chain_of[from];
+        BlockId ct = chain_of[to];
+        if (cf == ct)
+            return false;
+        if (tail[cf] != from || head[ct] != to)
+            return false;
+        // Append chain ct after cf.
+        next[from] = to;
+        tail[cf] = tail[ct];
+        weight[cf] += weight[ct] + w;
+        // Relabel blocks of ct.
+        for (BlockId b = to; b != kNoBlock; b = next[b])
+            chain_of[b] = cf;
+        return true;
+    }
+};
+
+} // namespace
+
+std::vector<BlockId>
+optimizedOrder(const Program &prog, const EdgeProfile &profile,
+               const LayoutOptConfig &cfg)
+{
+    const std::size_t n = prog.numBlocks();
+
+    // 1. Enumerate layoutable edges with profiled weights.
+    std::vector<WeightedEdge> edges;
+    for (BlockId id = 0; id < n; ++id) {
+        const BasicBlock &b = prog.block(id);
+        auto add = [&](BlockId to, std::uint64_t w) {
+            if (to != kNoBlock && to != id && w >= cfg.minEdgeCount)
+                edges.push_back(WeightedEdge{id, to, w});
+        };
+        switch (b.branchType) {
+          case BranchType::None:
+            add(b.fallthrough, profile.edgeCount(id, b.fallthrough));
+            break;
+          case BranchType::CondDirect:
+            add(b.target, profile.edgeCount(id, b.target));
+            add(b.fallthrough, profile.edgeCount(id, b.fallthrough));
+            break;
+          case BranchType::Call:
+            // Continuation must follow the call; weight it like the
+            // call itself so the pair stays glued.
+            add(b.fallthrough, profile.blockCount(id) + 1);
+            break;
+          case BranchType::Jump:
+            // Pure locality benefit (the jump still executes).
+            add(b.target, profile.edgeCount(id, b.target) / 2);
+            break;
+          default:
+            break; // returns and indirects: no layoutable successor
+        }
+    }
+
+    // 2. Greedy chain merging, hottest edge first. Stable tie-break
+    // on (from, to) keeps the result deterministic.
+    std::sort(edges.begin(), edges.end(),
+              [](const WeightedEdge &a, const WeightedEdge &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  return a.to < b.to;
+              });
+
+    Chains chains(n);
+    for (const auto &e : edges)
+        chains.tryMerge(e.from, e.to, e.weight);
+
+    // 3. Emit chains: hot chains first (by total weight, then by
+    // entry-block order for determinism); unexecuted blocks last.
+    std::vector<BlockId> chain_ids;
+    for (BlockId id = 0; id < n; ++id)
+        if (chains.chain_of[id] == id)
+            chain_ids.push_back(id);
+
+    std::sort(chain_ids.begin(), chain_ids.end(),
+              [&](BlockId a, BlockId b) {
+                  // Entry block's chain always first.
+                  BlockId entry_chain = chains.chain_of[prog.entry()];
+                  if ((a == entry_chain) != (b == entry_chain))
+                      return a == entry_chain;
+                  std::uint64_t wa = chains.weight[a];
+                  std::uint64_t wb = chains.weight[b];
+                  std::uint64_t ba = profile.blockCount(chains.head[a]);
+                  std::uint64_t bb = profile.blockCount(chains.head[b]);
+                  if ((wa + ba) != (wb + bb))
+                      return (wa + ba) > (wb + bb);
+                  return a < b;
+              });
+
+    std::vector<BlockId> order;
+    order.reserve(n);
+    for (BlockId c : chain_ids)
+        for (BlockId b = chains.head[c]; b != kNoBlock;
+             b = chains.next[b])
+            order.push_back(b);
+
+    assert(order.size() == n);
+    return order;
+}
+
+std::vector<BlockId>
+stcOrder(const Program &prog, const EdgeProfile &profile)
+{
+    const std::size_t n = prog.numBlocks();
+    std::vector<bool> placed(n, false);
+    std::vector<BlockId> order;
+    order.reserve(n);
+
+    // Blocks by execution count, hottest first (stable order).
+    std::vector<BlockId> seeds(n);
+    for (std::size_t i = 0; i < n; ++i)
+        seeds[i] = static_cast<BlockId>(i);
+    std::sort(seeds.begin(), seeds.end(),
+              [&](BlockId a, BlockId b) {
+                  std::uint64_t ca = profile.blockCount(a);
+                  std::uint64_t cb = profile.blockCount(b);
+                  if (ca != cb)
+                      return ca > cb;
+                  return a < b;
+              });
+
+    auto place_chain = [&](BlockId seed) {
+        BlockId cur = seed;
+        while (cur != kNoBlock && !placed[cur]) {
+            placed[cur] = true;
+            order.push_back(cur);
+            const BasicBlock &b = prog.block(cur);
+            // Follow the hottest *layoutable* successor.
+            BlockId next = kNoBlock;
+            std::uint64_t best = 0;
+            auto consider = [&](BlockId cand) {
+                if (cand == kNoBlock || placed[cand])
+                    return;
+                std::uint64_t w = profile.edgeCount(cur, cand);
+                if (w > best) {
+                    best = w;
+                    next = cand;
+                }
+            };
+            switch (b.branchType) {
+              case BranchType::None:
+                consider(b.fallthrough);
+                break;
+              case BranchType::CondDirect:
+                consider(b.target);
+                consider(b.fallthrough);
+                break;
+              case BranchType::Call:
+                // Continuation must be sequential anyway.
+                next = (!placed[b.fallthrough]) ? b.fallthrough
+                                                : kNoBlock;
+                break;
+              case BranchType::Jump:
+                consider(b.target);
+                break;
+              default:
+                break; // returns/indirects end the chain
+            }
+            cur = next;
+        }
+    };
+
+    // The entry block seeds the first chain, then hotness order.
+    place_chain(prog.entry());
+    for (BlockId s : seeds)
+        if (!placed[s])
+            place_chain(s);
+
+    assert(order.size() == n);
+    return order;
+}
+
+LayoutQuality
+evaluateLayout(const Program &prog, const EdgeProfile &profile,
+               const CodeImage &image)
+{
+    LayoutQuality q;
+    for (BlockId id = 0; id < prog.numBlocks(); ++id) {
+        const BasicBlock &b = prog.block(id);
+        if (b.branchType != BranchType::CondDirect)
+            continue;
+        std::uint64_t to_target = profile.edgeCount(id, b.target);
+        std::uint64_t to_fall = profile.edgeCount(id, b.fallthrough);
+        if (image.normalPolarity(id)) {
+            q.takenEdges += to_target;
+            q.notTakenEdges += to_fall;
+        } else {
+            q.takenEdges += to_fall;
+            q.notTakenEdges += to_target;
+        }
+    }
+    return q;
+}
+
+} // namespace sfetch

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Profile-guided code layout optimization: the reproduction's stand-
+ * in for Compaq spike. A greedy Pettis–Hansen-style chain algorithm
+ * aligns every hot control flow edge onto the fall-through path and
+ * packs hot chains together, which is precisely the property the
+ * stream fetch architecture exploits (long runs of sequential
+ * instructions; branches biased towards not-taken).
+ */
+
+#ifndef SFETCH_LAYOUT_LAYOUT_OPT_HH
+#define SFETCH_LAYOUT_LAYOUT_OPT_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+#include "workload/profile.hh"
+
+namespace sfetch
+{
+
+/** Knobs of the chain layout algorithm. */
+struct LayoutOptConfig
+{
+    /**
+     * Edges executed fewer times than this are ignored during chain
+     * formation (their blocks end up in the cold section).
+     */
+    std::uint64_t minEdgeCount = 1;
+};
+
+/**
+ * Compute an optimized block order from an edge profile.
+ *
+ * Algorithm:
+ *  1. enumerate every *layoutable* CFG edge (an edge that placement
+ *     could turn into a fall-through: either direction of a
+ *     conditional, the successor of a fallthrough block, a call's
+ *     return continuation, and unconditional jump targets for pure
+ *     locality) weighted by profiled traversal count;
+ *  2. greedily merge blocks into chains, hottest edge first, when the
+ *     source is a chain tail and the destination a chain head;
+ *  3. emit chains hottest-first; never-executed blocks last.
+ *
+ * The returned order contains every block exactly once and can be
+ * fed straight to CodeImage.
+ */
+std::vector<BlockId> optimizedOrder(const Program &prog,
+                                    const EdgeProfile &profile,
+                                    const LayoutOptConfig &cfg = {});
+
+/**
+ * Alternative layout: Software Trace Cache style seed-and-grow
+ * (Ramirez et al., ICS 1999). Repeatedly pick the hottest unplaced
+ * block as a seed and grow a chain by following the hottest unplaced
+ * successor, so whole hot paths — across function boundaries — become
+ * sequential. Compared to the Pettis-Hansen edge-driven merge, chains
+ * follow execution paths rather than the globally heaviest edges.
+ */
+std::vector<BlockId> stcOrder(const Program &prog,
+                              const EdgeProfile &profile);
+
+/** Aggregate taken/not-taken statistics of a layout under a profile. */
+struct LayoutQuality
+{
+    std::uint64_t takenEdges = 0;     //!< dynamic taken transitions
+    std::uint64_t notTakenEdges = 0;  //!< dynamic fall-through ones
+    double
+    takenFraction() const
+    {
+        std::uint64_t total = takenEdges + notTakenEdges;
+        return total ? double(takenEdges) / double(total) : 0.0;
+    }
+};
+
+/**
+ * Evaluate how a placement polarizes the profiled conditional edges
+ * (lower taken fraction = more stream-friendly). Considers only
+ * conditional branches; unconditional transfers are always taken.
+ */
+LayoutQuality evaluateLayout(const Program &prog,
+                             const EdgeProfile &profile,
+                             const class CodeImage &image);
+
+} // namespace sfetch
+
+#endif // SFETCH_LAYOUT_LAYOUT_OPT_HH

@@ -1,0 +1,129 @@
+#include "layout/oracle.hh"
+
+#include <cassert>
+
+namespace sfetch
+{
+
+OracleStream::OracleStream(const CodeImage &image,
+                           const WorkloadModel &model,
+                           std::uint64_t seed)
+    : image_(&image), gen_(image.program(), model, seed)
+{}
+
+OracleInst
+OracleStream::next()
+{
+    if (queue_.empty())
+        refill();
+    OracleInst oi = queue_.front();
+    queue_.pop_front();
+    ++count_;
+    return oi;
+}
+
+const OracleInst &
+OracleStream::peek()
+{
+    if (queue_.empty())
+        refill();
+    return queue_.front();
+}
+
+void
+OracleStream::walkStubs(Addr from, Addr stop)
+{
+    Addr pc = from;
+    while (pc != stop) {
+        [[maybe_unused]] const StaticInst &si = image_->inst(pc);
+        assert(si.isStub() && "non-stub on a sequential gap");
+        OracleInst oi;
+        oi.pc = pc;
+        oi.cls = InstClass::Branch;
+        oi.btype = BranchType::Jump;
+        oi.taken = true;
+        oi.nextPc = image_->takenTarget(pc);
+        oi.block = kNoBlock;
+        queue_.push_back(oi);
+        pc = oi.nextPc;
+    }
+}
+
+void
+OracleStream::refill()
+{
+    const Program &prog = image_->program();
+    ControlRecord rec = gen_.next();
+    const BasicBlock &b = prog.block(rec.block);
+    const Addr block_start = image_->blockAddr(rec.block);
+    const Addr succ_addr = image_->blockAddr(rec.next);
+
+    for (std::uint32_t k = 0; k < b.numInsts; ++k) {
+        OracleInst oi;
+        oi.pc = block_start + instsToBytes(k);
+        oi.cls = b.insts[k];
+        oi.block = b.id;
+        oi.nextPc = oi.pc + kInstBytes;
+        queue_.push_back(oi);
+    }
+
+    OracleInst &term = queue_.back();
+    const Addr seq = image_->seqAfter(b.id);
+
+    switch (b.branchType) {
+      case BranchType::None:
+        // Not a branch; sequential flow, possibly via a stub.
+        term.nextPc = seq;
+        walkStubs(seq, succ_addr);
+        break;
+      case BranchType::CondDirect: {
+        term.btype = BranchType::CondDirect;
+        BlockId taken_succ = image_->normalPolarity(b.id)
+            ? b.target : b.fallthrough;
+        // Degenerate diamonds (both successors identical) resolve as
+        // taken so the branch still transfers control.
+        term.taken = (rec.next == taken_succ);
+        if (term.taken) {
+            term.nextPc = image_->takenTarget(term.pc);
+            assert(term.nextPc == succ_addr);
+        } else {
+            term.nextPc = seq;
+            walkStubs(seq, succ_addr);
+        }
+        break;
+      }
+      case BranchType::Jump:
+        term.btype = BranchType::Jump;
+        term.taken = true;
+        term.nextPc = succ_addr;
+        break;
+      case BranchType::Call:
+        term.btype = BranchType::Call;
+        term.taken = true;
+        term.nextPc = succ_addr;
+        if (ret_stack_.size() < TraceGenerator::kMaxCallDepth)
+            ret_stack_.push_back(seq);
+        break;
+      case BranchType::Return: {
+        term.btype = BranchType::Return;
+        term.taken = true;
+        if (ret_stack_.empty()) {
+            // Outer activation finished: restart at the entry.
+            term.nextPc = succ_addr;
+        } else {
+            Addr ret = ret_stack_.back();
+            ret_stack_.pop_back();
+            term.nextPc = ret;
+            walkStubs(ret, succ_addr);
+        }
+        break;
+      }
+      case BranchType::IndirectJump:
+        term.btype = BranchType::IndirectJump;
+        term.taken = true;
+        term.nextPc = succ_addr;
+        break;
+    }
+}
+
+} // namespace sfetch

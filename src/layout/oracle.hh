@@ -1,0 +1,68 @@
+/**
+ * @file
+ * OracleStream: expands the committed control-flow path produced by
+ * TraceGenerator into an instruction-level stream over a concrete
+ * CodeImage (addresses, taken/not-taken directions after layout
+ * polarization, stub jumps, return addresses). This is the
+ * architectural path the processor model retires; the fetch engines
+ * race ahead of it speculatively.
+ */
+
+#ifndef SFETCH_LAYOUT_ORACLE_HH
+#define SFETCH_LAYOUT_ORACLE_HH
+
+#include <deque>
+
+#include "layout/code_image.hh"
+#include "workload/trace_gen.hh"
+
+namespace sfetch
+{
+
+/** One committed-path instruction. */
+struct OracleInst
+{
+    Addr pc = kNoAddr;
+    InstClass cls = InstClass::IntAlu;
+    BranchType btype = BranchType::None;
+    bool taken = false;  //!< meaningful when btype != None
+    Addr nextPc = kNoAddr; //!< committed successor instruction
+    BlockId block = kNoBlock; //!< kNoBlock for layout stub jumps
+
+    bool isBranch() const { return btype != BranchType::None; }
+};
+
+/**
+ * Infinite committed instruction stream. Deterministic given
+ * (image, model, seed); two OracleStreams with the same arguments
+ * produce identical sequences, which the simulator relies on when
+ * comparing fetch architectures.
+ */
+class OracleStream
+{
+  public:
+    OracleStream(const CodeImage &image, const WorkloadModel &model,
+                 std::uint64_t seed);
+
+    /** Next committed instruction. */
+    OracleInst next();
+
+    /** Peek without consuming. */
+    const OracleInst &peek();
+
+    std::uint64_t instCount() const { return count_; }
+
+  private:
+    void refill();
+    void walkStubs(Addr from, Addr stop);
+
+    const CodeImage *image_;
+    TraceGenerator gen_;
+    std::deque<OracleInst> queue_;
+    std::vector<Addr> ret_stack_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_LAYOUT_ORACLE_HH

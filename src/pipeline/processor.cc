@@ -1,0 +1,270 @@
+#include "pipeline/processor.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sfetch
+{
+
+Processor::Processor(const ProcessorConfig &cfg, FetchEngine *engine,
+                     const CodeImage &image, const WorkloadModel &model,
+                     MemoryHierarchy *mem, std::uint64_t seed)
+    : cfg_(cfg), engine_(engine), image_(&image), mem_(mem),
+      oracle_(image, model, seed),
+      dstream_(model.data(), seed ^ 0xda7aULL),
+      expectedPc_(image.entryAddr())
+{}
+
+Cycle
+Processor::execLatency(const OracleInst &rec)
+{
+    switch (rec.cls) {
+      case InstClass::Load:
+        return mem_->accessData(dstream_.next());
+      case InstClass::Store:
+        dstream_.next(); // stores allocate but retire immediately
+        return cfg_.latStore;
+      case InstClass::IntMul:
+        return cfg_.latMul;
+      case InstClass::FpAlu:
+        return cfg_.latFp;
+      case InstClass::Branch:
+        // Branches retire one cycle after they resolve.
+        return cfg_.branchResolveLat + 1;
+      default:
+        return cfg_.latAlu;
+    }
+}
+
+void
+Processor::commitStep(SimStats &st)
+{
+    unsigned n = 0;
+    while (!rob_.empty() && n < cfg_.width &&
+           rob_.front().completeAt <= now_) {
+        RobEntry e = rob_.front();
+        rob_.pop_front();
+        ++n;
+        lastCommittedSeq_ = e.seqNo;
+        ++totalCommitted_;
+
+        if (measuring_)
+            ++st.committedInsts;
+
+        if (e.rec.isBranch()) {
+            branchDispatchAt_.erase(e.seqNo);
+            CommittedBranch cb;
+            cb.pc = e.rec.pc;
+            cb.type = e.rec.btype;
+            cb.taken = e.rec.taken;
+            cb.target = e.rec.nextPc;
+            engine_->trainCommit(cb);
+            if (measuring_) {
+                ++st.committedBranches;
+                if (cb.type == BranchType::CondDirect)
+                    ++st.committedCondBranches;
+            }
+        }
+    }
+}
+
+void
+Processor::dispatchStep(SimStats &)
+{
+    unsigned n = 0;
+    while (!buffer_.empty() && n < cfg_.width &&
+           rob_.size() < cfg_.robSize) {
+        BufEntry e = buffer_.front();
+        buffer_.pop_front();
+        ++n;
+
+        RobEntry re;
+        re.seqNo = e.seqNo;
+        re.rec = e.rec;
+        re.completeAt = now_ + execLatency(e.rec);
+        rob_.push_back(re);
+
+        if (e.rec.isBranch()) {
+            branchDispatchAt_[e.seqNo] = now_;
+            if (diverged_ && !redirectTimeKnown_ &&
+                e.seqNo == faultingSeq_) {
+                redirectAt_ = now_ + cfg_.branchResolveLat;
+                redirectTimeKnown_ = true;
+                redirectPending_ = true;
+            }
+        }
+    }
+}
+
+void
+Processor::redirectStep()
+{
+    if (!redirectPending_ || !redirectTimeKnown_ || now_ < redirectAt_)
+        return;
+
+    engine_->redirect(faulting_);
+    diverged_ = false;
+    redirectPending_ = false;
+    redirectTimeKnown_ = false;
+    expectedPc_ = faulting_.target;
+    // The faulting branch remains the newest correct-path fetch.
+}
+
+void
+Processor::fetchStep(SimStats &st)
+{
+    if (diverged_ && redirectTimeKnown_) {
+        // Wrong path with a scheduled redirect: the front end keeps
+        // running (i-cache pollution / prefetch), but its output is
+        // discarded without entering the pipeline.
+        std::vector<FetchedInst> wrong;
+        engine_->fetchCycle(now_, cfg_.width, wrong);
+        if (measuring_) {
+            if (!wrong.empty())
+                ++st.fetchCyclesAttempted; // delivered, 0 useful
+            st.fetchedWrong += wrong.size();
+        }
+        return;
+    }
+
+    std::size_t space = cfg_.fetchBufferInsts > buffer_.size()
+        ? cfg_.fetchBufferInsts - buffer_.size() : 0;
+    if (space == 0)
+        return;
+
+    unsigned ask = static_cast<unsigned>(
+        std::min<std::size_t>(space, cfg_.width));
+    const bool full_opportunity = (ask == cfg_.width);
+    std::vector<FetchedInst> out;
+    engine_->fetchCycle(now_, ask, out);
+    // The paper's fetch IPC counts instructions per *delivering*
+    // full-width access; pure stall cycles (i-cache misses, FTQ
+    // refill) are not fetch accesses.
+    if (measuring_ && full_opportunity && !out.empty())
+        ++st.fetchCyclesAttempted;
+
+    for (const FetchedInst &fi : out) {
+        if (!diverged_ && fi.pc == expectedPc_) {
+            OracleInst rec = oracle_.next();
+            assert(rec.pc == fi.pc);
+            BufEntry be;
+            be.pc = fi.pc;
+            be.token = fi.token;
+            be.seqNo = nextSeq_++;
+            be.rec = rec;
+            buffer_.push_back(be);
+            expectedPc_ = rec.nextPc;
+            prev_ = be;
+            havePrev_ = true;
+            if (measuring_) {
+                ++st.fetchedCorrect;
+                if (full_opportunity)
+                    ++st.fetchOppInsts;
+            }
+            continue;
+        }
+
+        // Wrong path instruction.
+        if (!diverged_)
+            declareDivergence(st);
+        if (measuring_)
+            ++st.fetchedWrong;
+    }
+
+    // Watchdog: an engine that followed a garbage target (bad RAS
+    // value, stale indirect) can run out of the image and go silent
+    // without ever emitting a divergent instruction. Any legitimate
+    // stall (full L2+memory miss) is far shorter than this bound, so
+    // prolonged silence means the last fetched branch went astray.
+    if (!diverged_ && out.empty()) {
+        if (++silentFetchCycles_ > kSilenceBound)
+            declareDivergence(st);
+    } else {
+        silentFetchCycles_ = 0;
+    }
+}
+
+void
+Processor::declareDivergence(SimStats &st)
+{
+    if (!havePrev_ || !prev_.rec.isBranch()) {
+        throw std::runtime_error(
+            "fetch engine protocol violation: divergence without a "
+            "preceding branch");
+    }
+    diverged_ = true;
+    faulting_.pc = prev_.rec.pc;
+    faulting_.type = prev_.rec.btype;
+    faulting_.taken = prev_.rec.taken;
+    faulting_.target = prev_.rec.nextPc;
+    faulting_.token = prev_.token;
+    faultingSeq_ = prev_.seqNo;
+    silentFetchCycles_ = 0;
+
+    if (measuring_) {
+        ++st.mispredicts;
+        if (faulting_.type == BranchType::CondDirect)
+            ++st.condMispredicts;
+        st.mispredictsByType[static_cast<unsigned>(faulting_.type)]++;
+    }
+
+    auto it = branchDispatchAt_.find(faultingSeq_);
+    if (it != branchDispatchAt_.end()) {
+        redirectAt_ = it->second + cfg_.branchResolveLat;
+        if (redirectAt_ <= now_)
+            redirectAt_ = now_ + 1;
+        redirectTimeKnown_ = true;
+        redirectPending_ = true;
+    } else if (faultingSeq_ <= lastCommittedSeq_) {
+        // Resolved long ago (fetch was stalled meanwhile).
+        redirectAt_ = now_ + 1;
+        redirectTimeKnown_ = true;
+        redirectPending_ = true;
+    }
+    // else: the redirect is scheduled when the branch dispatches.
+}
+
+SimStats
+Processor::run(InstCount insts, InstCount warmup_insts)
+{
+    SimStats st;
+
+    auto loop = [&](InstCount until_total) {
+        Cycle last_progress = now_;
+        InstCount last = totalCommitted_;
+        while (totalCommitted_ < until_total) {
+            commitStep(st);
+            dispatchStep(st);
+            redirectStep();
+            fetchStep(st);
+            ++now_;
+            if (measuring_)
+                ++st.cycles;
+
+            if (totalCommitted_ != last) {
+                last = totalCommitted_;
+                last_progress = now_;
+            }
+            if (now_ - last_progress > cfg_.deadlockCycles) {
+                throw std::runtime_error(
+                    "processor deadlock: no commit progress");
+            }
+        }
+    };
+
+    if (warmup_insts > 0) {
+        measuring_ = false;
+        loop(totalCommitted_ + warmup_insts);
+        mem_->resetStats();
+    }
+
+    measuring_ = true;
+    loop(totalCommitted_ + insts);
+
+    st.engine = engine_->stats();
+    st.l1iMissRate = mem_->l1i().missRate();
+    st.l1dMissRate = mem_->l1d().missRate();
+    return st;
+}
+
+} // namespace sfetch

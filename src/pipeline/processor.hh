@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Trace-driven superscalar processor model (Section 4.1 of the
+ * paper): a detailed front end (the pluggable FetchEngine) coupled to
+ * a simple decoupled back end.
+ *
+ * The fetch engine runs self-directed through the static basic block
+ * dictionary (CodeImage), so wrong-path fetch — with its speculative
+ * history pollution and i-cache interference/prefetching — is
+ * modelled naturally. The processor compares the fetched PC stream
+ * against the committed (oracle) path; on divergence the preceding
+ * branch is flagged mispredicted and a redirect is delivered when it
+ * resolves, branchResolveLat cycles after dispatch.
+ *
+ * Back end: in-order dispatch of up to `width` instructions per cycle
+ * into a ROB; per-class execution latencies (loads access the d-cache
+ * with a synthetic, architecture-independent address stream);
+ * in-order retirement of up to `width` per cycle. Branches retire one
+ * cycle after they resolve.
+ */
+
+#ifndef SFETCH_PIPELINE_PROCESSOR_HH
+#define SFETCH_PIPELINE_PROCESSOR_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "fetch/fetch_engine.hh"
+#include "layout/oracle.hh"
+#include "util/stats.hh"
+
+namespace sfetch
+{
+
+/** Back-end and protocol parameters (Table 2 common settings). */
+struct ProcessorConfig
+{
+    unsigned width = 8;          //!< pipe width (2, 4, or 8)
+    unsigned pipeDepth = 16;     //!< paper: 16 stages (informational)
+    /**
+     * Cycles from a branch's dispatch to its resolution (redirect
+     * delivery). Approximately pipeDepth minus the front-end stages.
+     */
+    Cycle branchResolveLat = 12;
+    unsigned robSize = 256;
+    unsigned fetchBufferInsts = 32;
+
+    Cycle latAlu = 1;
+    Cycle latMul = 3;
+    Cycle latFp = 4;
+    Cycle latStore = 1;
+
+    /** Abort threshold: cycles without commit progress. */
+    Cycle deadlockCycles = 200000;
+};
+
+/** Results of a simulation run. */
+struct SimStats
+{
+    Cycle cycles = 0;
+    InstCount committedInsts = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t committedCondBranches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t condMispredicts = 0;
+    /** Divergences by branch type (indexed by BranchType). */
+    std::uint64_t mispredictsByType[7] = {0, 0, 0, 0, 0, 0, 0};
+    std::uint64_t fetchedCorrect = 0;
+    std::uint64_t fetchedWrong = 0;
+    /** Cycles where the engine had a full-width opportunity. */
+    std::uint64_t fetchCyclesAttempted = 0;
+    /** Correct-path instructions delivered in those cycles. */
+    std::uint64_t fetchOppInsts = 0;
+    double l1iMissRate = 0.0;
+    double l1dMissRate = 0.0;
+    StatSet engine;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(committedInsts) / double(cycles) : 0.0;
+    }
+
+    /**
+     * Useful instructions per full-width fetch opportunity — the
+     * paper's "Fetch IPC" (Table 3). Wrong-path cycles count as
+     * opportunities that delivered nothing useful.
+     */
+    double
+    fetchIpc() const
+    {
+        return fetchCyclesAttempted
+            ? double(fetchOppInsts) / double(fetchCyclesAttempted)
+            : 0.0;
+    }
+
+    /** Mispredictions per committed branch. */
+    double
+    mispredictRate() const
+    {
+        return committedBranches
+            ? double(mispredicts) / double(committedBranches) : 0.0;
+    }
+};
+
+/** The processor model. */
+class Processor
+{
+  public:
+    /**
+     * @param cfg Back-end configuration.
+     * @param engine Front end under test (not owned).
+     * @param image Placed binary (not owned).
+     * @param model Workload behaviour (copied into the oracle).
+     * @param mem Memory hierarchy shared with the engine (not owned).
+     * @param seed Oracle/data-stream seed (the `ref` input).
+     */
+    Processor(const ProcessorConfig &cfg, FetchEngine *engine,
+              const CodeImage &image, const WorkloadModel &model,
+              MemoryHierarchy *mem, std::uint64_t seed);
+
+    /**
+     * Simulate until @p insts instructions have committed (after
+     * first running @p warmup_insts with statistics discarded).
+     * @return measured statistics.
+     */
+    SimStats run(InstCount insts, InstCount warmup_insts = 0);
+
+    /** Total cycles simulated so far (including warmup). */
+    Cycle now() const { return now_; }
+
+  private:
+    struct BufEntry
+    {
+        Addr pc;
+        std::uint64_t token;
+        std::uint64_t seqNo;
+        OracleInst rec; //!< committed-path record for this inst
+    };
+
+    struct RobEntry
+    {
+        Cycle completeAt;
+        std::uint64_t seqNo;
+        OracleInst rec;
+    };
+
+    void commitStep(SimStats &st);
+    void dispatchStep(SimStats &st);
+    void redirectStep();
+    void fetchStep(SimStats &st);
+    void declareDivergence(SimStats &st);
+    Cycle execLatency(const OracleInst &rec);
+
+    /** Silent-fetch watchdog bound (>> worst-case memory latency). */
+    static constexpr Cycle kSilenceBound = 512;
+
+    ProcessorConfig cfg_;
+    FetchEngine *engine_;
+    const CodeImage *image_;
+    MemoryHierarchy *mem_;
+    OracleStream oracle_;
+    DataAddressStream dstream_;
+
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    Addr expectedPc_;
+    std::deque<BufEntry> buffer_;
+    std::deque<RobEntry> rob_;
+
+    // Divergence / redirect state.
+    bool diverged_ = false;
+    ResolvedBranch faulting_;
+    std::uint64_t faultingSeq_ = 0;
+    bool redirectPending_ = false;
+    Cycle redirectAt_ = 0;
+    bool redirectTimeKnown_ = false;
+
+    // Last correct-path instruction fetched (divergence attribution).
+    bool havePrev_ = false;
+    BufEntry prev_;
+
+    std::unordered_map<std::uint64_t, Cycle> branchDispatchAt_;
+    std::uint64_t lastCommittedSeq_ = 0;
+    InstCount totalCommitted_ = 0;
+    Cycle silentFetchCycles_ = 0;
+
+    bool measuring_ = false;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_PIPELINE_PROCESSOR_HH

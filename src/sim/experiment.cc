@@ -1,0 +1,127 @@
+#include "sim/experiment.hh"
+
+#include <stdexcept>
+
+#include "core/stream_engine.hh"
+#include "fetch/ev8.hh"
+#include "fetch/ftb.hh"
+#include "layout/layout_opt.hh"
+#include "tcache/trace_engine.hh"
+
+namespace sfetch
+{
+
+std::string
+archName(ArchKind kind)
+{
+    switch (kind) {
+      case ArchKind::Ev8: return "EV8+2bcgskew";
+      case ArchKind::Ftb: return "FTB+perceptron";
+      case ArchKind::Stream: return "Streams";
+      case ArchKind::Trace: return "Tcache+Tpred";
+    }
+    return "?";
+}
+
+const std::vector<ArchKind> &
+allArchs()
+{
+    static const std::vector<ArchKind> kinds = {
+        ArchKind::Ev8, ArchKind::Ftb, ArchKind::Stream,
+        ArchKind::Trace,
+    };
+    return kinds;
+}
+
+unsigned
+defaultLineBytes(unsigned width)
+{
+    // Table 2: L1 inst line = 4x pipe width (32, 64, 128 bytes).
+    return 4 * width * kInstBytes;
+}
+
+PlacedWorkload::PlacedWorkload(const std::string &bench_name)
+    : name_(bench_name), work_(generateWorkload(suiteParams(bench_name)))
+{
+    base_ = std::make_unique<CodeImage>(
+        work_.program, baselineOrder(work_.program));
+
+    // Profile with the `train`-flavoured input, optimize, and place.
+    EdgeProfile profile = collectProfile(
+        work_.program, work_.model, kTrainSeed, 400'000);
+    opt_ = std::make_unique<CodeImage>(
+        work_.program, optimizedOrder(work_.program, profile));
+}
+
+std::unique_ptr<FetchEngine>
+makeEngine(const RunConfig &cfg, const CodeImage &image,
+           MemoryHierarchy *mem)
+{
+    const unsigned line = cfg.lineBytesOverride
+        ? cfg.lineBytesOverride : defaultLineBytes(cfg.width);
+
+    switch (cfg.arch) {
+      case ArchKind::Ev8: {
+        Ev8Config ec;
+        ec.lineBytes = line;
+        return std::make_unique<Ev8Engine>(ec, image, mem);
+      }
+      case ArchKind::Ftb: {
+        FtbConfig fc;
+        fc.lineBytes = line;
+        if (cfg.ftqEntriesOverride)
+            fc.ftqEntries = cfg.ftqEntriesOverride;
+        return std::make_unique<FtbEngine>(fc, image, mem);
+      }
+      case ArchKind::Stream: {
+        StreamConfig sc;
+        sc.lineBytes = line;
+        if (cfg.ftqEntriesOverride)
+            sc.ftqEntries = cfg.ftqEntriesOverride;
+        if (cfg.streamSingleTable) {
+            // Ablation: all capacity in the address-indexed table.
+            sc.nsp.firstEntries = 8192;
+            sc.nsp.firstAssoc = 4;
+            sc.nsp.pathTableEnabled = false;
+        }
+        if (cfg.streamNoHysteresis)
+            sc.nsp.counterBits = 1;
+        return std::make_unique<StreamFetchEngine>(sc, image, mem);
+      }
+      case ArchKind::Trace: {
+        TraceEngineConfig tc;
+        tc.lineBytes = line;
+        return std::make_unique<TraceFetchEngine>(tc, image, mem);
+      }
+    }
+    throw std::invalid_argument("unknown architecture");
+}
+
+SimStats
+runOn(const PlacedWorkload &work, const RunConfig &cfg)
+{
+    const CodeImage &image = work.image(cfg.optimizedLayout);
+
+    MemoryConfig mc;
+    mc.l1i.lineBytes = cfg.lineBytesOverride
+        ? cfg.lineBytesOverride : defaultLineBytes(cfg.width);
+    MemoryHierarchy mem(mc);
+
+    auto engine = makeEngine(cfg, image, &mem);
+
+    ProcessorConfig pc;
+    pc.width = cfg.width;
+
+    Processor proc(pc, engine.get(), image, work.model(), &mem,
+                   kRefSeed);
+    return proc.run(cfg.insts, cfg.warmupInsts);
+}
+
+SimStats
+runBenchmark(const std::string &bench_name, const RunConfig &cfg)
+{
+    PlacedWorkload work(bench_name);
+    return runOn(work, cfg);
+}
+
+} // namespace sfetch

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Experiment harness: builds the machine configurations of Table 2,
+ * instantiates any of the four fetch architectures over any suite
+ * workload (base or optimized layout, any pipe width), runs the
+ * simulation, and aggregates suite-level results. All bench binaries
+ * and examples go through this API.
+ */
+
+#ifndef SFETCH_SIM_EXPERIMENT_HH
+#define SFETCH_SIM_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/processor.hh"
+#include "workload/suite.hh"
+
+namespace sfetch
+{
+
+/** The four fetch architectures of the paper's evaluation. */
+enum class ArchKind
+{
+    Ev8,     //!< EV8 + 2bcgskew
+    Ftb,     //!< FTB + perceptron
+    Stream,  //!< the paper's stream fetch architecture
+    Trace,   //!< trace cache + next trace predictor
+};
+
+/** Display name matching the paper's figures. */
+std::string archName(ArchKind kind);
+
+/** All four architectures in the paper's plotting order. */
+const std::vector<ArchKind> &allArchs();
+
+/** One fully-specified experiment. */
+struct RunConfig
+{
+    ArchKind arch = ArchKind::Stream;
+    unsigned width = 8;          //!< pipe width: 2, 4, or 8
+    bool optimizedLayout = true; //!< spike-style layout vs baseline
+    InstCount insts = 2'000'000; //!< measured instructions
+    InstCount warmupInsts = 300'000;
+    /** Overridable i-cache line size; 0 = 4x width (Table 2). */
+    unsigned lineBytesOverride = 0;
+    /** Overridable FTQ depth; 0 = default (4). */
+    std::size_t ftqEntriesOverride = 0;
+    /** Stream-predictor ablation: disable the path-indexed table. */
+    bool streamSingleTable = false;
+    /** Stream-predictor ablation: 1-bit hysteresis-free counters. */
+    bool streamNoHysteresis = false;
+};
+
+/**
+ * A reusable placed workload: program + behaviour + both layouts.
+ * Building one is moderately expensive (profiling run), so benches
+ * construct it once per benchmark and run many configs against it.
+ */
+class PlacedWorkload
+{
+  public:
+    explicit PlacedWorkload(const std::string &bench_name);
+
+    const std::string &name() const { return name_; }
+    const Program &program() const { return work_.program; }
+    const WorkloadModel &model() const { return work_.model; }
+    const CodeImage &baseImage() const { return *base_; }
+    const CodeImage &optImage() const { return *opt_; }
+
+    const CodeImage &
+    image(bool optimized) const
+    {
+        return optimized ? *opt_ : *base_;
+    }
+
+  private:
+    std::string name_;
+    SyntheticWorkload work_;
+    std::unique_ptr<CodeImage> base_;
+    std::unique_ptr<CodeImage> opt_;
+};
+
+/** Line size implied by Table 2: 4 x pipe width instructions. */
+unsigned defaultLineBytes(unsigned width);
+
+/** Build the fetch engine for a run. */
+std::unique_ptr<FetchEngine> makeEngine(const RunConfig &cfg,
+                                        const CodeImage &image,
+                                        MemoryHierarchy *mem);
+
+/** Run one experiment on a prepared workload. */
+SimStats runOn(const PlacedWorkload &work, const RunConfig &cfg);
+
+/** Convenience: prepare the workload and run. */
+SimStats runBenchmark(const std::string &bench_name,
+                      const RunConfig &cfg);
+
+} // namespace sfetch
+
+#endif // SFETCH_SIM_EXPERIMENT_HH

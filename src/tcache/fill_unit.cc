@@ -1,0 +1,92 @@
+#include "tcache/fill_unit.hh"
+
+#include <cassert>
+
+namespace sfetch
+{
+
+void
+TraceFillUnit::addRun(Addr from, std::uint32_t len_insts)
+{
+    if (len_insts == 0)
+        return;
+    if (!cur_.segments.empty()) {
+        TraceSegment &last = cur_.segments.back();
+        if (last.start + instsToBytes(last.lenInsts) == from) {
+            last.lenInsts += len_insts;
+            cur_.totalInsts += len_insts;
+            return;
+        }
+    }
+    cur_.segments.push_back(TraceSegment{from, len_insts});
+    cur_.totalInsts += len_insts;
+}
+
+void
+TraceFillUnit::complete(Addr next)
+{
+    if (cur_.totalInsts == 0) {
+        // Nothing accumulated (e.g.\ back-to-back completions).
+        cur_ = TraceDescriptor{};
+        cur_.start = next;
+        fill_pc_ = next;
+        return;
+    }
+    cur_.next = next;
+    ++built_;
+    lengths_.sample(cur_.totalInsts);
+    sink_(cur_, pending_mispredict_);
+    pending_mispredict_ = false;
+
+    cur_ = TraceDescriptor{};
+    cur_.start = next;
+    fill_pc_ = next;
+}
+
+void
+TraceFillUnit::onBranch(const CommittedBranch &cb)
+{
+    assert(cb.pc >= fill_pc_ || cur_.totalInsts == 0);
+
+    // Instructions from fill_pc_ to the branch inclusive.
+    std::uint32_t run = static_cast<std::uint32_t>(
+        (cb.pc + kInstBytes - fill_pc_) / kInstBytes);
+
+    // Absorb the run, splitting at the capacity limit: a trace that
+    // fills up mid-run completes with a sequential successor.
+    while (cur_.totalInsts + run > cfg_.maxInsts) {
+        std::uint32_t room = cfg_.maxInsts - cur_.totalInsts;
+        addRun(fill_pc_, room);
+        fill_pc_ += instsToBytes(room);
+        run -= room;
+        complete(fill_pc_);
+    }
+    addRun(fill_pc_, run);
+
+    // Record the branch itself.
+    bool end = false;
+    if (cb.type == BranchType::CondDirect) {
+        if (cb.taken)
+            cur_.dirBits |= (1u << cur_.numCond);
+        ++cur_.numCond;
+        if (cur_.numCond >= cfg_.maxCondBranches)
+            end = true;
+    } else if (cb.type == BranchType::Return ||
+               cb.type == BranchType::IndirectJump) {
+        // Unpredictable-target transfers always end a trace.
+        end = true;
+    }
+    if (cur_.segments.size() >= cfg_.maxSegments)
+        end = true;
+    if (cur_.totalInsts >= cfg_.maxInsts)
+        end = true;
+
+    Addr next_pc = cb.taken ? cb.target : cb.pc + kInstBytes;
+    cur_.endType = cb.type;
+    fill_pc_ = next_pc;
+
+    if (end)
+        complete(next_pc);
+}
+
+} // namespace sfetch

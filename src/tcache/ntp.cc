@@ -1,0 +1,191 @@
+#include "tcache/ntp.hh"
+
+#include <cassert>
+
+namespace sfetch
+{
+
+NextTracePredictor::NextTracePredictor(const NtpConfig &cfg)
+    : cfg_(cfg), specPath_(cfg.dolc), commitPath_(cfg.dolc)
+{
+    assert(cfg_.firstEntries % cfg_.firstAssoc == 0);
+    assert(cfg_.secondEntries % cfg_.secondAssoc == 0);
+    first_.numSets = cfg_.firstEntries / cfg_.firstAssoc;
+    first_.assoc = cfg_.firstAssoc;
+    first_.ways.resize(cfg_.firstEntries);
+    second_.numSets = cfg_.secondEntries / cfg_.secondAssoc;
+    second_.assoc = cfg_.secondAssoc;
+    second_.ways.resize(cfg_.secondEntries);
+}
+
+NextTracePredictor::Entry *
+NextTracePredictor::Table::find(std::size_t set, std::uint64_t tag,
+                                std::uint64_t tick)
+{
+    Entry *base = &ways[set * assoc];
+    for (unsigned w = 0; w < assoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == tag) {
+            e.lastUse = tick;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+void
+NextTracePredictor::Table::updateEntry(Entry &e,
+                                       const TraceDescriptor &t)
+{
+    if (e.sameData(t)) {
+        e.counter.increment();
+    } else {
+        e.counter.decrement();
+        if (e.counter.value() == 0) {
+            e.dirBits = t.dirBits;
+            e.numCond = t.numCond;
+            e.totalInsts = t.totalInsts;
+            e.endType = t.endType;
+            e.next = t.next;
+            e.counter.set(1);
+        }
+    }
+}
+
+bool
+NextTracePredictor::Table::install(std::size_t set, std::uint64_t tag,
+                                   const TraceDescriptor &t,
+                                   std::uint64_t tick)
+{
+    Entry *base = &ways[set * assoc];
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.counter.value() < victim->counter.value() ||
+            (e.counter.value() == victim->counter.value() &&
+             e.lastUse < victim->lastUse)) {
+            victim = &e;
+        }
+    }
+
+    if (victim->valid && victim->counter.value() > 0) {
+        victim->counter.decrement();
+        return false;
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirBits = t.dirBits;
+    victim->numCond = t.numCond;
+    victim->totalInsts = t.totalInsts;
+    victim->endType = t.endType;
+    victim->next = t.next;
+    victim->counter.set(1);
+    victim->lastUse = tick;
+    return true;
+}
+
+std::size_t
+NextTracePredictor::firstSet(Addr start) const
+{
+    return (start / kInstBytes) & (first_.numSets - 1);
+}
+
+std::uint64_t
+NextTracePredictor::firstTag(Addr start) const
+{
+    return (start / kInstBytes) / first_.numSets;
+}
+
+std::size_t
+NextTracePredictor::secondSet(Addr start,
+                              const DolcHistory &path) const
+{
+    unsigned bits = 0;
+    while ((1ULL << bits) < second_.numSets)
+        ++bits;
+    return static_cast<std::size_t>(path.index(start, bits));
+}
+
+std::uint64_t
+NextTracePredictor::secondTag(Addr start,
+                              const DolcHistory &path) const
+{
+    return (path.signature(start) >> 40) ^ (start / kInstBytes);
+}
+
+TracePrediction
+NextTracePredictor::predict(Addr start)
+{
+    ++lookups_;
+    ++tick_;
+
+    Entry *e2 = second_.find(secondSet(start, specPath_),
+                             secondTag(start, specPath_), tick_);
+    Entry *e1 = first_.find(firstSet(start), firstTag(start), tick_);
+
+    TracePrediction p;
+    Entry *use = e2 ? e2 : e1;
+    if (use) {
+        (e2 ? secondHits_ : firstHits_)++;
+        p.hit = true;
+        p.fromPathTable = (use == e2);
+        p.dirBits = use->dirBits;
+        p.numCond = use->numCond;
+        p.totalInsts = use->totalInsts;
+        p.endType = use->endType;
+        p.next = use->next;
+    } else {
+        ++misses_;
+    }
+    return p;
+}
+
+void
+NextTracePredictor::commitTrace(const TraceDescriptor &t,
+                                bool mispredicted)
+{
+    ++tick_;
+
+    const std::size_t set1 = firstSet(t.start);
+    const std::uint64_t tag1 = firstTag(t.start);
+    const std::size_t set2 = secondSet(t.start, commitPath_);
+    const std::uint64_t tag2 = secondTag(t.start, commitPath_);
+
+    Entry *e1 = first_.find(set1, tag1, tick_);
+    Entry *e2 = second_.find(set2, tag2, tick_);
+
+    if (e1)
+        Table::updateEntry(*e1, t);
+    else
+        first_.install(set1, tag1, t, tick_);
+
+    if (e2) {
+        Table::updateEntry(*e2, t);
+    } else if (mispredicted) {
+        // Cascade insertion: only traces the front end mispredicted
+        // need path correlation; the rest stay first-level only.
+        second_.install(set2, tag2, t, tick_);
+    }
+
+    commitPath_.push(t.id());
+}
+
+StatSet
+NextTracePredictor::stats() const
+{
+    StatSet s;
+    s.set("ntp.lookups", double(lookups_));
+    s.set("ntp.first_hits", double(firstHits_));
+    s.set("ntp.second_hits", double(secondHits_));
+    s.set("ntp.misses", double(misses_));
+    double denom = double(lookups_ ? lookups_ : 1);
+    s.set("ntp.hit_rate", double(firstHits_ + secondHits_) / denom);
+    return s;
+}
+
+} // namespace sfetch

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Next trace predictor (Jacobson, Rotenberg, Smith, MICRO 1997):
+ * trace-level sequencing for the trace cache, in the cascaded
+ * configuration the paper uses (first level 1K-entry 4-way, second
+ * level 4K-entry 4-way, DOLC 9-4-7-9).
+ *
+ * Given the start address of the next trace to fetch and the path of
+ * recently fetched trace ids, the predictor supplies the embedded
+ * branch directions (so the trace cache can be probed for the exact
+ * trace) and the successor fetch address.
+ */
+
+#ifndef SFETCH_TCACHE_NTP_HH
+#define SFETCH_TCACHE_NTP_HH
+
+#include <vector>
+
+#include "tcache/trace.hh"
+#include "util/dolc.hh"
+#include "util/sat_counter.hh"
+#include "util/stats.hh"
+
+namespace sfetch
+{
+
+/** Geometry of the next trace predictor (Table 2 of the paper). */
+struct NtpConfig
+{
+    std::size_t firstEntries = 1024; //!< paper: 1K-entry, 4-way
+    unsigned firstAssoc = 4;
+    std::size_t secondEntries = 4096; //!< paper: 4K-entry, 4-way
+    unsigned secondAssoc = 4;
+    DolcSpec dolc{9, 4, 7, 9};        //!< paper: DOLC 9-4-7-9
+};
+
+/** Predicted trace identity and successor. */
+struct TracePrediction
+{
+    bool hit = false;
+    bool fromPathTable = false;
+    std::uint32_t dirBits = 0;
+    std::uint8_t numCond = 0;
+    std::uint32_t totalInsts = 0;
+    BranchType endType = BranchType::None;
+    Addr next = kNoAddr;
+};
+
+/** The cascaded path-based next trace predictor. */
+class NextTracePredictor
+{
+  public:
+    explicit NextTracePredictor(const NtpConfig &cfg = NtpConfig{});
+
+    /** Predict the trace starting at @p start. */
+    TracePrediction predict(Addr start);
+
+    /** Record a fetched trace id in the speculative path. */
+    void specPush(std::uint64_t trace_id) { specPath_.push(trace_id); }
+
+    /** Train with a completed trace (committed path indexing). */
+    void commitTrace(const TraceDescriptor &t, bool mispredicted);
+
+    /** Misprediction repair: speculative path := committed path. */
+    void recoverHistory() { specPath_.copyFrom(commitPath_); }
+
+    StatSet stats() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        std::uint32_t dirBits = 0;
+        std::uint8_t numCond = 0;
+        std::uint32_t totalInsts = 0;
+        BranchType endType = BranchType::None;
+        Addr next = kNoAddr;
+        SatCounter counter{2, 0};
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+
+        bool
+        sameData(const TraceDescriptor &t) const
+        {
+            return dirBits == t.dirBits && numCond == t.numCond &&
+                   totalInsts == t.totalInsts && next == t.next &&
+                   endType == t.endType;
+        }
+    };
+
+    struct Table
+    {
+        std::vector<Entry> ways;
+        std::size_t numSets = 0;
+        unsigned assoc = 0;
+
+        Entry *find(std::size_t set, std::uint64_t tag,
+                    std::uint64_t tick);
+        bool install(std::size_t set, std::uint64_t tag,
+                     const TraceDescriptor &t, std::uint64_t tick);
+        static void updateEntry(Entry &e, const TraceDescriptor &t);
+    };
+
+    std::size_t firstSet(Addr start) const;
+    std::uint64_t firstTag(Addr start) const;
+    std::size_t secondSet(Addr start, const DolcHistory &path) const;
+    std::uint64_t secondTag(Addr start, const DolcHistory &path) const;
+
+    NtpConfig cfg_;
+    Table first_;
+    Table second_;
+    DolcHistory specPath_;
+    DolcHistory commitPath_;
+    std::uint64_t tick_ = 0;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t firstHits_ = 0;
+    std::uint64_t secondHits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_TCACHE_NTP_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Trace descriptor for the trace cache comparison architecture
+ * (Rotenberg, Bennett, Smith). A trace is a hardware-bounded segment
+ * of the dynamic instruction stream: up to N instructions and B
+ * conditional branches, ending early at returns and indirect jumps.
+ * Unlike a stream, identifying a trace requires the start address
+ * *and* the directions of the embedded conditional branches.
+ */
+
+#ifndef SFETCH_TCACHE_TRACE_HH
+#define SFETCH_TCACHE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace sfetch
+{
+
+/** A run of sequential instructions within a trace. */
+struct TraceSegment
+{
+    Addr start = kNoAddr;
+    std::uint32_t lenInsts = 0;
+};
+
+/** A complete trace as built by the fill unit. */
+struct TraceDescriptor
+{
+    Addr start = kNoAddr;
+    std::uint32_t dirBits = 0;   //!< embedded cond directions (bit i)
+    std::uint8_t numCond = 0;    //!< number of embedded cond branches
+    std::uint32_t totalInsts = 0;
+    BranchType endType = BranchType::None;
+    Addr next = kNoAddr;         //!< successor fetch address
+    std::vector<TraceSegment> segments;
+
+    /** True when the trace never crosses a taken branch. */
+    bool sequential() const { return segments.size() <= 1; }
+
+    /**
+     * Trace identity hash used as a path element by the next trace
+     * predictor.
+     */
+    std::uint64_t
+    id() const
+    {
+        return mix64((start / kInstBytes) ^
+                     (std::uint64_t(dirBits) << 32) ^
+                     (std::uint64_t(numCond) << 56));
+    }
+
+    /** Identity of a (start, dirs, numCond) triple. */
+    static std::uint64_t
+    idOf(Addr start, std::uint32_t dir_bits, std::uint8_t num_cond)
+    {
+        return mix64((start / kInstBytes) ^
+                     (std::uint64_t(dir_bits) << 32) ^
+                     (std::uint64_t(num_cond) << 56));
+    }
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_TCACHE_TRACE_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Trace cache fetch engine: the paper's high-end comparison point.
+ * Primary path: next trace predictor -> trace cache, delivering a
+ * whole trace (possibly crossing taken branches) per access; when a
+ * trace is wider than the pipeline, the predictor and trace cache
+ * stall together while it drains. Secondary path on a trace cache or
+ * predictor miss: conventional i-cache fetch up to the first
+ * predicted-taken branch per cycle, using a backup BTB, a gshare
+ * direction predictor, and the shared RAS — the redundant second
+ * engine whose cost the paper's stream architecture avoids.
+ */
+
+#ifndef SFETCH_TCACHE_TRACE_ENGINE_HH
+#define SFETCH_TCACHE_TRACE_ENGINE_HH
+
+#include <memory>
+
+#include "bpred/btb.hh"
+#include "bpred/direction_pred.hh"
+#include "bpred/history.hh"
+#include "bpred/ras.hh"
+#include "fetch/fetch_engine.hh"
+#include "fetch/token_ring.hh"
+#include "tcache/fill_unit.hh"
+#include "tcache/ntp.hh"
+#include "tcache/trace_cache.hh"
+
+namespace sfetch
+{
+
+/** Configuration of the trace cache front end (Table 2). */
+struct TraceEngineConfig
+{
+    NtpConfig ntp;
+    TraceCacheConfig tcache;
+    FillUnitConfig fill;
+    BtbConfig backupBtb{1024, 4}; //!< paper: backup BTB 1K-entry 4-way
+    std::size_t gshareEntries = 8192;
+    unsigned gshareHistoryBits = 12;
+    std::size_t rasEntries = 8;
+    unsigned lineBytes = 128;
+    /**
+     * Partial matching: on an exact trace miss, serve the prefix of
+     * a same-start resident trace that agrees with the predicted
+     * directions. Off by default — the paper excludes it because it
+     * degrades performance with layout-optimized codes (footnote 3).
+     */
+    bool partialMatching = false;
+};
+
+/** The trace cache fetch engine. */
+class TraceFetchEngine : public FetchEngine
+{
+  public:
+    TraceFetchEngine(const TraceEngineConfig &cfg,
+                     const CodeImage &image, MemoryHierarchy *mem);
+
+    void fetchCycle(Cycle now, unsigned max_insts,
+                    std::vector<FetchedInst> &out) override;
+    void redirect(const ResolvedBranch &rb) override;
+    void trainCommit(const CommittedBranch &cb) override;
+    void reset(Addr start) override;
+    std::string name() const override { return "Tcache+Tpred"; }
+    StatSet stats() const override;
+
+    const TraceCache &traceCache() const { return tcache_; }
+    const NextTracePredictor &predictor() const { return ntp_; }
+    const TraceFillUnit &fillUnit() const { return *fill_; }
+
+  private:
+    /** Outcome of attempting the primary (trace) path. */
+    enum class TraceTry
+    {
+        Hit,        //!< trace latched from the trace cache
+        WalkStart,  //!< prediction hit, trace cache miss: walk it
+        Miss,       //!< no prediction: plain secondary fetch
+    };
+
+    /** Try the primary (trace) path. */
+    TraceTry tryTracePath();
+
+    /**
+     * Fetch a *predicted but not cached* trace from the i-cache,
+     * following the predicted conditional directions: this is where
+     * selective trace storage sends sequential traces. One line /
+     * one taken branch per cycle.
+     */
+    void walkStep(Cycle now, unsigned max_insts,
+                  std::vector<FetchedInst> &out);
+
+    /** Secondary path (no prediction): one fetch block per cycle. */
+    void secondaryFetch(Cycle now, unsigned max_insts,
+                        std::vector<FetchedInst> &out);
+
+    /** Drain the latched trace into @p out. */
+    void emitTrace(unsigned max_insts, std::vector<FetchedInst> &out);
+
+    TraceEngineConfig cfg_;
+    const CodeImage *image_;
+    ICacheReader reader_;
+    NextTracePredictor ntp_;
+    TraceCache tcache_;
+    std::unique_ptr<TraceFillUnit> fill_;
+    Btb btb_;
+    GsharePredictor gshare_;
+    ReturnAddressStack ras_;
+    GlobalHistory specHist_;
+    GlobalHistory commitHist_;
+    TokenRing<EngineCheckpoint> checkpoints_;
+
+    Addr fetchAddr_ = kNoAddr;
+
+    /** Latched trace being drained (pc list) and its token. */
+    std::vector<Addr> emitQueue_;
+    std::size_t emitPos_ = 0;
+    std::uint64_t emitToken_ = 0;
+
+    /** In-progress predicted-trace walk (trace cache miss). */
+    struct PredWalk
+    {
+        bool active = false;
+        Addr pc = kNoAddr;
+        std::uint32_t dirBits = 0;
+        std::uint8_t condsLeft = 0;
+        std::uint32_t instsLeft = 0;
+        Addr nextAfter = kNoAddr;
+        std::uint64_t traceId = 0;
+        std::uint64_t token = 0;
+    };
+    PredWalk walk_;
+
+    // stats
+    std::uint64_t traceHits_ = 0;
+    std::uint64_t traceMisses_ = 0;
+    std::uint64_t partialHits_ = 0;
+    std::uint64_t secondaryCycles_ = 0;
+    std::uint64_t instsFromTrace_ = 0;
+    std::uint64_t instsFromIcache_ = 0;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_TCACHE_TRACE_ENGINE_HH

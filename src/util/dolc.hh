@@ -1,0 +1,180 @@
+/**
+ * @file
+ * DOLC path-history hashing, as used by the multiscalar control flow
+ * speculation work (Jacobson et al.) and adopted by both the next
+ * trace predictor and the paper's cascaded next stream predictor.
+ *
+ * A DOLC scheme is described by four integers:
+ *   - D (depth):   how many older path elements participate,
+ *   - O (older):   bits contributed by each of the older elements,
+ *   - L (last):    bits contributed by the most recent past element,
+ *   - C (current): bits contributed by the current fetch address.
+ *
+ * The paper's stream predictor uses DOLC 12-2-4-10 and its trace
+ * predictor uses DOLC 9-4-7-9.
+ */
+
+#ifndef SFETCH_UTIL_DOLC_HH
+#define SFETCH_UTIL_DOLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace sfetch
+{
+
+/** Parameters of a DOLC hash. */
+struct DolcSpec
+{
+    unsigned depth = 12;    //!< number of older identifiers folded in
+    unsigned olderBits = 2; //!< bits taken from each older identifier
+    unsigned lastBits = 4;  //!< bits taken from the newest identifier
+    unsigned currentBits = 10; //!< bits taken from the current address
+};
+
+/**
+ * Fixed-capacity circular history of path identifiers with a DOLC
+ * index computation. The history can be checkpointed and restored,
+ * which the predictors use to keep a speculative lookup register and
+ * a committed update register (per Section 3.2 of the paper).
+ */
+class DolcHistory
+{
+  public:
+    explicit DolcHistory(const DolcSpec &spec = DolcSpec{})
+        : spec_(spec), ring_(spec.depth ? spec.depth : 1, 0), head_(0),
+          filled_(0)
+    {}
+
+    /** Shift a new path identifier (e.g.\ a stream start address) in. */
+    void
+    push(Addr id)
+    {
+        ring_[head_] = id;
+        head_ = (head_ + 1) % ring_.size();
+        if (filled_ < ring_.size())
+            ++filled_;
+    }
+
+    /** Forget all recorded path elements. */
+    void
+    clear()
+    {
+        head_ = 0;
+        filled_ = 0;
+        for (auto &v : ring_)
+            v = 0;
+    }
+
+    /**
+     * Compute the table index for @p current combined with the
+     * recorded path, folded down to @p index_bits bits.
+     */
+    std::uint64_t
+    index(Addr current, unsigned index_bits) const
+    {
+        std::uint64_t h = 0;
+        unsigned shift = 0;
+        // Older elements (all but the newest).
+        for (unsigned i = 1; i < filled_; ++i) {
+            Addr id = at(i);
+            h ^= extract(id, spec_.olderBits) << shift;
+            shift = (shift + spec_.olderBits) % index_bits;
+        }
+        // Newest element.
+        if (filled_ >= 1) {
+            h ^= extract(at(0), spec_.lastBits) << shift;
+            shift = (shift + spec_.lastBits) % index_bits;
+        }
+        // Current address.
+        h ^= extract(current, spec_.currentBits) << shift;
+        // Final fold to the requested width.
+        std::uint64_t mask = (index_bits >= 64)
+            ? ~0ULL : ((1ULL << index_bits) - 1);
+        std::uint64_t folded = 0;
+        while (h) {
+            folded ^= h & mask;
+            h >>= index_bits;
+        }
+        return folded & mask;
+    }
+
+    /**
+     * A full-width hash of (path, current) used as a tag complement so
+     * path-indexed tables can disambiguate different paths mapping to
+     * the same set.
+     */
+    std::uint64_t
+    signature(Addr current) const
+    {
+        std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (unsigned i = 0; i < filled_; ++i)
+            h = (h ^ at(i)) * 0x100000001b3ULL;
+        return h ^ (current * 0x9ddfea08eb382d69ULL);
+    }
+
+    /** Snapshot for later restoration. */
+    struct Checkpoint
+    {
+        std::vector<Addr> ring;
+        std::size_t head;
+        std::size_t filled;
+    };
+
+    Checkpoint
+    save() const
+    {
+        return Checkpoint{ring_, head_, filled_};
+    }
+
+    void
+    restore(const Checkpoint &cp)
+    {
+        ring_ = cp.ring;
+        head_ = cp.head;
+        filled_ = cp.filled;
+    }
+
+    /** Copy the state of another history (speculative <- committed). */
+    void
+    copyFrom(const DolcHistory &other)
+    {
+        ring_ = other.ring_;
+        head_ = other.head_;
+        filled_ = other.filled_;
+    }
+
+    const DolcSpec &spec() const { return spec_; }
+    std::size_t size() const { return filled_; }
+
+  private:
+    /** i-th most recent element; at(0) is the newest. */
+    Addr
+    at(unsigned i) const
+    {
+        std::size_t pos =
+            (head_ + ring_.size() - 1 - i) % ring_.size();
+        return ring_[pos];
+    }
+
+    /** Take @p bits low-order bits of the word-aligned identifier. */
+    static std::uint64_t
+    extract(Addr id, unsigned bits)
+    {
+        if (bits == 0)
+            return 0;
+        std::uint64_t mask = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+        return (id / kInstBytes) & mask;
+    }
+
+    DolcSpec spec_;
+    std::vector<Addr> ring_;
+    std::size_t head_;
+    std::size_t filled_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_UTIL_DOLC_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic pseudo random number generation for workload synthesis.
+ *
+ * Every stochastic choice in the repository derives from a Pcg32 stream
+ * seeded with a (benchmark, purpose) pair so that all experiments are
+ * bit-reproducible across runs and platforms. PCG32 is used instead of
+ * std::mt19937 because its output is specified independently of the
+ * standard library implementation.
+ */
+
+#ifndef SFETCH_UTIL_RNG_HH
+#define SFETCH_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace sfetch
+{
+
+/**
+ * PCG32 generator (Melissa O'Neill's pcg32_random_r), 64-bit state,
+ * 32-bit output, with an explicit stream selector.
+ */
+class Pcg32
+{
+  public:
+    /**
+     * @param seed Initial state seed.
+     * @param stream Stream selector; different streams with the same
+     *               seed are statistically independent.
+     */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1u) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint32_t
+    nextBounded(std::uint32_t bound)
+    {
+        // Debiased modulo (Lemire-style rejection kept simple).
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            nextBounded(static_cast<std::uint32_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /**
+     * Geometric-ish positive integer with the given mean, clamped to
+     * [1, max]. Used for block sizes and trip counts.
+     */
+    std::uint32_t
+    nextGeometric(double mean, std::uint32_t max_value)
+    {
+        if (mean <= 1.0)
+            return 1;
+        // Draw from a geometric distribution with success prob 1/mean.
+        double p = 1.0 / mean;
+        std::uint32_t k = 1;
+        while (k < max_value && !nextBool(p))
+            ++k;
+        return k;
+    }
+
+    /** 64-bit value assembled from two draws. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+/**
+ * Stable 64-bit mixing function (splitmix64 finalizer). Used to derive
+ * per-entity seeds from ids without correlation.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace sfetch
+
+#endif // SFETCH_UTIL_RNG_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Saturating counters, the basic storage element of dynamic branch
+ * predictors and of the stream predictor's hysteresis-based
+ * replacement policy.
+ */
+
+#ifndef SFETCH_UTIL_SAT_COUNTER_HH
+#define SFETCH_UTIL_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace sfetch
+{
+
+/**
+ * An n-bit up/down saturating counter. For direction predictors the
+ * conventional interpretation is value >= 2^(n-1) => predict taken.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..8).
+     * @param initial Initial counter value.
+     */
+    explicit SatCounter(unsigned bits = 2, std::uint8_t initial = 0)
+        : bits_(bits), max_(static_cast<std::uint8_t>((1u << bits) - 1)),
+          value_(initial)
+    {
+        assert(bits >= 1 && bits <= 8);
+        assert(initial <= max_);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Move toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** MSB set => predict taken. */
+    bool taken() const { return value_ >= (1u << (bits_ - 1)); }
+
+    /** True when the counter is at either rail (strong state). */
+    bool isSaturated() const { return value_ == 0 || value_ == max_; }
+
+    std::uint8_t value() const { return value_; }
+    std::uint8_t maxValue() const { return max_; }
+    unsigned bits() const { return bits_; }
+
+    /** Force a specific value (used for weak-taken initialization). */
+    void
+    set(std::uint8_t v)
+    {
+        assert(v <= max_);
+        value_ = v;
+    }
+
+    /** Reset to the weakly-not-taken midpoint minus one. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint8_t bits_;
+    std::uint8_t max_;
+    std::uint8_t value_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_UTIL_SAT_COUNTER_HH

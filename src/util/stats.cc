@@ -1,0 +1,57 @@
+#include "util/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace sfetch
+{
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        denom += 1.0 / v;
+    }
+    return double(values.size()) / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : values_)
+        os << name << " " << value << "\n";
+    return os.str();
+}
+
+} // namespace sfetch

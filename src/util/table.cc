@@ -1,0 +1,86 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace sfetch
+{
+
+void
+TablePrinter::addHeader(const std::vector<std::string> &cells)
+{
+    header_ = cells;
+}
+
+void
+TablePrinter::addRow(const std::vector<std::string> &cells)
+{
+    rows_.push_back(Row{cells, false});
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TablePrinter::render() const
+{
+    // Compute column widths over header and all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row.cells);
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cells[i];
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_) {
+        if (row.separator)
+            os << std::string(total, '-') << "\n";
+        else
+            emit(row.cells);
+    }
+    return os.str();
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << "%";
+    return os.str();
+}
+
+} // namespace sfetch

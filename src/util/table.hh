@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Column-aligned ASCII table printer used by the benchmark harnesses
+ * to render the paper's tables and figure series.
+ */
+
+#ifndef SFETCH_UTIL_TABLE_HH
+#define SFETCH_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sfetch
+{
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns. The first row added with addHeader() is underlined.
+ */
+class TablePrinter
+{
+  public:
+    /** Set the header row. */
+    void addHeader(const std::vector<std::string> &cells);
+
+    /** Append a data row. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Append a separator line between row groups. */
+    void addSeparator();
+
+    /** Render the table. */
+    std::string render() const;
+
+    /** Format a double with @p precision decimals. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Format a percentage (0.031 -> "3.1%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_UTIL_TABLE_HH

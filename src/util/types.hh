@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the stream fetch
+ * reproduction. Mirrors the conventions of classic architecture
+ * simulators: 64-bit byte addresses, 64-bit cycle counts, and a fixed
+ * 4-byte instruction size (the paper targets the Alpha ISA, which is
+ * fixed width).
+ */
+
+#ifndef SFETCH_UTIL_TYPES_HH
+#define SFETCH_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace sfetch
+{
+
+/** Byte address in the simulated address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Count of dynamic instructions. */
+using InstCount = std::uint64_t;
+
+/** Identifier of a static basic block within a Program. */
+using BlockId = std::uint32_t;
+
+/** Sentinel used where a block id is absent (e.g.\ no successor). */
+constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/** Sentinel for an invalid/unknown address. */
+constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Size of every instruction in bytes (fixed-width ISA). */
+constexpr unsigned kInstBytes = 4;
+
+/** Convert an instruction count to a byte length. */
+constexpr Addr
+instsToBytes(std::uint64_t n_insts)
+{
+    return n_insts * kInstBytes;
+}
+
+/** Convert a byte length to an instruction count (must be aligned). */
+constexpr std::uint64_t
+bytesToInsts(Addr bytes)
+{
+    return bytes / kInstBytes;
+}
+
+} // namespace sfetch
+
+#endif // SFETCH_UTIL_TYPES_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Dynamic branch behaviour models.
+ *
+ * A Program fixes the static CFG; a WorkloadModel decides, at trace
+ * generation time, which successor every executed branch follows. The
+ * models are designed so the synthetic traces exhibit the properties
+ * that matter to fetch architectures and branch predictors:
+ *
+ *  - loop back edges with (noisy) trip counts => periodic patterns
+ *    that history predictors capture and bimodal ones partly miss;
+ *  - biased branches (iid Bernoulli) => a per-branch accuracy floor;
+ *  - history-correlated branches whose outcome is a deterministic
+ *    pseudo-random function of recent path history => learnable by
+ *    gshare/perceptron/2bcgskew-class predictors;
+ *  - indirect jumps with weighted, optionally history-correlated,
+ *    target selection.
+ *
+ * Outcomes are expressed in *semantic* terms ("primary" = CFG target
+ * successor, "secondary" = CFG fallthrough successor) so the dynamic
+ * path is invariant under code layout. Whether a transition is a
+ * taken or not-taken branch is decided later by the CodeImage.
+ */
+
+#ifndef SFETCH_WORKLOAD_BRANCH_MODEL_HH
+#define SFETCH_WORKLOAD_BRANCH_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace sfetch
+{
+
+/** Behaviour of one static conditional branch. */
+struct CondModel
+{
+    enum class Kind : std::uint8_t
+    {
+        Loop,       //!< back edge: primary for trips-1 times, then exit
+        Biased,     //!< iid Bernoulli(pPrimary)
+        Correlated, //!< deterministic function of path history + noise
+        /**
+         * Locally-stable behaviour: the outcome holds for a long run
+         * of instances, then flips (program phases, slowly-varying
+         * data). The run lengths are drawn so the duty cycle matches
+         * pPrimary. This dominates real integer codes and is what
+         * makes coarse-grained predictors competitive.
+         */
+        Phased,
+    };
+
+    Kind kind = Kind::Biased;
+
+    /** Probability of the primary (CFG target) successor. */
+    double pPrimary = 0.5;
+
+    /** Loop: mean trip count (>= 1). */
+    double meanTrips = 8.0;
+
+    /** Loop: +/- relative jitter on the trip count draw. */
+    double tripJitter = 0.25;
+
+    /** Correlated: private seed of the history hash function. */
+    std::uint64_t seed = 0;
+
+    /** Correlated: probability the outcome ignores history (noise). */
+    double noise = 0.05;
+
+    /** Correlated: number of history bits the function depends on. */
+    unsigned historyBits = 12;
+
+    /**
+     * Correlated: read the recent indirect-case history instead of
+     * the conditional-outcome history. Such correlation (typical of
+     * interpreter dispatch and data-structure-kind tests) is visible
+     * to path-based predictors but not to direction histories.
+     */
+    bool onCases = false;
+
+    /** Phased: mean run length of a phase, in branch instances. */
+    double runLenMean = 120.0;
+
+    // ---- dynamic state (reset per run) ----
+    std::uint32_t remainingTrips = 0;
+    bool phasePrimary = false;
+    std::uint32_t phaseLeft = 0;
+};
+
+/** Behaviour of one static indirect jump. */
+struct IndirectModel
+{
+    /** Weights aligned with BasicBlock::indirectTargets. */
+    std::vector<double> weights;
+
+    /** Probability the choice is history-correlated vs iid. */
+    double correlation = 0.6;
+
+    std::uint64_t seed = 0;
+};
+
+/** Parameters of the synthetic data-access stream. */
+struct DataModel
+{
+    Addr workingSetBytes = 1u << 20;
+    /** Fraction of accesses that walk sequentially. */
+    double streamFraction = 0.5;
+    /** Fraction of accesses to a small hot region (stack-like). */
+    double hotFraction = 0.3;
+    Addr hotBytes = 32u << 10;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Per-program dynamic behaviour: conditional models keyed by block
+ * id, indirect models keyed by block id, data access parameters, and
+ * the shared semantic outcome history used by correlated branches.
+ *
+ * The model is copyable; each TraceGenerator owns a private copy so
+ * profiling runs do not disturb measurement runs.
+ */
+class WorkloadModel
+{
+  public:
+    WorkloadModel() = default;
+
+    void
+    setCond(BlockId id, CondModel m)
+    {
+        cond_[id] = m;
+    }
+
+    void
+    setIndirect(BlockId id, IndirectModel m)
+    {
+        indirect_[id] = std::move(m);
+    }
+
+    void setData(DataModel m) { data_ = m; }
+    const DataModel &data() const { return data_; }
+
+    bool hasCond(BlockId id) const { return cond_.count(id) != 0; }
+
+    const CondModel &
+    cond(BlockId id) const
+    {
+        return cond_.at(id);
+    }
+
+    /**
+     * Decide the outcome of the conditional branch terminating block
+     * @p id. @return true for the primary (CFG target) successor.
+     * Updates the shared semantic history.
+     */
+    bool choosePrimary(BlockId id, Pcg32 &rng);
+
+    /** Pick the successor of an indirect jump terminating @p id. */
+    BlockId chooseIndirect(const BasicBlock &b, Pcg32 &rng);
+
+    /** Reset all per-run dynamic state. */
+    void reset();
+
+    /** Current semantic outcome history (newest bit = LSB). */
+    std::uint64_t history() const { return history_; }
+
+    /** Recent indirect-case choices (3 bits per case, newest low). */
+    std::uint64_t caseHistory() const { return case_history_; }
+
+    std::size_t numCondModels() const { return cond_.size(); }
+    std::size_t numIndirectModels() const { return indirect_.size(); }
+
+  private:
+    std::unordered_map<BlockId, CondModel> cond_;
+    std::unordered_map<BlockId, IndirectModel> indirect_;
+    DataModel data_;
+    std::uint64_t history_ = 0;
+    std::uint64_t case_history_ = 0;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_WORKLOAD_BRANCH_MODEL_HH

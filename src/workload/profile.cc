@@ -1,0 +1,22 @@
+#include "workload/profile.hh"
+
+#include "workload/trace_gen.hh"
+
+namespace sfetch
+{
+
+EdgeProfile
+collectProfile(const Program &prog, const WorkloadModel &model,
+               std::uint64_t seed, std::uint64_t num_records)
+{
+    EdgeProfile profile(prog.numBlocks());
+    TraceGenerator gen(prog, model, seed);
+    for (std::uint64_t i = 0; i < num_records; ++i) {
+        ControlRecord rec = gen.next();
+        profile.record(rec.block, rec.next);
+        profile.noteRecord();
+    }
+    return profile;
+}
+
+} // namespace sfetch

@@ -1,0 +1,225 @@
+#include "workload/suite.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sfetch
+{
+
+namespace
+{
+
+/** Common defaults shared by all suite members. */
+WorkloadParams
+baseParams(const std::string &name, std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.name = name;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+WorkloadParams
+suiteParams(const std::string &name)
+{
+    // Seeds are fixed per benchmark so programs are stable artifacts.
+    if (name == "gzip") {
+        // Compression: small, loopy, very predictable inner loops.
+        auto p = baseParams(name, 101);
+        p.numLeafFuncs = 16;
+        p.numMidFuncs = 8;
+        p.numTopFuncs = 3;
+        p.meanTrips = 24.0;
+        p.corrFraction = 0.15;
+        p.phasedFraction = 0.60;
+        p.noise = 0.02;
+        p.strongBiasFrac = 0.65;
+        p.loopProb = 0.3;
+        p.data.workingSetBytes = 512u << 10;
+        return p;
+    }
+    if (name == "vpr") {
+        // Placement/routing: moderate predictability, mixed regions.
+        auto p = baseParams(name, 102);
+        p.numLeafFuncs = 28;
+        p.numMidFuncs = 14;
+        p.numTopFuncs = 5;
+        p.meanTrips = 10.0;
+        p.corrFraction = 0.12;
+        p.phasedFraction = 0.55;
+        p.noise = 0.045;
+        p.strongBiasFrac = 0.55;
+        p.data.workingSetBytes = 768u << 10;
+        return p;
+    }
+    if (name == "gcc") {
+        // Compiler: big footprint, branchy, short trip counts.
+        auto p = baseParams(name, 103);
+        p.numLeafFuncs = 90;
+        p.numMidFuncs = 48;
+        p.numTopFuncs = 14;
+        p.regionsPerFuncMean = 7.0;
+        p.meanTrips = 10.0;
+        p.blockSizeMean = 4.8;
+        p.corrFraction = 0.14;
+        p.phasedFraction = 0.55;
+        p.noise = 0.04;
+        p.strongBiasFrac = 0.55;
+        p.switchProb = 0.035;
+        p.callProb = 0.2;
+        p.data.workingSetBytes = 1u << 20;
+        return p;
+    }
+    if (name == "crafty") {
+        // Chess: deeply correlated logic, mid footprint, few loops.
+        auto p = baseParams(name, 104);
+        p.numLeafFuncs = 36;
+        p.numMidFuncs = 18;
+        p.numTopFuncs = 6;
+        p.meanTrips = 10.0;
+        p.corrFraction = 0.25;
+        p.phasedFraction = 0.50;
+        p.noise = 0.045;
+        p.historyBits = 14;
+        p.strongBiasFrac = 0.5;
+        p.blockSizeMean = 6.0;
+        p.data.workingSetBytes = 1u << 20;
+        return p;
+    }
+    if (name == "parser") {
+        // Link grammar parser: hard-to-predict data-dependent
+        // branches; noisiest member of the suite.
+        auto p = baseParams(name, 105);
+        p.numLeafFuncs = 32;
+        p.numMidFuncs = 16;
+        p.numTopFuncs = 6;
+        p.meanTrips = 10.0;
+        p.corrFraction = 0.10;
+        p.phasedFraction = 0.50;
+        p.noise = 0.08;
+        p.strongBiasFrac = 0.45;
+        p.blockSizeMean = 4.6;
+        p.data.workingSetBytes = 768u << 10;
+        return p;
+    }
+    if (name == "eon") {
+        // C++ ray tracer: larger blocks, indirect calls, predictable.
+        auto p = baseParams(name, 106);
+        p.numLeafFuncs = 30;
+        p.numMidFuncs = 15;
+        p.numTopFuncs = 5;
+        p.meanTrips = 14.0;
+        p.blockSizeMean = 7.5;
+        p.blockSizeMax = 32;
+        p.corrFraction = 0.15;
+        p.phasedFraction = 0.62;
+        p.noise = 0.02;
+        p.strongBiasFrac = 0.7;
+        p.switchProb = 0.03;
+        p.fpFrac = 0.15;
+        p.data.workingSetBytes = 512u << 10;
+        return p;
+    }
+    if (name == "perlbmk") {
+        // Interpreter: dispatch switches, large footprint.
+        auto p = baseParams(name, 107);
+        p.numLeafFuncs = 64;
+        p.numMidFuncs = 32;
+        p.numTopFuncs = 10;
+        p.meanTrips = 10.0;
+        p.switchProb = 0.02;
+        p.switchTargetsMean = 8;
+        p.indirectCorrelation = 0.7;
+        p.corrFraction = 0.14;
+        p.phasedFraction = 0.56;
+        p.noise = 0.04;
+        p.callProb = 0.2;
+        p.data.workingSetBytes = 768u << 10;
+        return p;
+    }
+    if (name == "gap") {
+        // Group theory interpreter: loopy with mid trip counts.
+        auto p = baseParams(name, 108);
+        p.numLeafFuncs = 40;
+        p.numMidFuncs = 18;
+        p.numTopFuncs = 6;
+        p.meanTrips = 12.0;
+        p.corrFraction = 0.15;
+        p.phasedFraction = 0.58;
+        p.noise = 0.04;
+        p.strongBiasFrac = 0.6;
+        p.switchProb = 0.02;
+        p.data.workingSetBytes = 1u << 20;
+        return p;
+    }
+    if (name == "vortex") {
+        // OO database: call-heavy, big footprint, very predictable.
+        auto p = baseParams(name, 109);
+        p.numLeafFuncs = 80;
+        p.numMidFuncs = 44;
+        p.numTopFuncs = 12;
+        p.callProb = 0.26;
+        p.meanTrips = 10.0;
+        p.corrFraction = 0.15;
+        p.phasedFraction = 0.62;
+        p.noise = 0.02;
+        p.strongBiasFrac = 0.68;
+        p.data.workingSetBytes = 1u << 20;
+        return p;
+    }
+    if (name == "bzip2") {
+        // Compression: small, very loopy, high trip counts.
+        auto p = baseParams(name, 110);
+        p.numLeafFuncs = 16;
+        p.numMidFuncs = 8;
+        p.numTopFuncs = 3;
+        p.meanTrips = 28.0;
+        p.loopProb = 0.32;
+        p.corrFraction = 0.15;
+        p.phasedFraction = 0.60;
+        p.noise = 0.03;
+        p.strongBiasFrac = 0.6;
+        p.data.workingSetBytes = 1u << 20;
+        return p;
+    }
+    if (name == "twolf") {
+        // Place & route: small blocks, mediocre predictability.
+        auto p = baseParams(name, 111);
+        p.numLeafFuncs = 28;
+        p.numMidFuncs = 14;
+        p.numTopFuncs = 5;
+        p.meanTrips = 10.0;
+        p.blockSizeMean = 4.4;
+        p.corrFraction = 0.10;
+        p.phasedFraction = 0.52;
+        p.noise = 0.07;
+        p.strongBiasFrac = 0.48;
+        p.data.workingSetBytes = 1u << 20;
+        return p;
+    }
+    throw std::invalid_argument("unknown suite benchmark: " + name);
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "gzip", "vpr", "gcc", "crafty", "parser", "eon",
+        "perlbmk", "gap", "vortex", "bzip2", "twolf",
+    };
+    return names;
+}
+
+std::vector<SyntheticWorkload>
+generateSuite()
+{
+    std::vector<SyntheticWorkload> suite;
+    suite.reserve(suiteNames().size());
+    for (const auto &name : suiteNames())
+        suite.push_back(generateWorkload(suiteParams(name)));
+    return suite;
+}
+
+} // namespace sfetch

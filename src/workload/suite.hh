@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The benchmark suite: eleven synthetic workloads named after the
+ * SPECint2000 codes the paper's Figure 9 reports (gzip, vpr, gcc,
+ * crafty, parser, eon, perlbmk, gap, vortex, bzip2, twolf), each with
+ * parameters chosen to mimic the fetch-relevant character of the real
+ * program (footprint, loopiness, branch predictability, call and
+ * indirect-jump intensity, data working set).
+ */
+
+#ifndef SFETCH_WORKLOAD_SUITE_HH
+#define SFETCH_WORKLOAD_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/synth.hh"
+
+namespace sfetch
+{
+
+/** Seeds used to emulate the paper's train vs ref input sets. */
+constexpr std::uint64_t kTrainSeed = 0x7261696eULL; // "rain"
+constexpr std::uint64_t kRefSeed = 0x00726566ULL;   // "ref"
+
+/** Parameter presets for one suite member. */
+WorkloadParams suiteParams(const std::string &name);
+
+/** Names of the eleven suite members, in the paper's plot order. */
+const std::vector<std::string> &suiteNames();
+
+/** Generate the whole suite. */
+std::vector<SyntheticWorkload> generateSuite();
+
+} // namespace sfetch
+
+#endif // SFETCH_WORKLOAD_SUITE_HH

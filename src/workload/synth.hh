@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synthetic benchmark generation.
+ *
+ * Programs are generated as a set of functions built from structured
+ * regions (straight-line code, if-then and if-then-else hammocks,
+ * bottom-tested loops with nesting, calls, and indirect switches),
+ * mirroring the high-level programming constructs the paper argues
+ * streams map onto. The generator also produces the matching
+ * WorkloadModel (per-branch dynamic behaviour) and per-block
+ * instruction mixes.
+ *
+ * The baseline (unoptimized) code layout is the generation order:
+ * like compiler output, the hot arm of a hammock is adjacent to its
+ * branch only ~50% of the time, and callees are laid out without
+ * regard to call locality. The layout optimizer then reorders blocks
+ * using a profile, exactly as the paper's spike/pixie flow did.
+ */
+
+#ifndef SFETCH_WORKLOAD_SYNTH_HH
+#define SFETCH_WORKLOAD_SYNTH_HH
+
+#include <string>
+
+#include "isa/program.hh"
+#include "workload/branch_model.hh"
+
+namespace sfetch
+{
+
+/** Tunable knobs of the synthetic benchmark generator. */
+struct WorkloadParams
+{
+    std::string name = "synth";
+    std::uint64_t seed = 1;
+
+    // ---- static shape ----
+    unsigned numLeafFuncs = 10;  //!< functions that call nothing
+    unsigned numMidFuncs = 6;    //!< functions calling leaves
+    unsigned numTopFuncs = 3;    //!< phase drivers called from main
+    double blockSizeMean = 5.5;  //!< mean basic block size (insts)
+    unsigned blockSizeMax = 24;
+    double regionsPerFuncMean = 6.0;
+    unsigned maxLoopDepth = 3;
+
+    // ---- region mix (probabilities; remainder = straight code) ----
+    double loopProb = 0.22;
+    double hammockProb = 0.45;
+    double callProb = 0.16;   //!< only where callees exist
+    double switchProb = 0.015;
+    unsigned switchTargetsMean = 5;
+    unsigned armBlocksMax = 3;
+    double ifThenFrac = 0.5;  //!< hammocks with a single arm
+    double loopBodyRegionsMean = 4.5;
+
+    // ---- dynamic behaviour ----
+    double meanTrips = 10.0;     //!< mean loop trip count
+    /**
+     * Fraction of loops whose activation trip count is fixed (e.g.\
+     * `for (i = 0; i < 8; ++i)`); the rest jitter per activation by
+     * tripJitter. Deterministic trip counts are what history-based
+     * predictors — at branch or stream granularity — can learn.
+     */
+    double tripDeterministicFrac = 0.7;
+    double tripJitter = 0.25;
+    double strongBiasFrac = 0.7; //!< hammocks with pHot in [0.97, 1]
+    double pHotModerateLo = 0.76;
+    double pHotModerateHi = 0.96;
+    double corrFraction = 0.25;  //!< history-correlated hammocks
+    double corrOnCasesFrac = 0.4; //!< correlated on indirect cases
+    double phasedFraction = 0.55; //!< phase-stable hammocks
+    double phasedRunLen = 220.0; //!< mean phase length (instances)
+    double noise = 0.03;         //!< correlated-branch noise floor
+    unsigned historyBits = 12;
+    double indirectCorrelation = 0.85;
+    double outerTrips = 400.0;   //!< main driver loop trip count
+
+    // ---- instruction mix ----
+    double loadFrac = 0.22;
+    double storeFrac = 0.12;
+    double mulFrac = 0.03;
+    double fpFrac = 0.02;
+
+    // ---- data side ----
+    DataModel data;
+};
+
+/** A generated benchmark: static program plus dynamic behaviour. */
+struct SyntheticWorkload
+{
+    Program program;
+    WorkloadModel model;
+};
+
+/**
+ * Generate a benchmark from @p params. Deterministic: the same
+ * params (including seed) always produce the same workload.
+ */
+SyntheticWorkload generateWorkload(const WorkloadParams &params);
+
+} // namespace sfetch
+
+#endif // SFETCH_WORKLOAD_SYNTH_HH

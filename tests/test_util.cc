@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Unit tests for the util module: saturating counters, RNG, DOLC
+ * history hashing, statistics, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/dolc.hh"
+#include "util/rng.hh"
+#include "util/sat_counter.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/types.hh"
+
+using namespace sfetch;
+
+// ---- types ----
+
+TEST(Types, InstByteConversions)
+{
+    EXPECT_EQ(instsToBytes(0), 0u);
+    EXPECT_EQ(instsToBytes(5), 20u);
+    EXPECT_EQ(bytesToInsts(20), 5u);
+    EXPECT_EQ(bytesToInsts(instsToBytes(123456)), 123456u);
+}
+
+// ---- SatCounter ----
+
+TEST(SatCounter, StartsAtInitialValue)
+{
+    SatCounter c(2, 1);
+    EXPECT_EQ(c.value(), 1);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.isSaturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.isSaturated());
+}
+
+TEST(SatCounter, TakenThresholdIsMsb)
+{
+    SatCounter c(2, 0);
+    c.increment();
+    EXPECT_FALSE(c.taken()); // 1 < 2
+    c.increment();
+    EXPECT_TRUE(c.taken());  // 2 >= 2
+}
+
+TEST(SatCounter, UpdateMovesTowardOutcome)
+{
+    SatCounter c(2, 2);
+    c.update(false);
+    EXPECT_EQ(c.value(), 1);
+    c.update(true);
+    EXPECT_EQ(c.value(), 2);
+}
+
+class SatCounterWidth : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SatCounterWidth, MaxValueMatchesWidth)
+{
+    unsigned bits = GetParam();
+    SatCounter c(bits, 0);
+    EXPECT_EQ(c.maxValue(), (1u << bits) - 1);
+    for (unsigned i = 0; i < (1u << bits) + 5; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), c.maxValue());
+    // Threshold at half range.
+    SatCounter d(bits, std::uint8_t((1u << (bits - 1)) - 1));
+    EXPECT_FALSE(d.taken());
+    d.increment();
+    EXPECT_TRUE(d.taken());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 8u));
+
+// ---- Pcg32 ----
+
+TEST(Pcg32, Deterministic)
+{
+    Pcg32 a(42, 7), b(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, StreamsDiffer)
+{
+    Pcg32 a(42, 1), b(42, 2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= (a.next() != b.next());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Pcg32, BoundedStaysInRange)
+{
+    Pcg32 r(1);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint32_t v = r.nextBounded(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Pcg32, RangeInclusive)
+{
+    Pcg32 r(2);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = r.nextRange(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values reachable
+}
+
+TEST(Pcg32, BernoulliFrequency)
+{
+    Pcg32 r(3);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.3);
+    double freq = double(hits) / n;
+    EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(Pcg32, GeometricMeanApproximatesTarget)
+{
+    Pcg32 r(4);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextGeometric(6.0, 1000);
+    EXPECT_NEAR(sum / n, 6.0, 0.5);
+}
+
+TEST(Pcg32, GeometricRespectsMax)
+{
+    Pcg32 r(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(r.nextGeometric(50.0, 8), 8u);
+}
+
+TEST(Pcg32, DoubleInUnitInterval)
+{
+    Pcg32 r(6);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Mix64, InjectiveOnSmallDomain)
+{
+    std::set<std::uint64_t> outs;
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        outs.insert(mix64(i));
+    EXPECT_EQ(outs.size(), 4096u);
+}
+
+// ---- DolcHistory ----
+
+TEST(Dolc, EmptyHistoryIndexDependsOnCurrentOnly)
+{
+    DolcHistory h(DolcSpec{12, 2, 4, 10});
+    std::uint64_t i1 = h.index(0x1000, 11);
+    std::uint64_t i2 = h.index(0x1004, 11);
+    EXPECT_NE(i1, i2);
+    EXPECT_LT(i1, 1ull << 11);
+}
+
+TEST(Dolc, PathChangesIndex)
+{
+    DolcHistory a(DolcSpec{12, 2, 4, 10});
+    DolcHistory b(DolcSpec{12, 2, 4, 10});
+    a.push(0x2000);
+    b.push(0x2004);
+    EXPECT_NE(a.index(0x1000, 11), b.index(0x1000, 11));
+}
+
+TEST(Dolc, DeterministicForSamePath)
+{
+    DolcHistory a(DolcSpec{9, 4, 7, 9});
+    DolcHistory b(DolcSpec{9, 4, 7, 9});
+    for (Addr p = 0x4000; p < 0x4040; p += 4) {
+        a.push(p);
+        b.push(p);
+    }
+    EXPECT_EQ(a.index(0x5000, 10), b.index(0x5000, 10));
+    EXPECT_EQ(a.signature(0x5000), b.signature(0x5000));
+}
+
+TEST(Dolc, DepthLimitsMemory)
+{
+    // Elements older than `depth` must not affect the index.
+    DolcSpec spec{4, 2, 4, 10};
+    DolcHistory a(spec), b(spec);
+    a.push(0xAAAA0);
+    b.push(0xBBBB0);
+    for (Addr p = 0x1000; p < 0x1000 + 4 * 4; p += 4) {
+        a.push(p);
+        b.push(p);
+    }
+    EXPECT_EQ(a.index(0x2000, 11), b.index(0x2000, 11));
+}
+
+TEST(Dolc, SaveRestoreRoundTrip)
+{
+    DolcHistory h(DolcSpec{12, 2, 4, 10});
+    h.push(0x100);
+    h.push(0x200);
+    auto cp = h.save();
+    std::uint64_t before = h.index(0x300, 11);
+    h.push(0x400);
+    EXPECT_NE(h.index(0x300, 11), before);
+    h.restore(cp);
+    EXPECT_EQ(h.index(0x300, 11), before);
+}
+
+TEST(Dolc, CopyFromMatchesSource)
+{
+    DolcHistory a(DolcSpec{12, 2, 4, 10});
+    DolcHistory b(DolcSpec{12, 2, 4, 10});
+    a.push(0x10);
+    a.push(0x20);
+    b.copyFrom(a);
+    EXPECT_EQ(a.index(0x30, 11), b.index(0x30, 11));
+    EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(Dolc, ClearForgetsPath)
+{
+    DolcHistory h(DolcSpec{12, 2, 4, 10});
+    std::uint64_t empty = h.index(0x40, 11);
+    h.push(0x1234);
+    h.clear();
+    EXPECT_EQ(h.index(0x40, 11), empty);
+    EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(Dolc, IndexFitsWidth)
+{
+    DolcHistory h(DolcSpec{12, 2, 4, 10});
+    for (Addr p = 0; p < 64 * 4; p += 4)
+        h.push(p * 37);
+    for (unsigned bits : {4u, 8u, 11u, 16u}) {
+        EXPECT_LT(h.index(0xdeadbeef & ~3ull, bits), 1ull << bits);
+    }
+}
+
+// ---- Histogram ----
+
+TEST(Histogram, MeanAndBounds)
+{
+    Histogram h(16);
+    h.sample(2);
+    h.sample(4);
+    h.sample(6);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.minValue(), 2u);
+    EXPECT_EQ(h.maxValue(), 6u);
+}
+
+TEST(Histogram, OverflowBucketStillCountsMean)
+{
+    Histogram h(4);
+    h.sample(100);
+    EXPECT_EQ(h.bucket(4), 1u); // overflow bucket
+    EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(8);
+    h.sample(3, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(32);
+    for (std::uint64_t v = 1; v <= 10; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.percentile(0.5), 6u);
+    EXPECT_GE(h.percentile(0.99), 9u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(8);
+    h.sample(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// ---- means ----
+
+TEST(Means, Harmonic)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({2.0, 2.0}), 2.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(Means, HarmonicBelowArithmetic)
+{
+    std::vector<double> v = {1.0, 3.0, 5.0, 9.0};
+    EXPECT_LT(harmonicMean(v), geometricMean(v));
+    EXPECT_LT(geometricMean(v), arithmeticMean(v));
+}
+
+TEST(Means, Geometric)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+// ---- StatSet ----
+
+TEST(StatSet, SetGetHas)
+{
+    StatSet s;
+    EXPECT_FALSE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 0.0);
+    s.set("x", 1.5);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 1.5);
+}
+
+TEST(StatSet, DumpIsSorted)
+{
+    StatSet s;
+    s.set("b", 2);
+    s.set("a", 1);
+    std::string d = s.dump();
+    EXPECT_LT(d.find("a 1"), d.find("b 2"));
+}
+
+// ---- TablePrinter ----
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter tp;
+    tp.addHeader({"name", "value"});
+    tp.addRow({"a", "1"});
+    tp.addRow({"longer", "22"});
+    std::string out = tp.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatHelpers)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::pct(0.0312, 1), "3.1%");
+}
