@@ -4,15 +4,14 @@
  * decouples stream prediction from the i-cache; deeper queues let
  * the predictor run further ahead. The paper uses 4 entries.
  *
- * Usage: ablation_ftq [--insts N]
+ * Usage: ablation_ftq [--insts N] [--bench name] [--jobs N]
+ *                     [--format table|csv|json]
  */
 
 #include <cstdio>
-#include <cstring>
-#include <vector>
 
-#include "sim/experiment.hh"
-#include "util/stats.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "util/table.hh"
 
 using namespace sfetch;
@@ -20,36 +19,54 @@ using namespace sfetch;
 int
 main(int argc, char **argv)
 {
-    InstCount insts = 1'000'000;
-    for (int i = 1; i < argc; ++i)
-        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
-            insts = std::strtoull(argv[++i], nullptr, 10);
+    CliOptions opts;
+    opts.insts = 1'000'000;
+
+    CliParser cli("ablation_ftq",
+                  "FTQ depth ablation, stream fetch engine (8-wide, "
+                  "optimized codes)");
+    cli.addStandard(&opts, CliParser::kSweep);
+    cli.parseOrExit(argc, argv);
+    opts.benches = resolveBenches(opts.benches);
+
+    const std::size_t depths[] = {1, 2, 4, 8, 16};
+    std::vector<RunConfig> cfgs;
+    for (std::size_t depth : depths) {
+        RunConfig cfg;
+        cfg.arch = ArchKind::Stream;
+        cfg.width = 8;
+        cfg.optimizedLayout = true;
+        cfg.insts = opts.insts;
+        cfg.warmupInsts = opts.warmupFor(opts.insts);
+        cfg.ftqEntriesOverride = depth;
+        cfgs.push_back(cfg);
+    }
+
+    SweepDriver driver(opts.jobs);
+    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
+    if (emitMachineReadable(rs, opts.format))
+        return 0;
 
     std::printf("FTQ depth ablation, stream fetch engine (8-wide, "
                 "optimized codes)\n\n");
 
     TablePrinter tp;
     tp.addHeader({"FTQ entries", "fetch IPC", "IPC"});
-
-    for (std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
-        std::vector<double> fipc, ipc;
-        for (const auto &bench : suiteNames()) {
-            PlacedWorkload work(bench);
-            RunConfig cfg;
-            cfg.arch = ArchKind::Stream;
-            cfg.width = 8;
-            cfg.optimizedLayout = true;
-            cfg.insts = insts;
-            cfg.warmupInsts = insts / 5;
-            cfg.ftqEntriesOverride = depth;
-            SimStats st = runOn(work, cfg);
-            fipc.push_back(st.fetchIpc());
-            ipc.push_back(st.ipc());
-        }
+    for (std::size_t depth : depths) {
+        auto sel = [&](const ResultRow &r) {
+            return r.cfg.ftqEntriesOverride == depth;
+        };
         tp.addRow({std::to_string(depth),
-                   TablePrinter::fmt(arithmeticMean(fipc)),
-                   TablePrinter::fmt(harmonicMean(ipc))});
-        std::fprintf(stderr, "  done depth=%zu\n", depth);
+                   TablePrinter::fmt(rs.mean(
+                       MeanKind::Arithmetic, sel,
+                       [](const ResultRow &r) {
+                           return r.stats.fetchIpc();
+                       })),
+                   TablePrinter::fmt(rs.mean(
+                       MeanKind::Harmonic, sel,
+                       [](const ResultRow &r) {
+                           return r.stats.ipc();
+                       }))});
     }
     std::printf("%s", tp.render().c_str());
     return 0;

@@ -6,18 +6,17 @@
  * harness uses by default, and a Software-Trace-Cache-style
  * seed-and-grow layout, all feeding the stream fetch engine.
  *
- * Usage: ablation_layout [--insts N]
+ * Usage: ablation_layout [--insts N] [--bench name] [--jobs N]
  */
 
 #include <cstdio>
-#include <cstring>
-#include <memory>
 #include <vector>
 
 #include "core/stream_engine.hh"
 #include "layout/layout_opt.hh"
 #include "pipeline/processor.hh"
-#include "sim/experiment.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -26,16 +25,23 @@ using namespace sfetch;
 namespace
 {
 
+constexpr int kNumLayouts = 3;
+const char *const kLayoutNames[kNumLayouts] = {
+    "baseline (compiler order)",
+    "Pettis-Hansen chains",
+    "STC seed-and-grow",
+};
+
 struct Result
 {
     double ipc = 0, mispred = 0, stream_len = 0, taken = 0;
 };
 
 Result
-runStreams(const SyntheticWorkload &w, const std::vector<BlockId> &ord,
-           const EdgeProfile &prof, InstCount insts)
+runStreams(const PlacedWorkload &work, const std::vector<BlockId> &ord,
+           InstCount insts)
 {
-    CodeImage img(w.program, ord);
+    CodeImage img(work.program(), ord);
     MemoryConfig mc;
     mc.l1i.lineBytes = defaultLineBytes(8);
     MemoryHierarchy mem(mc);
@@ -44,14 +50,15 @@ runStreams(const SyntheticWorkload &w, const std::vector<BlockId> &ord,
     StreamFetchEngine engine(sc, img, &mem);
     ProcessorConfig pc;
     pc.width = 8;
-    Processor proc(pc, &engine, img, w.model, &mem, kRefSeed);
+    Processor proc(pc, &engine, img, work.model(), &mem, kRefSeed);
     SimStats st = proc.run(insts, insts / 5);
 
     Result r;
     r.ipc = st.ipc();
     r.mispred = st.mispredictRate();
     r.stream_len = st.engine.get("stream.avg_commit_len");
-    r.taken = evaluateLayout(w.program, prof, img).takenFraction();
+    r.taken = evaluateLayout(work.program(), work.profile(), img)
+                  .takenFraction();
     return r;
 }
 
@@ -60,52 +67,54 @@ runStreams(const SyntheticWorkload &w, const std::vector<BlockId> &ord,
 int
 main(int argc, char **argv)
 {
-    InstCount insts = 1'000'000;
-    for (int i = 1; i < argc; ++i)
-        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
-            insts = std::strtoull(argv[++i], nullptr, 10);
+    CliOptions opts;
+    opts.insts = 1'000'000;
+
+    CliParser cli("ablation_layout",
+                  "Layout algorithm ablation, stream fetch engine "
+                  "(8-wide)");
+    cli.addStandard(&opts, CliParser::kInsts | CliParser::kBench |
+                               CliParser::kJobs);
+    cli.parseOrExit(argc, argv);
+    opts.benches = resolveBenches(opts.benches);
 
     std::printf("Layout algorithm ablation, stream fetch engine "
                 "(8-wide, %llu insts per benchmark)\n\n",
-                static_cast<unsigned long long>(insts));
+                static_cast<unsigned long long>(opts.insts));
 
-    struct Agg
-    {
-        std::vector<double> ipc, mispred, len, taken;
-    };
-    Agg agg[3];
-    const char *names[3] = {"baseline (compiler order)",
-                            "Pettis-Hansen chains",
-                            "STC seed-and-grow"};
+    // One result triple per benchmark, aggregated after the sweep.
+    std::vector<std::vector<Result>> per_bench(
+        opts.benches.size(), std::vector<Result>(kNumLayouts));
 
-    for (const auto &bench : suiteNames()) {
-        SyntheticWorkload w = generateWorkload(suiteParams(bench));
-        EdgeProfile prof = collectProfile(w.program, w.model,
-                                          kTrainSeed, 400'000);
-        std::vector<std::vector<BlockId>> orders = {
-            baselineOrder(w.program),
-            optimizedOrder(w.program, prof),
-            stcOrder(w.program, prof),
-        };
-        for (int k = 0; k < 3; ++k) {
-            Result r = runStreams(w, orders[k], prof, insts);
-            agg[k].ipc.push_back(r.ipc);
-            agg[k].mispred.push_back(r.mispred);
-            agg[k].len.push_back(r.stream_len);
-            agg[k].taken.push_back(r.taken);
-        }
-        std::fprintf(stderr, "  done %s\n", bench.c_str());
-    }
+    SweepDriver driver(opts.jobs);
+    driver.forEachWorkload(
+        opts.benches, [&](const PlacedWorkload &work, std::size_t i) {
+            const std::vector<std::vector<BlockId>> orders = {
+                baselineOrder(work.program()),
+                optimizedOrder(work.program(), work.profile()),
+                stcOrder(work.program(), work.profile()),
+            };
+            for (int k = 0; k < kNumLayouts; ++k)
+                per_bench[i][k] =
+                    runStreams(work, orders[k], opts.insts);
+        });
 
     TablePrinter tp;
     tp.addHeader({"layout", "IPC", "mispredict", "stream len",
                   "cond taken"});
-    for (int k = 0; k < 3; ++k) {
-        tp.addRow({names[k],
-                   TablePrinter::fmt(harmonicMean(agg[k].ipc)),
-                   TablePrinter::pct(arithmeticMean(agg[k].mispred)),
-                   TablePrinter::fmt(arithmeticMean(agg[k].len), 1),
-                   TablePrinter::pct(arithmeticMean(agg[k].taken))});
+    for (int k = 0; k < kNumLayouts; ++k) {
+        std::vector<double> ipc, mispred, len, taken;
+        for (const std::vector<Result> &rs : per_bench) {
+            ipc.push_back(rs[k].ipc);
+            mispred.push_back(rs[k].mispred);
+            len.push_back(rs[k].stream_len);
+            taken.push_back(rs[k].taken);
+        }
+        tp.addRow({kLayoutNames[k],
+                   TablePrinter::fmt(harmonicMean(ipc)),
+                   TablePrinter::pct(arithmeticMean(mispred)),
+                   TablePrinter::fmt(arithmeticMean(len), 1),
+                   TablePrinter::pct(arithmeticMean(taken))});
     }
     std::printf("%s", tp.render().c_str());
     return 0;

@@ -6,15 +6,14 @@
  * reports fetch IPC and processor IPC: wide lines reduce the chance
  * of a stream crossing a line boundary.
  *
- * Usage: ablation_linewidth [--insts N]
+ * Usage: ablation_linewidth [--insts N] [--bench name] [--jobs N]
+ *                           [--format table|csv|json]
  */
 
 #include <cstdio>
-#include <cstring>
-#include <vector>
 
-#include "sim/experiment.hh"
-#include "util/stats.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "util/table.hh"
 
 using namespace sfetch;
@@ -22,39 +21,57 @@ using namespace sfetch;
 int
 main(int argc, char **argv)
 {
-    InstCount insts = 1'000'000;
-    for (int i = 1; i < argc; ++i)
-        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
-            insts = std::strtoull(argv[++i], nullptr, 10);
+    CliOptions opts;
+    opts.insts = 1'000'000;
+
+    CliParser cli("ablation_linewidth",
+                  "Figure 7 ablation: i-cache line size vs stream "
+                  "fetch performance");
+    cli.addStandard(&opts, CliParser::kSweep);
+    cli.parseOrExit(argc, argv);
+    opts.benches = resolveBenches(opts.benches);
 
     const unsigned width = 8;
+    const unsigned mults[] = {1, 2, 4};
+    std::vector<RunConfig> cfgs;
+    for (unsigned mult : mults) {
+        RunConfig cfg;
+        cfg.arch = ArchKind::Stream;
+        cfg.width = width;
+        cfg.optimizedLayout = true;
+        cfg.insts = opts.insts;
+        cfg.warmupInsts = opts.warmupFor(opts.insts);
+        cfg.lineBytesOverride = mult * width * kInstBytes;
+        cfgs.push_back(cfg);
+    }
+
+    SweepDriver driver(opts.jobs);
+    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
+    if (emitMachineReadable(rs, opts.format))
+        return 0;
+
     std::printf("Figure 7 ablation: i-cache line size vs stream "
                 "fetch performance (8-wide, optimized codes)\n\n");
 
     TablePrinter tp;
     tp.addHeader({"line bytes", "insts/line", "fetch IPC", "IPC"});
-
-    for (unsigned mult : {1u, 2u, 4u}) {
+    for (unsigned mult : mults) {
         unsigned line = mult * width * kInstBytes;
-        std::vector<double> fipc, ipc;
-        for (const auto &bench : suiteNames()) {
-            PlacedWorkload work(bench);
-            RunConfig cfg;
-            cfg.arch = ArchKind::Stream;
-            cfg.width = width;
-            cfg.optimizedLayout = true;
-            cfg.insts = insts;
-            cfg.warmupInsts = insts / 5;
-            cfg.lineBytesOverride = line;
-            SimStats st = runOn(work, cfg);
-            fipc.push_back(st.fetchIpc());
-            ipc.push_back(st.ipc());
-        }
+        auto sel = [&](const ResultRow &r) {
+            return r.cfg.lineBytesOverride == line;
+        };
         tp.addRow({std::to_string(line),
                    std::to_string(line / kInstBytes),
-                   TablePrinter::fmt(arithmeticMean(fipc)),
-                   TablePrinter::fmt(harmonicMean(ipc))});
-        std::fprintf(stderr, "  done line=%u\n", line);
+                   TablePrinter::fmt(rs.mean(
+                       MeanKind::Arithmetic, sel,
+                       [](const ResultRow &r) {
+                           return r.stats.fetchIpc();
+                       })),
+                   TablePrinter::fmt(rs.mean(
+                       MeanKind::Harmonic, sel,
+                       [](const ResultRow &r) {
+                           return r.stats.ipc();
+                       }))});
     }
     std::printf("%s", tp.render().c_str());
     return 0;

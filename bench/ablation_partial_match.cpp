@@ -5,83 +5,83 @@
  * drop in trace cache performance." Runs the trace cache engine with
  * and without partial matching on both layouts.
  *
- * Usage: ablation_partial_match [--insts N]
+ * Usage: ablation_partial_match [--insts N] [--bench name] [--jobs N]
+ *                               [--format table|csv|json]
  */
 
 #include <cstdio>
-#include <cstring>
-#include <memory>
-#include <vector>
 
-#include "pipeline/processor.hh"
-#include "sim/experiment.hh"
-#include "tcache/trace_engine.hh"
-#include "util/stats.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "util/table.hh"
 
 using namespace sfetch;
 
-namespace
-{
-
-SimStats
-runTrace(const PlacedWorkload &work, bool optimized, bool partial,
-         InstCount insts)
-{
-    const CodeImage &img = work.image(optimized);
-    MemoryConfig mc;
-    mc.l1i.lineBytes = defaultLineBytes(8);
-    MemoryHierarchy mem(mc);
-
-    TraceEngineConfig tc;
-    tc.lineBytes = defaultLineBytes(8);
-    tc.partialMatching = partial;
-    TraceFetchEngine engine(tc, img, &mem);
-
-    ProcessorConfig pc;
-    pc.width = 8;
-    Processor proc(pc, &engine, img, work.model(), &mem, kRefSeed);
-    return proc.run(insts, insts / 5);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    InstCount insts = 1'000'000;
-    for (int i = 1; i < argc; ++i)
-        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
-            insts = std::strtoull(argv[++i], nullptr, 10);
+    CliOptions opts;
+    opts.insts = 1'000'000;
+
+    CliParser cli("ablation_partial_match",
+                  "Partial matching ablation for the trace cache "
+                  "(8-wide)");
+    cli.addStandard(&opts, CliParser::kSweep);
+    cli.parseOrExit(argc, argv);
+    opts.benches = resolveBenches(opts.benches);
+
+    std::vector<RunConfig> cfgs;
+    for (bool opt : {false, true}) {
+        for (bool partial : {false, true}) {
+            RunConfig cfg;
+            cfg.arch = ArchKind::Trace;
+            cfg.width = 8;
+            cfg.optimizedLayout = opt;
+            cfg.insts = opts.insts;
+            cfg.warmupInsts = opts.warmupFor(opts.insts);
+            cfg.tracePartialMatching = partial;
+            cfgs.push_back(cfg);
+        }
+    }
+
+    SweepDriver driver(opts.jobs);
+    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
+    if (emitMachineReadable(rs, opts.format))
+        return 0;
 
     std::printf("Partial matching ablation for the trace cache "
                 "(8-wide, %llu insts)\n",
-                static_cast<unsigned long long>(insts));
+                static_cast<unsigned long long>(opts.insts));
     std::printf("Paper footnote 3: partial matching *hurts* with "
                 "layout-optimized codes.\n\n");
 
     TablePrinter tp;
     tp.addHeader({"layout", "partial match", "IPC", "mispredict",
                   "partial hits"});
-
     for (bool opt : {false, true}) {
         for (bool partial : {false, true}) {
-            std::vector<double> ipc, mis;
-            double phits = 0;
-            for (const auto &bench : suiteNames()) {
-                PlacedWorkload work(bench);
-                SimStats st = runTrace(work, opt, partial, insts);
-                ipc.push_back(st.ipc());
-                mis.push_back(st.mispredictRate());
-                phits += st.engine.get("tc.partial_hits");
-            }
+            auto sel = [&](const ResultRow &r) {
+                return r.cfg.optimizedLayout == opt &&
+                    r.cfg.tracePartialMatching == partial;
+            };
+            double phits = 0.0;
+            for (double v : rs.collect(sel, [](const ResultRow &r) {
+                     return r.stats.engine.get("tc.partial_hits");
+                 }))
+                phits += v;
             tp.addRow({opt ? "optimized" : "base",
                        partial ? "on" : "off",
-                       TablePrinter::fmt(harmonicMean(ipc)),
-                       TablePrinter::pct(arithmeticMean(mis)),
+                       TablePrinter::fmt(rs.mean(
+                           MeanKind::Harmonic, sel,
+                           [](const ResultRow &r) {
+                               return r.stats.ipc();
+                           })),
+                       TablePrinter::pct(rs.mean(
+                           MeanKind::Arithmetic, sel,
+                           [](const ResultRow &r) {
+                               return r.stats.mispredictRate();
+                           })),
                        TablePrinter::fmt(phits, 0)});
-            std::fprintf(stderr, "  done opt=%d partial=%d\n", opt,
-                         partial);
         }
     }
     std::printf("%s", tp.render().c_str());

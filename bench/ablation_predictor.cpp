@@ -5,67 +5,94 @@
  * hysteresis replacement counters that let the predictor hold
  * overlapping streams.
  *
- * Usage: ablation_predictor [--insts N]
+ * Usage: ablation_predictor [--insts N] [--bench name] [--jobs N]
+ *                           [--format table|csv|json]
  */
 
 #include <cstdio>
-#include <cstring>
-#include <vector>
 
-#include "sim/experiment.hh"
-#include "util/stats.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "util/table.hh"
 
 using namespace sfetch;
 
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    bool singleTable;
+    bool noHysteresis;
+};
+
+const Variant kVariants[] = {
+    {"cascaded + 2-bit hysteresis (paper)", false, false},
+    {"single address-indexed table", true, false},
+    {"cascaded, 1-bit counters", false, true},
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    InstCount insts = 1'000'000;
-    for (int i = 1; i < argc; ++i)
-        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
-            insts = std::strtoull(argv[++i], nullptr, 10);
+    CliOptions opts;
+    opts.insts = 1'000'000;
+
+    CliParser cli("ablation_predictor",
+                  "Stream predictor ablations (8-wide, optimized "
+                  "codes)");
+    cli.addStandard(&opts, CliParser::kSweep);
+    cli.parseOrExit(argc, argv);
+    opts.benches = resolveBenches(opts.benches);
+
+    std::vector<RunConfig> cfgs;
+    for (const Variant &v : kVariants) {
+        RunConfig cfg;
+        cfg.arch = ArchKind::Stream;
+        cfg.width = 8;
+        cfg.optimizedLayout = true;
+        cfg.insts = opts.insts;
+        cfg.warmupInsts = opts.warmupFor(opts.insts);
+        cfg.streamSingleTable = v.singleTable;
+        cfg.streamNoHysteresis = v.noHysteresis;
+        cfgs.push_back(cfg);
+    }
+
+    SweepDriver driver(opts.jobs);
+    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
+    if (emitMachineReadable(rs, opts.format))
+        return 0;
 
     std::printf("Stream predictor ablations (8-wide, optimized "
                 "codes, %llu insts)\n\n",
-                static_cast<unsigned long long>(insts));
-
-    struct Variant
-    {
-        const char *name;
-        bool singleTable;
-        bool noHysteresis;
-    };
-    const Variant variants[] = {
-        {"cascaded + 2-bit hysteresis (paper)", false, false},
-        {"single address-indexed table", true, false},
-        {"cascaded, 1-bit counters", false, true},
-    };
+                static_cast<unsigned long long>(opts.insts));
 
     TablePrinter tp;
     tp.addHeader({"variant", "mispredict", "fetch IPC", "IPC"});
-
-    for (const Variant &v : variants) {
-        std::vector<double> mis, fipc, ipc;
-        for (const auto &bench : suiteNames()) {
-            PlacedWorkload work(bench);
-            RunConfig cfg;
-            cfg.arch = ArchKind::Stream;
-            cfg.width = 8;
-            cfg.optimizedLayout = true;
-            cfg.insts = insts;
-            cfg.warmupInsts = insts / 5;
-            cfg.streamSingleTable = v.singleTable;
-            cfg.streamNoHysteresis = v.noHysteresis;
-            SimStats st = runOn(work, cfg);
-            mis.push_back(st.mispredictRate());
-            fipc.push_back(st.fetchIpc());
-            ipc.push_back(st.ipc());
-        }
-        tp.addRow({v.name, TablePrinter::pct(arithmeticMean(mis)),
-                   TablePrinter::fmt(arithmeticMean(fipc)),
-                   TablePrinter::fmt(harmonicMean(ipc))});
-        std::fprintf(stderr, "  done %s\n", v.name);
+    for (const Variant &v : kVariants) {
+        auto sel = [&](const ResultRow &r) {
+            return r.cfg.streamSingleTable == v.singleTable &&
+                r.cfg.streamNoHysteresis == v.noHysteresis;
+        };
+        tp.addRow({v.name,
+                   TablePrinter::pct(rs.mean(
+                       MeanKind::Arithmetic, sel,
+                       [](const ResultRow &r) {
+                           return r.stats.mispredictRate();
+                       })),
+                   TablePrinter::fmt(rs.mean(
+                       MeanKind::Arithmetic, sel,
+                       [](const ResultRow &r) {
+                           return r.stats.fetchIpc();
+                       })),
+                   TablePrinter::fmt(rs.mean(
+                       MeanKind::Harmonic, sel,
+                       [](const ResultRow &r) {
+                           return r.stats.ipc();
+                       }))});
     }
     std::printf("%s", tp.render().c_str());
     return 0;

@@ -5,17 +5,13 @@
  * widths 2, 4 and 8, with baseline and layout-optimized codes.
  *
  * Usage: fig8_ipc [--insts N] [--widths 2,4,8] [--bench name]
+ *                 [--jobs N] [--format table|csv|json]
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <map>
-#include <string>
-#include <vector>
 
-#include "sim/experiment.hh"
-#include "util/stats.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "util/table.hh"
 
 using namespace sfetch;
@@ -23,56 +19,45 @@ using namespace sfetch;
 int
 main(int argc, char **argv)
 {
-    InstCount insts = 1'500'000;
-    std::vector<unsigned> widths = {2, 4, 8};
-    std::vector<std::string> benches = suiteNames();
+    CliOptions opts;
+    opts.insts = 1'500'000;
+    opts.widths = {2, 4, 8};
 
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc) {
-            insts = std::strtoull(argv[++i], nullptr, 10);
-        } else if (!std::strcmp(argv[i], "--bench") && i + 1 < argc) {
-            benches = {argv[++i]};
-        } else if (!std::strcmp(argv[i], "--widths") && i + 1 < argc) {
-            widths.clear();
-            for (char *tok = std::strtok(argv[++i], ",");
-                 tok; tok = std::strtok(nullptr, ","))
-                widths.push_back(
-                    static_cast<unsigned>(std::atoi(tok)));
+    CliParser cli("fig8_ipc",
+                  "Figure 8: harmonic-mean IPC per width, base vs "
+                  "optimized layouts");
+    cli.addStandard(&opts, CliParser::kSweep | CliParser::kWidths);
+    cli.parseOrExit(argc, argv);
+    opts.benches = resolveBenches(opts.benches);
+
+    std::vector<RunConfig> cfgs;
+    for (unsigned width : opts.widths) {
+        for (ArchKind arch : allArchs()) {
+            for (bool opt : {false, true}) {
+                RunConfig cfg;
+                cfg.arch = arch;
+                cfg.width = width;
+                cfg.optimizedLayout = opt;
+                cfg.insts = opts.insts;
+                cfg.warmupInsts = opts.warmupFor(opts.insts);
+                cfgs.push_back(cfg);
+            }
         }
     }
+
+    SweepDriver driver(opts.jobs);
+    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
+    if (emitMachineReadable(rs, opts.format))
+        return 0;
 
     std::printf("Figure 8: IPC for pipeline widths, base vs "
                 "optimized layouts\n");
     std::printf("(harmonic mean over %zu benchmarks, %llu measured "
                 "insts each)\n\n",
-                benches.size(),
-                static_cast<unsigned long long>(insts));
+                opts.benches.size(),
+                static_cast<unsigned long long>(opts.insts));
 
-    // ipc[width][arch][optimized] -> per-benchmark IPCs
-    std::map<unsigned,
-             std::map<ArchKind, std::map<bool,
-                                         std::vector<double>>>> ipc;
-
-    for (const auto &bench : benches) {
-        PlacedWorkload work(bench);
-        for (unsigned width : widths) {
-            for (ArchKind arch : allArchs()) {
-                for (bool opt : {false, true}) {
-                    RunConfig cfg;
-                    cfg.arch = arch;
-                    cfg.width = width;
-                    cfg.optimizedLayout = opt;
-                    cfg.insts = insts;
-                    cfg.warmupInsts = insts / 5;
-                    SimStats st = runOn(work, cfg);
-                    ipc[width][arch][opt].push_back(st.ipc());
-                }
-            }
-        }
-        std::fprintf(stderr, "  done %s\n", bench.c_str());
-    }
-
-    for (unsigned width : widths) {
+    for (unsigned width : opts.widths) {
         std::printf("---- Figure 8%c: %u-wide processor ----\n",
                     width == 2 ? 'a' : (width == 4 ? 'b' : 'c'),
                     width);
@@ -80,8 +65,18 @@ main(int argc, char **argv)
         tp.addHeader({"architecture", "base IPC", "optimized IPC",
                       "opt/base"});
         for (ArchKind arch : allArchs()) {
-            double b = harmonicMean(ipc[width][arch][false]);
-            double o = harmonicMean(ipc[width][arch][true]);
+            auto ipcOf = [&](bool opt) {
+                return rs.mean(
+                    MeanKind::Harmonic,
+                    [&](const ResultRow &r) {
+                        return r.cfg.width == width &&
+                            r.cfg.arch == arch &&
+                            r.cfg.optimizedLayout == opt;
+                    },
+                    [](const ResultRow &r) { return r.stats.ipc(); });
+            };
+            double b = ipcOf(false);
+            double o = ipcOf(true);
             tp.addRow({archName(arch), TablePrinter::fmt(b),
                        TablePrinter::fmt(o),
                        TablePrinter::fmt(b > 0 ? o / b : 0, 3)});

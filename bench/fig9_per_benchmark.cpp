@@ -3,15 +3,15 @@
  * Reproduces Figure 9 of the paper: per-benchmark IPC for the 8-wide
  * processor with layout-optimized codes, all four architectures.
  *
- * Usage: fig9_per_benchmark [--insts N]
+ * Usage: fig9_per_benchmark [--insts N] [--bench name] [--jobs N]
+ *                           [--format table|csv|json]
  */
 
 #include <cstdio>
-#include <cstring>
 #include <map>
-#include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -20,14 +20,35 @@ using namespace sfetch;
 int
 main(int argc, char **argv)
 {
-    InstCount insts = 1'500'000;
-    for (int i = 1; i < argc; ++i)
-        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
-            insts = std::strtoull(argv[++i], nullptr, 10);
+    CliOptions opts;
+    opts.insts = 1'500'000;
+
+    CliParser cli("fig9_per_benchmark",
+                  "Figure 9: per-benchmark IPC, 8-wide processor, "
+                  "optimized codes");
+    cli.addStandard(&opts, CliParser::kSweep);
+    cli.parseOrExit(argc, argv);
+    opts.benches = resolveBenches(opts.benches);
+
+    std::vector<RunConfig> cfgs;
+    for (ArchKind arch : allArchs()) {
+        RunConfig cfg;
+        cfg.arch = arch;
+        cfg.width = 8;
+        cfg.optimizedLayout = true;
+        cfg.insts = opts.insts;
+        cfg.warmupInsts = opts.warmupFor(opts.insts);
+        cfgs.push_back(cfg);
+    }
+
+    SweepDriver driver(opts.jobs);
+    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
+    if (emitMachineReadable(rs, opts.format))
+        return 0;
 
     std::printf("Figure 9: per-benchmark IPC, 8-wide processor, "
                 "optimized codes (%llu insts)\n\n",
-                static_cast<unsigned long long>(insts));
+                static_cast<unsigned long long>(opts.insts));
 
     TablePrinter tp;
     std::vector<std::string> header = {"benchmark"};
@@ -39,30 +60,27 @@ main(int argc, char **argv)
     std::map<ArchKind, std::vector<double>> per_arch;
     std::map<ArchKind, int> wins;
 
-    for (const auto &bench : suiteNames()) {
-        PlacedWorkload work(bench);
+    for (const std::string &bench : opts.benches) {
         std::vector<std::string> row = {bench};
         double best = 0.0;
         ArchKind best_arch = ArchKind::Ev8;
         for (ArchKind arch : allArchs()) {
-            RunConfig cfg;
-            cfg.arch = arch;
-            cfg.width = 8;
-            cfg.optimizedLayout = true;
-            cfg.insts = insts;
-            cfg.warmupInsts = insts / 5;
-            SimStats st = runOn(work, cfg);
-            per_arch[arch].push_back(st.ipc());
-            row.push_back(TablePrinter::fmt(st.ipc()));
-            if (st.ipc() > best) {
-                best = st.ipc();
+            std::vector<double> ipc = rs.collect(
+                [&](const ResultRow &r) {
+                    return r.bench == bench && r.cfg.arch == arch;
+                },
+                [](const ResultRow &r) { return r.stats.ipc(); });
+            double v = ipc.empty() ? 0.0 : ipc.front();
+            per_arch[arch].push_back(v);
+            row.push_back(TablePrinter::fmt(v));
+            if (v > best) {
+                best = v;
                 best_arch = arch;
             }
         }
         ++wins[best_arch];
         row.push_back(archName(best_arch));
         tp.addRow(row);
-        std::fprintf(stderr, "  done %s\n", bench.c_str());
     }
 
     tp.addSeparator();

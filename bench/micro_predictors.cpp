@@ -12,6 +12,7 @@
 #include "bpred/perceptron.hh"
 #include "core/nsp.hh"
 #include "sim/experiment.hh"
+#include "sim/workload_cache.hh"
 #include "util/dolc.hh"
 #include "util/rng.hh"
 
@@ -102,7 +103,7 @@ static void
 BM_SimulatorThroughput(benchmark::State &state)
 {
     // Whole-pipeline simulation speed in committed instructions/s.
-    PlacedWorkload work("gzip");
+    const PlacedWorkload &work = WorkloadCache::instance().get("gzip");
     for (auto _ : state) {
         RunConfig cfg;
         cfg.arch = static_cast<ArchKind>(state.range(0));

@@ -5,15 +5,16 @@
  * cache traces ~14, streams 20+ on optimized codes), plus the
  * distribution of stream lengths.
  *
- * Usage: table1_fetch_units [--insts N]
+ * Usage: table1_fetch_units [--insts N] [--bench name] [--jobs N]
  */
 
 #include <cstdio>
-#include <cstring>
+#include <vector>
 
 #include "core/stream_builder.hh"
 #include "layout/oracle.hh"
-#include "sim/experiment.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "tcache/fill_unit.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -30,6 +31,15 @@ struct UnitSizes
     Histogram ftbBlockApprox{128}; //!< run to next *static* branch
     Histogram trace{32};
     Histogram stream{256};
+
+    void
+    merge(const UnitSizes &other)
+    {
+        basicBlock.merge(other.basicBlock);
+        ftbBlockApprox.merge(other.ftbBlockApprox);
+        trace.merge(other.trace);
+        stream.merge(other.stream);
+    }
 };
 
 void
@@ -71,25 +81,38 @@ measure(const PlacedWorkload &work, bool optimized, InstCount insts,
 int
 main(int argc, char **argv)
 {
-    InstCount insts = 1'000'000;
-    for (int i = 1; i < argc; ++i)
-        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
-            insts = std::strtoull(argv[++i], nullptr, 10);
+    CliOptions opts;
+    opts.insts = 1'000'000;
+
+    CliParser cli("table1_fetch_units",
+                  "Table 1 (measured column): dynamic fetch unit "
+                  "sizes in instructions");
+    cli.addStandard(&opts, CliParser::kInsts | CliParser::kBench |
+                               CliParser::kJobs);
+    cli.parseOrExit(argc, argv);
+    opts.benches = resolveBenches(opts.benches);
 
     std::printf("Table 1 (measured column): dynamic fetch unit sizes "
                 "in instructions\n");
     std::printf("(suite average over %llu committed insts per "
                 "benchmark)\n\n",
-                static_cast<unsigned long long>(insts));
+                static_cast<unsigned long long>(opts.insts));
 
+    SweepDriver driver(opts.jobs);
     for (bool opt : {false, true}) {
+        // One UnitSizes slot per benchmark, merged after the
+        // parallel oracle walks finish.
+        std::vector<UnitSizes> per_bench(opts.benches.size());
+        driver.forEachWorkload(
+            opts.benches,
+            [&](const PlacedWorkload &work, std::size_t i) {
+                measure(work, opt, opts.insts, per_bench[i]);
+            });
+
         UnitSizes all;
-        for (const auto &bench : suiteNames()) {
-            PlacedWorkload work(bench);
-            measure(work, opt, insts, all);
-            std::fprintf(stderr, "  done %s (%s)\n", bench.c_str(),
-                         opt ? "opt" : "base");
-        }
+        for (const UnitSizes &u : per_bench)
+            all.merge(u);
+
         std::printf("---- %s codes ----\n",
                     opt ? "optimized" : "baseline");
         TablePrinter tp;

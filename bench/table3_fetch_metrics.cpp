@@ -4,16 +4,14 @@
  * fetch IPC for the 8-wide processor, base and optimized codes,
  * averaged over the suite. Also prints the processor IPC columns.
  *
- * Usage: table3_fetch_metrics [--insts N]
+ * Usage: table3_fetch_metrics [--insts N] [--bench name] [--jobs N]
+ *                             [--format table|csv|json]
  */
 
 #include <cstdio>
-#include <cstring>
-#include <map>
-#include <vector>
 
-#include "sim/experiment.hh"
-#include "util/stats.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "util/table.hh"
 
 using namespace sfetch;
@@ -21,54 +19,70 @@ using namespace sfetch;
 int
 main(int argc, char **argv)
 {
-    InstCount insts = 1'500'000;
-    for (int i = 1; i < argc; ++i)
-        if (!std::strcmp(argv[i], "--insts") && i + 1 < argc)
-            insts = std::strtoull(argv[++i], nullptr, 10);
+    CliOptions opts;
+    opts.insts = 1'500'000;
+
+    CliParser cli("table3_fetch_metrics",
+                  "Table 3: mispredict rate and fetch IPC, 8-wide "
+                  "processor");
+    cli.addStandard(&opts, CliParser::kSweep);
+    cli.parseOrExit(argc, argv);
+    opts.benches = resolveBenches(opts.benches);
+
+    std::vector<RunConfig> cfgs;
+    for (ArchKind arch : allArchs()) {
+        for (bool opt : {false, true}) {
+            RunConfig cfg;
+            cfg.arch = arch;
+            cfg.width = 8;
+            cfg.optimizedLayout = opt;
+            cfg.insts = opts.insts;
+            cfg.warmupInsts = opts.warmupFor(opts.insts);
+            cfgs.push_back(cfg);
+        }
+    }
+
+    SweepDriver driver(opts.jobs);
+    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
+    if (emitMachineReadable(rs, opts.format))
+        return 0;
 
     std::printf("Table 3: branch misprediction rate and fetch IPC, "
                 "8-wide processor (%llu insts)\n\n",
-                static_cast<unsigned long long>(insts));
-
-    struct Agg
-    {
-        std::vector<double> mispred, fetch_ipc, ipc;
-    };
-    std::map<ArchKind, std::map<bool, Agg>> agg;
-
-    for (const auto &bench : suiteNames()) {
-        PlacedWorkload work(bench);
-        for (ArchKind arch : allArchs()) {
-            for (bool opt : {false, true}) {
-                RunConfig cfg;
-                cfg.arch = arch;
-                cfg.width = 8;
-                cfg.optimizedLayout = opt;
-                cfg.insts = insts;
-                cfg.warmupInsts = insts / 5;
-                SimStats st = runOn(work, cfg);
-                Agg &a = agg[arch][opt];
-                a.mispred.push_back(st.mispredictRate());
-                a.fetch_ipc.push_back(st.fetchIpc());
-                a.ipc.push_back(st.ipc());
-            }
-        }
-        std::fprintf(stderr, "  done %s\n", bench.c_str());
-    }
+                static_cast<unsigned long long>(opts.insts));
 
     TablePrinter tp;
     tp.addHeader({"", "base Mispred.", "base Fetch", "base IPC",
                   "opt Mispred.", "opt Fetch", "opt IPC"});
     for (ArchKind arch : allArchs()) {
-        Agg &b = agg[arch][false];
-        Agg &o = agg[arch][true];
+        auto sel = [&](bool opt) {
+            return [&, opt](const ResultRow &r) {
+                return r.cfg.arch == arch &&
+                    r.cfg.optimizedLayout == opt;
+            };
+        };
+        auto mis = [](const ResultRow &r) {
+            return r.stats.mispredictRate();
+        };
+        auto fipc = [](const ResultRow &r) {
+            return r.stats.fetchIpc();
+        };
+        auto ipc = [](const ResultRow &r) { return r.stats.ipc(); };
         tp.addRow({archName(arch),
-                   TablePrinter::pct(arithmeticMean(b.mispred)),
-                   TablePrinter::fmt(arithmeticMean(b.fetch_ipc), 1),
-                   TablePrinter::fmt(harmonicMean(b.ipc)),
-                   TablePrinter::pct(arithmeticMean(o.mispred)),
-                   TablePrinter::fmt(arithmeticMean(o.fetch_ipc), 1),
-                   TablePrinter::fmt(harmonicMean(o.ipc))});
+                   TablePrinter::pct(
+                       rs.mean(MeanKind::Arithmetic, sel(false), mis)),
+                   TablePrinter::fmt(
+                       rs.mean(MeanKind::Arithmetic, sel(false), fipc),
+                       1),
+                   TablePrinter::fmt(
+                       rs.mean(MeanKind::Harmonic, sel(false), ipc)),
+                   TablePrinter::pct(
+                       rs.mean(MeanKind::Arithmetic, sel(true), mis)),
+                   TablePrinter::fmt(
+                       rs.mean(MeanKind::Arithmetic, sel(true), fipc),
+                       1),
+                   TablePrinter::fmt(
+                       rs.mean(MeanKind::Harmonic, sel(true), ipc))});
     }
     std::printf("%s", tp.render().c_str());
     return 0;

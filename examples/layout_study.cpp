@@ -5,7 +5,7 @@
  * branch polarization, stream length distribution, stub counts — and
  * how the stream fetch architecture's key metrics respond.
  *
- * Usage: layout_study [benchmark]
+ * Usage: layout_study [benchmark] [--insts N]
  */
 
 #include <cstdio>
@@ -14,7 +14,9 @@
 #include "core/stream_builder.hh"
 #include "layout/layout_opt.hh"
 #include "layout/oracle.hh"
-#include "sim/experiment.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
+#include "sim/workload_cache.hh"
 #include "util/table.hh"
 
 using namespace sfetch;
@@ -53,20 +55,31 @@ streamLengths(const PlacedWorkload &work, bool optimized,
 int
 main(int argc, char **argv)
 {
-    std::string bench = argc > 1 ? argv[1] : "gcc";
-    const InstCount insts = 1'000'000;
+    CliOptions opts;
+    opts.insts = 1'000'000;
+    opts.benches = {"gcc"};
 
-    PlacedWorkload work(bench);
+    CliParser cli("layout_study",
+                  "what the layout optimizer does to one workload, "
+                  "and how the stream engine responds");
+    cli.addStandard(&opts, CliParser::kInsts | CliParser::kBench |
+                               CliParser::kJobs);
+    cli.onPositional("[benchmark]", "suite benchmark (default gcc)",
+                     [&](const std::string &v) {
+                         opts.benches = {v};
+                     });
+    cli.parseOrExit(argc, argv);
+
+    const std::string bench = requireSingleBench(opts, "layout_study");
+    const PlacedWorkload &work = WorkloadCache::instance().get(bench);
     std::printf("benchmark %s: %zu blocks, %llu static insts\n\n",
                 bench.c_str(), work.program().numBlocks(),
                 static_cast<unsigned long long>(
                     work.program().staticInsts()));
 
-    EdgeProfile prof = collectProfile(work.program(), work.model(),
-                                      kTrainSeed, 400'000);
-    LayoutQuality qb = evaluateLayout(work.program(), prof,
+    LayoutQuality qb = evaluateLayout(work.program(), work.profile(),
                                       work.baseImage());
-    LayoutQuality qo = evaluateLayout(work.program(), prof,
+    LayoutQuality qo = evaluateLayout(work.program(), work.profile(),
                                       work.optImage());
 
     TablePrinter tp;
@@ -78,8 +91,8 @@ main(int argc, char **argv)
                std::to_string(work.baseImage().numStubs()),
                std::to_string(work.optImage().numStubs())});
 
-    Histogram hb = streamLengths(work, false, insts);
-    Histogram ho = streamLengths(work, true, insts);
+    Histogram hb = streamLengths(work, false, opts.insts);
+    Histogram ho = streamLengths(work, true, opts.insts);
     tp.addRow({"mean stream length (insts)",
                TablePrinter::fmt(hb.mean(), 1),
                TablePrinter::fmt(ho.mean(), 1)});
@@ -87,18 +100,26 @@ main(int argc, char **argv)
                TablePrinter::fmt(double(hb.percentile(0.9)), 0),
                TablePrinter::fmt(double(ho.percentile(0.9)), 0)});
 
-    // End-to-end effect on the stream fetch architecture.
-    std::string ipc_cells[2];
+    // End-to-end effect on the stream fetch architecture: both
+    // layouts through the shared driver.
+    std::vector<RunConfig> cfgs;
     for (bool opt : {false, true}) {
         RunConfig cfg;
         cfg.arch = ArchKind::Stream;
         cfg.width = 8;
         cfg.optimizedLayout = opt;
-        cfg.insts = 1'000'000;
-        cfg.warmupInsts = 200'000;
-        SimStats st = runOn(work, cfg);
-        ipc_cells[opt] = TablePrinter::fmt(st.ipc());
+        cfg.insts = opts.insts;
+        cfg.warmupInsts = opts.warmupFor(opts.insts);
+        cfgs.push_back(cfg);
     }
+    SweepDriver driver(opts.jobs);
+    driver.setQuiet(true);
+    ResultSet rs = driver.run(SweepDriver::grid({bench}, cfgs));
+
+    std::string ipc_cells[2];
+    for (const ResultRow &r : rs.rows())
+        ipc_cells[r.cfg.optimizedLayout ? 1 : 0] =
+            TablePrinter::fmt(r.stats.ipc());
     tp.addRow({"stream engine IPC (8-wide)", ipc_cells[0],
                ipc_cells[1]});
 

@@ -4,7 +4,9 @@
  * branch stream of a suite benchmark straight into the direction
  * predictor library — no pipeline, no wrong path — to measure the
  * intrinsic predictability of the workload and compare predictors
- * under ideal conditions. Usage: predictor_playground [benchmark]
+ * under ideal conditions.
+ *
+ * Usage: predictor_playground [benchmark] [--insts N]
  */
 
 #include <cstdio>
@@ -17,7 +19,8 @@
 #include "bpred/gskew.hh"
 #include "bpred/perceptron.hh"
 #include "layout/oracle.hh"
-#include "sim/experiment.hh"
+#include "sim/cli.hh"
+#include "sim/workload_cache.hh"
 #include "util/table.hh"
 
 using namespace sfetch;
@@ -25,10 +28,23 @@ using namespace sfetch;
 int
 main(int argc, char **argv)
 {
-    std::string bench = argc > 1 ? argv[1] : "gzip";
-    const InstCount insts = 3'000'000;
+    CliOptions opts;
+    opts.insts = 3'000'000;
+    opts.benches = {"gzip"};
 
-    PlacedWorkload work(bench);
+    CliParser cli("predictor_playground",
+                  "offline direction-predictor comparison on one "
+                  "benchmark's oracle branch stream");
+    cli.addStandard(&opts, CliParser::kInsts | CliParser::kBench);
+    cli.onPositional("[benchmark]", "suite benchmark (default gzip)",
+                     [&](const std::string &v) {
+                         opts.benches = {v};
+                     });
+    cli.parseOrExit(argc, argv);
+
+    const std::string bench =
+        requireSingleBench(opts, "predictor_playground");
+    const PlacedWorkload &work = WorkloadCache::instance().get(bench);
     const CodeImage &image = work.optImage();
 
     struct Entry
@@ -54,7 +70,7 @@ main(int argc, char **argv)
 
     OracleStream oracle(image, work.model(), kRefSeed);
     std::uint64_t branches = 0;
-    for (InstCount i = 0; i < insts; ++i) {
+    for (InstCount i = 0; i < opts.insts; ++i) {
         OracleInst oi = oracle.next();
         if (oi.btype != BranchType::CondDirect)
             continue;
@@ -72,8 +88,8 @@ main(int argc, char **argv)
                 "(%.1f%% of stream)\n\n",
                 bench.c_str(),
                 static_cast<unsigned long long>(branches),
-                static_cast<unsigned long long>(insts),
-                100.0 * double(branches) / double(insts));
+                static_cast<unsigned long long>(opts.insts),
+                100.0 * double(branches) / double(opts.insts));
 
     TablePrinter tp;
     tp.addHeader({"predictor", "mispredict rate", "storage (KB)"});

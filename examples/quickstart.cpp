@@ -6,7 +6,7 @@
  * predictor learned. Then run one suite benchmark end to end.
  *
  * Build & run:
- *   cmake -B build -G Ninja && cmake --build build
+ *   cmake -B build -S . && cmake --build build -j
  *   ./build/examples/quickstart
  */
 
@@ -107,6 +107,8 @@ main()
                     st.engine.get("stream.partial_streams")));
 
     // ---- Part 2: a suite benchmark through the harness ----
+    // (Sweeps over many configs should use SweepDriver from
+    // sim/driver.hh; runBenchmark is the one-off convenience path.)
     RunConfig cfg;
     cfg.arch = ArchKind::Stream;
     cfg.width = 8;

@@ -1,11 +1,12 @@
 /**
  * @file
- * sfetchsim: command-line driver for arbitrary single simulations.
+ * sfetchsim: command-line driver for arbitrary simulations.
  *
  * Usage:
  *   sfetchsim [--arch ev8|ftb|stream|trace] [--bench NAME|all]
  *             [--width 2|4|8] [--layout base|opt] [--insts N]
- *             [--warmup N] [--line BYTES] [--stats]
+ *             [--warmup N] [--line BYTES] [--jobs N]
+ *             [--format table|csv|json] [--stats]
  *
  * Examples:
  *   sfetchsim --arch stream --bench gcc --width 8 --layout opt
@@ -13,132 +14,82 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
-#include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/cli.hh"
+#include "sim/driver.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
 using namespace sfetch;
 
-namespace
-{
-
-ArchKind
-parseArch(const std::string &s)
-{
-    if (s == "ev8")
-        return ArchKind::Ev8;
-    if (s == "ftb")
-        return ArchKind::Ftb;
-    if (s == "stream" || s == "streams")
-        return ArchKind::Stream;
-    if (s == "trace" || s == "tcache")
-        return ArchKind::Trace;
-    std::fprintf(stderr, "unknown arch '%s'\n", s.c_str());
-    std::exit(2);
-}
-
-void
-usage()
-{
-    std::printf(
-        "sfetchsim --arch ev8|ftb|stream|trace [options]\n"
-        "  --bench NAME|all   suite benchmark (default gcc)\n"
-        "  --width 2|4|8      pipe width (default 8)\n"
-        "  --layout base|opt  code layout (default opt)\n"
-        "  --insts N          measured instructions (default 1M)\n"
-        "  --warmup N         warmup instructions (default insts/5)\n"
-        "  --line BYTES       i-cache line override\n"
-        "  --stats            dump engine-internal statistics\n");
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
+    CliOptions opts;
+    opts.insts = 1'000'000;
+    opts.benches = {"gcc"};
+
     RunConfig cfg;
     cfg.arch = ArchKind::Stream;
     cfg.width = 8;
     cfg.optimizedLayout = true;
-    cfg.insts = 1'000'000;
-    cfg.warmupInsts = 0;
-    std::string bench = "gcc";
     bool dump_stats = false;
-    bool warmup_set = false;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto arg = [&](const char *name) {
-            if (a != name)
-                return false;
-            if (i + 1 >= argc) {
-                usage();
-                std::exit(2);
-            }
-            return true;
-        };
-        if (arg("--arch")) {
-            cfg.arch = parseArch(argv[++i]);
-        } else if (arg("--bench")) {
-            bench = argv[++i];
-        } else if (arg("--width")) {
-            cfg.width = static_cast<unsigned>(std::atoi(argv[++i]));
-        } else if (arg("--layout")) {
-            cfg.optimizedLayout = std::string(argv[++i]) != "base";
-        } else if (arg("--insts")) {
-            cfg.insts = std::strtoull(argv[++i], nullptr, 10);
-        } else if (arg("--warmup")) {
-            cfg.warmupInsts = std::strtoull(argv[++i], nullptr, 10);
-            warmup_set = true;
-        } else if (arg("--line")) {
-            cfg.lineBytesOverride =
-                static_cast<unsigned>(std::atoi(argv[++i]));
-        } else if (a == "--stats") {
-            dump_stats = true;
-        } else if (a == "--help" || a == "-h") {
-            usage();
-            return 0;
-        } else {
-            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
-            usage();
-            return 2;
-        }
-    }
-    if (!warmup_set)
-        cfg.warmupInsts = cfg.insts / 5;
+    CliParser cli("sfetchsim",
+                  "run one machine configuration over one or more "
+                  "suite benchmarks");
+    cli.addStandard(&opts, CliParser::kSweep | CliParser::kWarmup);
+    cli.addOption("--arch", "ev8|ftb|stream|trace",
+                  "fetch architecture (default stream)",
+                  [&](const std::string &v) {
+                      cfg.arch = parseArch(v);
+                  });
+    cli.addOption("--width", "2|4|8", "pipe width (default 8)",
+                  [&](const std::string &v) {
+                      cfg.width = CliParser::parseUnsignedList(v).at(0);
+                  });
+    cli.addOption("--layout", "base|opt",
+                  "code layout (default opt)",
+                  [&](const std::string &v) {
+                      cfg.optimizedLayout = v != "base";
+                  });
+    cli.addOption("--line", "BYTES", "i-cache line override",
+                  [&](const std::string &v) {
+                      cfg.lineBytesOverride =
+                          CliParser::parseUnsignedList(v).at(0);
+                  });
+    cli.addFlag("--stats", "dump engine-internal statistics",
+                [&] { dump_stats = true; });
+    cli.parseOrExit(argc, argv);
 
-    std::vector<std::string> benches;
-    if (bench == "all")
-        benches = suiteNames();
-    else
-        benches.push_back(bench);
+    opts.benches = resolveBenches(opts.benches);
+    cfg.insts = opts.insts;
+    cfg.warmupInsts = opts.warmupFor(opts.insts);
+
+    SweepDriver driver(opts.jobs);
+    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, {cfg}));
+    if (emitMachineReadable(rs, opts.format))
+        return 0;
 
     TablePrinter tp;
     tp.addHeader({"benchmark", "arch", "width", "layout", "IPC",
                   "fetch IPC", "mispredict", "L1I miss"});
     std::vector<double> ipcs;
-
-    for (const auto &b : benches) {
-        PlacedWorkload work(b);
-        SimStats st = runOn(work, cfg);
-        ipcs.push_back(st.ipc());
-        tp.addRow({b, archName(cfg.arch),
-                   std::to_string(cfg.width),
-                   cfg.optimizedLayout ? "opt" : "base",
-                   TablePrinter::fmt(st.ipc()),
-                   TablePrinter::fmt(st.fetchIpc()),
-                   TablePrinter::pct(st.mispredictRate()),
-                   TablePrinter::pct(st.l1iMissRate, 2)});
+    for (const ResultRow &r : rs.rows()) {
+        ipcs.push_back(r.stats.ipc());
+        tp.addRow({r.bench, archName(r.cfg.arch),
+                   std::to_string(r.cfg.width),
+                   r.cfg.optimizedLayout ? "opt" : "base",
+                   TablePrinter::fmt(r.stats.ipc()),
+                   TablePrinter::fmt(r.stats.fetchIpc()),
+                   TablePrinter::pct(r.stats.mispredictRate()),
+                   TablePrinter::pct(r.stats.l1iMissRate, 2)});
         if (dump_stats)
-            std::printf("--- %s engine stats ---\n%s", b.c_str(),
-                        st.engine.dump().c_str());
+            std::printf("--- %s engine stats ---\n%s",
+                        r.bench.c_str(),
+                        r.stats.engine.dump().c_str());
     }
-    if (benches.size() > 1) {
+    if (rs.size() > 1) {
         tp.addSeparator();
         tp.addRow({"Hmean", "", "", "",
                    TablePrinter::fmt(harmonicMean(ipcs)), "", "",

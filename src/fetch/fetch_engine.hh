@@ -24,6 +24,7 @@
 #define SFETCH_FETCH_FETCH_ENGINE_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -151,13 +152,13 @@ class FetchTargetQueue
 
     FetchRequest &front() { return queue_.front(); }
 
-    void pop() { queue_.erase(queue_.begin()); }
+    void pop() { queue_.pop_front(); }
 
     void clear() { queue_.clear(); }
 
   private:
     std::size_t capacity_;
-    std::vector<FetchRequest> queue_;
+    std::deque<FetchRequest> queue_;
 };
 
 /**

@@ -58,6 +58,9 @@ struct ProcessorConfig
 /** Results of a simulation run. */
 struct SimStats
 {
+    /** Arity of mispredictsByType (one slot per BranchType). */
+    static constexpr std::size_t kNumBranchTypes = 7;
+
     Cycle cycles = 0;
     InstCount committedInsts = 0;
     std::uint64_t committedBranches = 0;
@@ -65,7 +68,7 @@ struct SimStats
     std::uint64_t mispredicts = 0;
     std::uint64_t condMispredicts = 0;
     /** Divergences by branch type (indexed by BranchType). */
-    std::uint64_t mispredictsByType[7] = {0, 0, 0, 0, 0, 0, 0};
+    std::uint64_t mispredictsByType[kNumBranchTypes] = {};
     std::uint64_t fetchedCorrect = 0;
     std::uint64_t fetchedWrong = 0;
     /** Cycles where the engine had a full-width opportunity. */
@@ -103,6 +106,38 @@ struct SimStats
             ? double(mispredicts) / double(committedBranches) : 0.0;
     }
 };
+
+/**
+ * Exact equality over every counter and engine stat; the sweep
+ * driver's parallel-equals-serial guarantee is stated in terms of
+ * this comparison.
+ */
+inline bool
+operator==(const SimStats &a, const SimStats &b)
+{
+    for (std::size_t t = 0; t < SimStats::kNumBranchTypes; ++t)
+        if (a.mispredictsByType[t] != b.mispredictsByType[t])
+            return false;
+    return a.cycles == b.cycles &&
+        a.committedInsts == b.committedInsts &&
+        a.committedBranches == b.committedBranches &&
+        a.committedCondBranches == b.committedCondBranches &&
+        a.mispredicts == b.mispredicts &&
+        a.condMispredicts == b.condMispredicts &&
+        a.fetchedCorrect == b.fetchedCorrect &&
+        a.fetchedWrong == b.fetchedWrong &&
+        a.fetchCyclesAttempted == b.fetchCyclesAttempted &&
+        a.fetchOppInsts == b.fetchOppInsts &&
+        a.l1iMissRate == b.l1iMissRate &&
+        a.l1dMissRate == b.l1dMissRate &&
+        a.engine == b.engine;
+}
+
+inline bool
+operator!=(const SimStats &a, const SimStats &b)
+{
+    return !(a == b);
+}
 
 /** The processor model. */
 class Processor

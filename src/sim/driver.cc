@@ -1,0 +1,187 @@
+#include "sim/driver.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "sim/workload_cache.hh"
+
+namespace sfetch
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+bool
+stderrIsTty()
+{
+#ifndef _WIN32
+    return isatty(2) != 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+SweepDriver::SweepDriver(unsigned jobs) : jobs_(jobs)
+{
+    if (jobs_ == 0) {
+        jobs_ = std::thread::hardware_concurrency();
+        if (jobs_ == 0)
+            jobs_ = 1;
+    }
+}
+
+std::vector<SweepPoint>
+SweepDriver::grid(const std::vector<std::string> &benches,
+                  const std::vector<RunConfig> &cfgs)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(benches.size() * cfgs.size());
+    for (const std::string &bench : benches)
+        for (const RunConfig &cfg : cfgs)
+            points.push_back({bench, cfg});
+    return points;
+}
+
+void
+SweepDriver::parallelFor(std::size_t n,
+                         const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+
+    auto worker = [&] {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+ResultSet
+SweepDriver::run(const std::vector<SweepPoint> &points)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Phase 1: build each distinct workload exactly once, in
+    // parallel. Later runOn() calls then only ever read the cache.
+    std::set<std::string> unique;
+    for (const SweepPoint &p : points)
+        unique.insert(p.bench);
+    std::vector<std::string> names(unique.begin(), unique.end());
+    parallelFor(names.size(), [&](std::size_t i) {
+        WorkloadCache::instance().get(names[i]);
+    });
+    double prep = secondsSince(t0);
+
+    // Phase 2: the sweep itself. Rows are written by point index, so
+    // the output order (and content) is independent of scheduling.
+    std::vector<ResultRow> rows(points.size());
+    std::size_t done = 0;
+    std::mutex progress_mu;
+    const bool progress = !quiet_ && stderrIsTty();
+    parallelFor(points.size(), [&](std::size_t i) {
+        const SweepPoint &p = points[i];
+        const PlacedWorkload &work =
+            WorkloadCache::instance().get(p.bench);
+        auto rt0 = std::chrono::steady_clock::now();
+        SimStats st = runOn(work, p.cfg);
+        ResultRow &row = rows[i];
+        row.bench = p.bench;
+        row.cfg = p.cfg;
+        row.stats = st;
+        row.wallSeconds = secondsSince(rt0);
+        if (progress) {
+            // Count and print under one lock so the counter on the
+            // terminal can only move forward.
+            std::lock_guard<std::mutex> lock(progress_mu);
+            ++done;
+            std::fprintf(stderr, "\r  sweep %zu/%zu", done,
+                         points.size());
+            if (done == points.size())
+                std::fputc('\n', stderr);
+            std::fflush(stderr);
+        }
+    });
+
+    ResultSet rs;
+    for (ResultRow &row : rows)
+        rs.add(std::move(row));
+    lastWall_ = secondsSince(t0);
+    rs.setWallSeconds(lastWall_);
+    if (!quiet_)
+        std::fprintf(stderr,
+                     "driver: %zu runs on %u thread%s, wall %.2fs "
+                     "(workload build %.2fs)\n",
+                     points.size(), jobs_, jobs_ == 1 ? "" : "s",
+                     lastWall_, prep);
+    return rs;
+}
+
+void
+SweepDriver::forEachWorkload(
+    const std::vector<std::string> &benches,
+    const std::function<void(const PlacedWorkload &, std::size_t)>
+        &fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    parallelFor(benches.size(), [&](std::size_t i) {
+        fn(WorkloadCache::instance().get(benches[i]), i);
+    });
+    lastWall_ = secondsSince(t0);
+    if (!quiet_)
+        std::fprintf(stderr,
+                     "driver: %zu workloads on %u thread%s, wall "
+                     "%.2fs\n",
+                     benches.size(), jobs_, jobs_ == 1 ? "" : "s",
+                     lastWall_);
+}
+
+} // namespace sfetch

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SweepDriver: the shared simulation driver behind every bench and
+ * example binary. It takes a list of (benchmark, RunConfig) points,
+ * builds each PlacedWorkload once (through WorkloadCache), and runs
+ * the points on a std::thread pool. Every run owns its
+ * MemoryHierarchy, engine and Processor and reads the shared workload
+ * image read-only, so parallel execution is guaranteed bit-identical
+ * to serial execution: the ResultSet rows come back in point order
+ * with the exact SimStats a `--jobs 1` run would produce.
+ */
+
+#ifndef SFETCH_SIM_DRIVER_HH
+#define SFETCH_SIM_DRIVER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/results.hh"
+
+namespace sfetch
+{
+
+class PlacedWorkload;
+
+/** One cell of a sweep grid. */
+struct SweepPoint
+{
+    std::string bench;
+    RunConfig cfg;
+};
+
+class SweepDriver
+{
+  public:
+    /**
+     * @param jobs Worker threads; 0 picks hardware_concurrency().
+     * Pass 1 to force serial in-thread execution.
+     */
+    explicit SweepDriver(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Suppress the stderr progress/wall-clock report. */
+    void setQuiet(bool quiet) { quiet_ = quiet; }
+
+    /** Cross product: every benchmark against every config. */
+    static std::vector<SweepPoint>
+    grid(const std::vector<std::string> &benches,
+         const std::vector<RunConfig> &cfgs);
+
+    /**
+     * Execute all points and return their rows in point order.
+     * Workloads are cached; points with the same benchmark share one
+     * PlacedWorkload. Reports the sweep wall-clock on stderr (and in
+     * ResultSet::wallSeconds) unless quiet.
+     */
+    ResultSet run(const std::vector<SweepPoint> &points);
+
+    /**
+     * Parallel map over cached workloads, for measurements that are
+     * not plain runOn() sweeps (oracle walks, custom layouts). Calls
+     * @p fn(workload, index) once per benchmark on the pool; @p fn
+     * must only write to per-index state.
+     */
+    void forEachWorkload(
+        const std::vector<std::string> &benches,
+        const std::function<void(const PlacedWorkload &, std::size_t)>
+            &fn);
+
+    /** Wall-clock seconds of the most recent run()/forEachWorkload(). */
+    double lastWallSeconds() const { return lastWall_; }
+
+  private:
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    unsigned jobs_;
+    bool quiet_ = false;
+    double lastWall_ = 0.0;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_SIM_DRIVER_HH

@@ -23,6 +23,46 @@ archName(ArchKind kind)
     return "?";
 }
 
+std::string
+archToken(ArchKind kind)
+{
+    switch (kind) {
+      case ArchKind::Ev8: return "ev8";
+      case ArchKind::Ftb: return "ftb";
+      case ArchKind::Stream: return "stream";
+      case ArchKind::Trace: return "trace";
+    }
+    return "?";
+}
+
+ArchKind
+parseArch(const std::string &token)
+{
+    if (token == "ev8")
+        return ArchKind::Ev8;
+    if (token == "ftb")
+        return ArchKind::Ftb;
+    if (token == "stream" || token == "streams")
+        return ArchKind::Stream;
+    if (token == "trace" || token == "tcache")
+        return ArchKind::Trace;
+    throw std::invalid_argument("unknown architecture '" + token +
+                                "' (want ev8|ftb|stream|trace)");
+}
+
+bool
+operator==(const RunConfig &a, const RunConfig &b)
+{
+    return a.arch == b.arch && a.width == b.width &&
+        a.optimizedLayout == b.optimizedLayout && a.insts == b.insts &&
+        a.warmupInsts == b.warmupInsts &&
+        a.lineBytesOverride == b.lineBytesOverride &&
+        a.ftqEntriesOverride == b.ftqEntriesOverride &&
+        a.streamSingleTable == b.streamSingleTable &&
+        a.streamNoHysteresis == b.streamNoHysteresis &&
+        a.tracePartialMatching == b.tracePartialMatching;
+}
+
 const std::vector<ArchKind> &
 allArchs()
 {
@@ -47,10 +87,10 @@ PlacedWorkload::PlacedWorkload(const std::string &bench_name)
         work_.program, baselineOrder(work_.program));
 
     // Profile with the `train`-flavoured input, optimize, and place.
-    EdgeProfile profile = collectProfile(
-        work_.program, work_.model, kTrainSeed, 400'000);
+    profile_ = std::make_unique<EdgeProfile>(collectProfile(
+        work_.program, work_.model, kTrainSeed, 400'000));
     opt_ = std::make_unique<CodeImage>(
-        work_.program, optimizedOrder(work_.program, profile));
+        work_.program, optimizedOrder(work_.program, *profile_));
 }
 
 std::unique_ptr<FetchEngine>
@@ -91,6 +131,7 @@ makeEngine(const RunConfig &cfg, const CodeImage &image,
       case ArchKind::Trace: {
         TraceEngineConfig tc;
         tc.lineBytes = line;
+        tc.partialMatching = cfg.tracePartialMatching;
         return std::make_unique<TraceFetchEngine>(tc, image, mem);
       }
     }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "pipeline/processor.hh"
+#include "workload/profile.hh"
 #include "workload/suite.hh"
 
 namespace sfetch
@@ -31,6 +32,12 @@ enum class ArchKind
 
 /** Display name matching the paper's figures. */
 std::string archName(ArchKind kind);
+
+/** Stable machine-readable token: "ev8", "ftb", "stream", "trace". */
+std::string archToken(ArchKind kind);
+
+/** Inverse of archToken(); accepts a few aliases ("streams", "tcache"). */
+ArchKind parseArch(const std::string &token);
 
 /** All four architectures in the paper's plotting order. */
 const std::vector<ArchKind> &allArchs();
@@ -51,12 +58,23 @@ struct RunConfig
     bool streamSingleTable = false;
     /** Stream-predictor ablation: 1-bit hysteresis-free counters. */
     bool streamNoHysteresis = false;
+    /** Trace-cache ablation: enable partial matching (footnote 3). */
+    bool tracePartialMatching = false;
 };
+
+bool operator==(const RunConfig &a, const RunConfig &b);
+inline bool
+operator!=(const RunConfig &a, const RunConfig &b)
+{
+    return !(a == b);
+}
 
 /**
  * A reusable placed workload: program + behaviour + both layouts.
- * Building one is moderately expensive (profiling run), so benches
- * construct it once per benchmark and run many configs against it.
+ * Building one is moderately expensive (profiling run), so it is
+ * built once per benchmark — normally via WorkloadCache — and shared
+ * read-only across runs. All accessors are const; concurrent runs on
+ * one PlacedWorkload are safe.
  */
 class PlacedWorkload
 {
@@ -66,6 +84,8 @@ class PlacedWorkload
     const std::string &name() const { return name_; }
     const Program &program() const { return work_.program; }
     const WorkloadModel &model() const { return work_.model; }
+    /** Train-input edge profile that drove the optimized layout. */
+    const EdgeProfile &profile() const { return *profile_; }
     const CodeImage &baseImage() const { return *base_; }
     const CodeImage &optImage() const { return *opt_; }
 
@@ -78,6 +98,7 @@ class PlacedWorkload
   private:
     std::string name_;
     SyntheticWorkload work_;
+    std::unique_ptr<EdgeProfile> profile_;
     std::unique_ptr<CodeImage> base_;
     std::unique_ptr<CodeImage> opt_;
 };

@@ -1,0 +1,719 @@
+#include "sim/results.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hh"
+
+namespace sfetch
+{
+
+OutputFormat
+parseFormat(const std::string &token)
+{
+    if (token == "table")
+        return OutputFormat::Table;
+    if (token == "csv")
+        return OutputFormat::Csv;
+    if (token == "json")
+        return OutputFormat::Json;
+    throw std::invalid_argument("unknown format '" + token +
+                                "' (want table|csv|json)");
+}
+
+std::string
+formatName(OutputFormat fmt)
+{
+    switch (fmt) {
+      case OutputFormat::Table: return "table";
+      case OutputFormat::Csv: return "csv";
+      case OutputFormat::Json: return "json";
+    }
+    return "?";
+}
+
+bool
+operator==(const ResultRow &a, const ResultRow &b)
+{
+    return a.bench == b.bench && a.cfg == b.cfg && a.stats == b.stats;
+}
+
+ResultSet
+ResultSet::where(
+    const std::function<bool(const ResultRow &)> &pred) const
+{
+    ResultSet out;
+    out.wallSeconds_ = wallSeconds_;
+    for (const ResultRow &r : rows_)
+        if (pred(r))
+            out.rows_.push_back(r);
+    return out;
+}
+
+std::vector<double>
+ResultSet::collect(
+    const std::function<double(const ResultRow &)> &get) const
+{
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const ResultRow &r : rows_)
+        out.push_back(get(r));
+    return out;
+}
+
+std::vector<double>
+ResultSet::collect(
+    const std::function<bool(const ResultRow &)> &pred,
+    const std::function<double(const ResultRow &)> &get) const
+{
+    std::vector<double> out;
+    for (const ResultRow &r : rows_)
+        if (pred(r))
+            out.push_back(get(r));
+    return out;
+}
+
+double
+ResultSet::mean(MeanKind kind,
+                const std::function<bool(const ResultRow &)> &pred,
+                const std::function<double(const ResultRow &)> &get)
+    const
+{
+    return meanOf(collect(pred, get), kind);
+}
+
+std::string
+ResultSet::toTable() const
+{
+    TablePrinter tp;
+    tp.addHeader({"benchmark", "arch", "width", "layout", "IPC",
+                  "fetch IPC", "mispredict", "L1I miss"});
+    for (const ResultRow &r : rows_) {
+        tp.addRow({r.bench, archName(r.cfg.arch),
+                   std::to_string(r.cfg.width),
+                   r.cfg.optimizedLayout ? "opt" : "base",
+                   TablePrinter::fmt(r.stats.ipc()),
+                   TablePrinter::fmt(r.stats.fetchIpc()),
+                   TablePrinter::pct(r.stats.mispredictRate()),
+                   TablePrinter::pct(r.stats.l1iMissRate, 2)});
+    }
+    return tp.render();
+}
+
+namespace
+{
+
+/** Doubles rendered so that parsing recovers the exact bit pattern. */
+std::string
+d2s(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+u2s(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+constexpr std::size_t kNumBranchTypes = SimStats::kNumBranchTypes;
+
+// kCsvColumns spells out mispredicts_type_0..6 by hand.
+static_assert(SimStats::kNumBranchTypes == 7,
+              "update kCsvColumns for the new branch-type arity");
+
+/** Column order of toCsv(); parsing is by header name, not index. */
+const char *const kCsvColumns[] = {
+    "bench", "arch", "width", "layout", "insts", "warmup",
+    "line_bytes", "ftq_entries", "stream_single_table",
+    "stream_no_hysteresis", "trace_partial_matching", "cycles",
+    "committed_insts", "committed_branches",
+    "committed_cond_branches", "mispredicts", "cond_mispredicts",
+    "mispredicts_type_0", "mispredicts_type_1", "mispredicts_type_2",
+    "mispredicts_type_3", "mispredicts_type_4", "mispredicts_type_5",
+    "mispredicts_type_6", "fetched_correct", "fetched_wrong",
+    "fetch_cycles_attempted", "fetch_opp_insts", "l1i_miss_rate",
+    "l1d_miss_rate", "wall_seconds",
+    // Derived convenience columns; ignored by fromCsv().
+    "ipc", "fetch_ipc", "mispredict_rate",
+};
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cur;
+    for (char c : line) {
+        if (c == ',') {
+            cells.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    cells.push_back(cur);
+    return cells;
+}
+
+std::uint64_t
+toU64(const std::string &s)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        throw std::runtime_error("fromCsv: bad integer '" + s + "'");
+    return v;
+}
+
+double
+toD(const std::string &s)
+{
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        throw std::runtime_error("fromCsv: bad number '" + s + "'");
+    return v;
+}
+
+} // namespace
+
+std::string
+ResultSet::toCsv() const
+{
+    std::ostringstream os;
+    for (std::size_t c = 0; c < std::size(kCsvColumns); ++c)
+        os << (c ? "," : "") << kCsvColumns[c];
+    os << "\n";
+    for (const ResultRow &r : rows_) {
+        const SimStats &st = r.stats;
+        os << r.bench << ',' << archToken(r.cfg.arch) << ','
+           << r.cfg.width << ','
+           << (r.cfg.optimizedLayout ? "opt" : "base") << ','
+           << u2s(r.cfg.insts) << ',' << u2s(r.cfg.warmupInsts) << ','
+           << r.cfg.lineBytesOverride << ','
+           << r.cfg.ftqEntriesOverride << ','
+           << int(r.cfg.streamSingleTable) << ','
+           << int(r.cfg.streamNoHysteresis) << ','
+           << int(r.cfg.tracePartialMatching) << ','
+           << u2s(st.cycles) << ',' << u2s(st.committedInsts) << ','
+           << u2s(st.committedBranches) << ','
+           << u2s(st.committedCondBranches) << ','
+           << u2s(st.mispredicts) << ',' << u2s(st.condMispredicts);
+        for (std::size_t t = 0; t < kNumBranchTypes; ++t)
+            os << ',' << u2s(st.mispredictsByType[t]);
+        os << ',' << u2s(st.fetchedCorrect) << ','
+           << u2s(st.fetchedWrong) << ','
+           << u2s(st.fetchCyclesAttempted) << ','
+           << u2s(st.fetchOppInsts) << ',' << d2s(st.l1iMissRate)
+           << ',' << d2s(st.l1dMissRate) << ','
+           << d2s(r.wallSeconds) << ',' << d2s(st.ipc()) << ','
+           << d2s(st.fetchIpc()) << ',' << d2s(st.mispredictRate())
+           << "\n";
+    }
+    return os.str();
+}
+
+ResultSet
+ResultSet::fromCsv(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line))
+        throw std::runtime_error("fromCsv: empty input");
+
+    std::map<std::string, std::size_t> col;
+    std::vector<std::string> header = splitCsvLine(line);
+    for (std::size_t i = 0; i < header.size(); ++i)
+        col[header[i]] = i;
+
+    auto need = [&](const char *name) {
+        auto it = col.find(name);
+        if (it == col.end())
+            throw std::runtime_error(
+                std::string("fromCsv: missing column ") + name);
+        return it->second;
+    };
+
+    // Validate the header up front: every stored (non-derived)
+    // column must be present even when there are no data rows.
+    for (const char *name : kCsvColumns)
+        if (std::strcmp(name, "ipc") != 0 &&
+            std::strcmp(name, "fetch_ipc") != 0 &&
+            std::strcmp(name, "mispredict_rate") != 0)
+            need(name);
+
+    ResultSet out;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells = splitCsvLine(line);
+        if (cells.size() < header.size())
+            throw std::runtime_error("fromCsv: short row: " + line);
+        auto cell = [&](const char *name) -> const std::string & {
+            return cells[need(name)];
+        };
+
+        ResultRow r;
+        r.bench = cell("bench");
+        r.cfg.arch = parseArch(cell("arch"));
+        r.cfg.width = static_cast<unsigned>(toU64(cell("width")));
+        r.cfg.optimizedLayout = cell("layout") == "opt";
+        r.cfg.insts = toU64(cell("insts"));
+        r.cfg.warmupInsts = toU64(cell("warmup"));
+        r.cfg.lineBytesOverride =
+            static_cast<unsigned>(toU64(cell("line_bytes")));
+        r.cfg.ftqEntriesOverride =
+            static_cast<std::size_t>(toU64(cell("ftq_entries")));
+        r.cfg.streamSingleTable =
+            toU64(cell("stream_single_table")) != 0;
+        r.cfg.streamNoHysteresis =
+            toU64(cell("stream_no_hysteresis")) != 0;
+        r.cfg.tracePartialMatching =
+            toU64(cell("trace_partial_matching")) != 0;
+
+        SimStats &st = r.stats;
+        st.cycles = toU64(cell("cycles"));
+        st.committedInsts = toU64(cell("committed_insts"));
+        st.committedBranches = toU64(cell("committed_branches"));
+        st.committedCondBranches =
+            toU64(cell("committed_cond_branches"));
+        st.mispredicts = toU64(cell("mispredicts"));
+        st.condMispredicts = toU64(cell("cond_mispredicts"));
+        for (std::size_t t = 0; t < kNumBranchTypes; ++t) {
+            std::string name =
+                "mispredicts_type_" + std::to_string(t);
+            st.mispredictsByType[t] = toU64(cells[need(name.c_str())]);
+        }
+        st.fetchedCorrect = toU64(cell("fetched_correct"));
+        st.fetchedWrong = toU64(cell("fetched_wrong"));
+        st.fetchCyclesAttempted =
+            toU64(cell("fetch_cycles_attempted"));
+        st.fetchOppInsts = toU64(cell("fetch_opp_insts"));
+        st.l1iMissRate = toD(cell("l1i_miss_rate"));
+        st.l1dMissRate = toD(cell("l1d_miss_rate"));
+        r.wallSeconds = toD(cell("wall_seconds"));
+        out.add(std::move(r));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Minimal JSON document model, sufficient to read back what
+ * ResultSet::toJson() emits (and hand-edited variants thereof).
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        const JsonValue *v = find(key);
+        if (!v)
+            throw std::runtime_error("fromJson: missing key '" + key +
+                                     "'");
+        return *v;
+    }
+
+    double
+    asNumber() const
+    {
+        if (kind != Kind::Number)
+            throw std::runtime_error("fromJson: expected number");
+        return number;
+    }
+
+    std::uint64_t
+    asU64() const
+    {
+        return static_cast<std::uint64_t>(asNumber());
+    }
+
+    bool
+    asBool() const
+    {
+        if (kind != Kind::Bool)
+            throw std::runtime_error("fromJson: expected bool");
+        return boolean;
+    }
+
+    const std::string &
+    asString() const
+    {
+        if (kind != Kind::String)
+            throw std::runtime_error("fromJson: expected string");
+        return string;
+    }
+};
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw std::runtime_error("fromJson: " + what + " at offset " +
+                                 std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t len = std::strlen(lit);
+        if (text_.compare(pos_, len, lit) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case 'r': out.push_back('\r'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("short \\u escape");
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16));
+                pos_ += 4;
+                // Only Latin-1 escapes are ever emitted by toJson().
+                out.push_back(static_cast<char>(code & 0xff));
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    value()
+    {
+        char c = peek();
+        JsonValue v;
+        if (c == '{') {
+            ++pos_;
+            v.kind = JsonValue::Kind::Object;
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                std::string key = parseString();
+                expect(':');
+                v.object.emplace_back(std::move(key), value());
+                char n = peek();
+                ++pos_;
+                if (n == '}')
+                    return v;
+                if (n != ',')
+                    fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            v.kind = JsonValue::Kind::Array;
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                v.array.push_back(value());
+                char n = peek();
+                ++pos_;
+                if (n == ']')
+                    return v;
+                if (n != ',')
+                    fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            v.kind = JsonValue::Kind::String;
+            v.string = parseString();
+            return v;
+        }
+        skipWs();
+        if (consumeLiteral("true")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return v;
+        char *end = nullptr;
+        double num = std::strtod(text_.c_str() + pos_, &end);
+        if (end == text_.c_str() + pos_)
+            fail("unexpected token");
+        pos_ = static_cast<std::size_t>(end - text_.c_str());
+        v.kind = JsonValue::Kind::Number;
+        v.number = num;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+ResultSet::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"wall_seconds\": " << d2s(wallSeconds_)
+       << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const ResultRow &r = rows_[i];
+        const SimStats &st = r.stats;
+        const RunConfig &c = r.cfg;
+        os << (i ? "," : "") << "\n    {\n"
+           << "      \"bench\": \"" << jsonEscape(r.bench) << "\",\n"
+           << "      \"config\": {"
+           << "\"arch\": \"" << archToken(c.arch) << "\", "
+           << "\"width\": " << c.width << ", "
+           << "\"layout\": \""
+           << (c.optimizedLayout ? "opt" : "base") << "\", "
+           << "\"insts\": " << u2s(c.insts) << ", "
+           << "\"warmup\": " << u2s(c.warmupInsts) << ", "
+           << "\"line_bytes\": " << c.lineBytesOverride << ", "
+           << "\"ftq_entries\": " << c.ftqEntriesOverride << ", "
+           << "\"stream_single_table\": "
+           << (c.streamSingleTable ? "true" : "false") << ", "
+           << "\"stream_no_hysteresis\": "
+           << (c.streamNoHysteresis ? "true" : "false") << ", "
+           << "\"trace_partial_matching\": "
+           << (c.tracePartialMatching ? "true" : "false") << "},\n"
+           << "      \"stats\": {"
+           << "\"cycles\": " << u2s(st.cycles) << ", "
+           << "\"committed_insts\": " << u2s(st.committedInsts)
+           << ", "
+           << "\"committed_branches\": " << u2s(st.committedBranches)
+           << ", "
+           << "\"committed_cond_branches\": "
+           << u2s(st.committedCondBranches) << ", "
+           << "\"mispredicts\": " << u2s(st.mispredicts) << ", "
+           << "\"cond_mispredicts\": " << u2s(st.condMispredicts)
+           << ", \"mispredicts_by_type\": [";
+        for (std::size_t t = 0; t < kNumBranchTypes; ++t)
+            os << (t ? ", " : "") << u2s(st.mispredictsByType[t]);
+        os << "], "
+           << "\"fetched_correct\": " << u2s(st.fetchedCorrect)
+           << ", "
+           << "\"fetched_wrong\": " << u2s(st.fetchedWrong) << ", "
+           << "\"fetch_cycles_attempted\": "
+           << u2s(st.fetchCyclesAttempted) << ", "
+           << "\"fetch_opp_insts\": " << u2s(st.fetchOppInsts) << ", "
+           << "\"l1i_miss_rate\": " << d2s(st.l1iMissRate) << ", "
+           << "\"l1d_miss_rate\": " << d2s(st.l1dMissRate) << ", "
+           << "\"ipc\": " << d2s(st.ipc()) << ", "
+           << "\"fetch_ipc\": " << d2s(st.fetchIpc()) << ", "
+           << "\"mispredict_rate\": " << d2s(st.mispredictRate())
+           << ", \"engine\": {";
+        std::size_t k = 0;
+        for (const auto &[name, val] : st.engine.all())
+            os << (k++ ? ", " : "") << "\"" << jsonEscape(name)
+               << "\": " << d2s(val);
+        os << "}},\n      \"wall_seconds\": " << d2s(r.wallSeconds)
+           << "\n    }";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+ResultSet
+ResultSet::fromJson(const std::string &text)
+{
+    JsonValue doc = JsonReader(text).parse();
+    ResultSet out;
+    out.setWallSeconds(doc.at("wall_seconds").asNumber());
+    for (const JsonValue &jr : doc.at("rows").array) {
+        ResultRow r;
+        r.bench = jr.at("bench").asString();
+
+        const JsonValue &jc = jr.at("config");
+        r.cfg.arch = parseArch(jc.at("arch").asString());
+        r.cfg.width = static_cast<unsigned>(jc.at("width").asU64());
+        r.cfg.optimizedLayout = jc.at("layout").asString() == "opt";
+        r.cfg.insts = jc.at("insts").asU64();
+        r.cfg.warmupInsts = jc.at("warmup").asU64();
+        r.cfg.lineBytesOverride =
+            static_cast<unsigned>(jc.at("line_bytes").asU64());
+        r.cfg.ftqEntriesOverride =
+            static_cast<std::size_t>(jc.at("ftq_entries").asU64());
+        r.cfg.streamSingleTable =
+            jc.at("stream_single_table").asBool();
+        r.cfg.streamNoHysteresis =
+            jc.at("stream_no_hysteresis").asBool();
+        r.cfg.tracePartialMatching =
+            jc.at("trace_partial_matching").asBool();
+
+        const JsonValue &js = jr.at("stats");
+        SimStats &st = r.stats;
+        st.cycles = js.at("cycles").asU64();
+        st.committedInsts = js.at("committed_insts").asU64();
+        st.committedBranches = js.at("committed_branches").asU64();
+        st.committedCondBranches =
+            js.at("committed_cond_branches").asU64();
+        st.mispredicts = js.at("mispredicts").asU64();
+        st.condMispredicts = js.at("cond_mispredicts").asU64();
+        const JsonValue &byType = js.at("mispredicts_by_type");
+        if (byType.array.size() != kNumBranchTypes)
+            throw std::runtime_error(
+                "fromJson: bad mispredicts_by_type arity");
+        for (std::size_t t = 0; t < kNumBranchTypes; ++t)
+            st.mispredictsByType[t] = byType.array[t].asU64();
+        st.fetchedCorrect = js.at("fetched_correct").asU64();
+        st.fetchedWrong = js.at("fetched_wrong").asU64();
+        st.fetchCyclesAttempted =
+            js.at("fetch_cycles_attempted").asU64();
+        st.fetchOppInsts = js.at("fetch_opp_insts").asU64();
+        st.l1iMissRate = js.at("l1i_miss_rate").asNumber();
+        st.l1dMissRate = js.at("l1d_miss_rate").asNumber();
+        for (const auto &[name, val] : js.at("engine").object)
+            st.engine.set(name, val.asNumber());
+
+        r.wallSeconds = jr.at("wall_seconds").asNumber();
+        out.add(std::move(r));
+    }
+    return out;
+}
+
+bool
+emitMachineReadable(const ResultSet &rs, OutputFormat fmt)
+{
+    switch (fmt) {
+      case OutputFormat::Table:
+        return false;
+      case OutputFormat::Csv:
+        std::fputs(rs.toCsv().c_str(), stdout);
+        return true;
+      case OutputFormat::Json:
+        std::fputs(rs.toJson().c_str(), stdout);
+        return true;
+    }
+    return false;
+}
+
+} // namespace sfetch

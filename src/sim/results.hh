@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Structured sweep results: one ResultRow per (benchmark, RunConfig)
+ * simulation, collected into a ResultSet with table, CSV, and JSON
+ * emitters. Benches aggregate their paper tables from a ResultSet
+ * instead of ad-hoc printf loops, and `--format csv|json` dumps the
+ * raw rows for offline analysis. CSV and JSON both round-trip the
+ * configuration and counter fields; engine-internal stats ride along
+ * in JSON only.
+ */
+
+#ifndef SFETCH_SIM_RESULTS_HH
+#define SFETCH_SIM_RESULTS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/stats.hh"
+
+namespace sfetch
+{
+
+/** Output selector for the shared --format option. */
+enum class OutputFormat
+{
+    Table, //!< human-readable aggregate table (the default)
+    Csv,   //!< raw rows, one CSV line each
+    Json,  //!< raw rows as a JSON document
+};
+
+/** Parse "table"/"csv"/"json"; throws std::invalid_argument. */
+OutputFormat parseFormat(const std::string &token);
+
+/** Inverse of parseFormat(). */
+std::string formatName(OutputFormat fmt);
+
+/** One completed simulation run. */
+struct ResultRow
+{
+    std::string bench;
+    RunConfig cfg;
+    SimStats stats;
+    double wallSeconds = 0.0; //!< host wall-clock of this run
+};
+
+bool operator==(const ResultRow &a, const ResultRow &b);
+
+/** An ordered collection of runs plus sweep-level metadata. */
+class ResultSet
+{
+  public:
+    void add(ResultRow row) { rows_.push_back(std::move(row)); }
+
+    const std::vector<ResultRow> &rows() const { return rows_; }
+    std::size_t size() const { return rows_.size(); }
+    bool empty() const { return rows_.empty(); }
+    const ResultRow &at(std::size_t i) const { return rows_.at(i); }
+
+    /** Host wall-clock of the whole sweep (set by the driver). */
+    double wallSeconds() const { return wallSeconds_; }
+    void setWallSeconds(double s) { wallSeconds_ = s; }
+
+    /** Rows satisfying @p pred, in order. */
+    ResultSet
+    where(const std::function<bool(const ResultRow &)> &pred) const;
+
+    /** Extract one value per row. */
+    std::vector<double>
+    collect(const std::function<double(const ResultRow &)> &get) const;
+
+    /** Extract one value per row satisfying @p pred. */
+    std::vector<double>
+    collect(const std::function<bool(const ResultRow &)> &pred,
+            const std::function<double(const ResultRow &)> &get) const;
+
+    /** Suite-level aggregate of @p get over rows matching @p pred. */
+    double mean(MeanKind kind,
+                const std::function<bool(const ResultRow &)> &pred,
+                const std::function<double(const ResultRow &)> &get)
+        const;
+
+    /** Generic per-run table (bench/arch/width/layout/IPC/...). */
+    std::string toTable() const;
+
+    /** One header line plus one line per row. */
+    std::string toCsv() const;
+
+    /** A single JSON document; includes engine-internal stats. */
+    std::string toJson() const;
+
+    /** Parse toCsv() output. Throws std::runtime_error on malformed
+     * input. Engine stats are not represented in CSV. */
+    static ResultSet fromCsv(const std::string &text);
+
+    /** Parse toJson() output. Throws std::runtime_error. */
+    static ResultSet fromJson(const std::string &text);
+
+  private:
+    std::vector<ResultRow> rows_;
+    double wallSeconds_ = 0.0;
+};
+
+/**
+ * Shared tail of every bench main(): when @p fmt is csv or json,
+ * print the raw rows to stdout and return true (the caller skips its
+ * aggregate table); table format returns false.
+ */
+bool emitMachineReadable(const ResultSet &rs, OutputFormat fmt);
+
+} // namespace sfetch
+
+#endif // SFETCH_SIM_RESULTS_HH

@@ -1,0 +1,59 @@
+#include "sim/workload_cache.hh"
+
+namespace sfetch
+{
+
+WorkloadCache &
+WorkloadCache::instance()
+{
+    static WorkloadCache cache;
+    return cache;
+}
+
+WorkloadCache::Slot &
+WorkloadCache::slot(const std::string &bench_name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Slot> &s = slots_[bench_name];
+    if (!s)
+        s = std::make_unique<Slot>();
+    return *s;
+}
+
+const PlacedWorkload &
+WorkloadCache::get(const std::string &bench_name)
+{
+    Slot &s = slot(bench_name);
+    std::call_once(s.once, [&] {
+        s.work = std::make_unique<PlacedWorkload>(bench_name);
+    });
+    return *s.work;
+}
+
+bool
+WorkloadCache::contains(const std::string &bench_name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(bench_name);
+    return it != slots_.end() && it->second->work != nullptr;
+}
+
+std::size_t
+WorkloadCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto &[name, s] : slots_)
+        if (s->work)
+            ++n;
+    return n;
+}
+
+void
+WorkloadCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.clear();
+}
+
+} // namespace sfetch

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Process-wide registry of PlacedWorkloads. Building a workload is
+ * moderately expensive (synthesis + a profiling run + two placements),
+ * and every sweep wants the same eleven suite members, so the cache
+ * constructs each exactly once per process and hands out shared
+ * read-only references. Safe to use from many threads: concurrent
+ * get() calls for the same name block on one build; calls for
+ * different names build in parallel.
+ */
+
+#ifndef SFETCH_SIM_WORKLOAD_CACHE_HH
+#define SFETCH_SIM_WORKLOAD_CACHE_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace sfetch
+{
+
+class WorkloadCache
+{
+  public:
+    /** The process-wide instance used by the sweep driver. */
+    static WorkloadCache &instance();
+
+    /**
+     * The cached workload for @p bench_name, building it on first
+     * use. The reference stays valid (and immutable) for the cache's
+     * lifetime. Throws std::invalid_argument for unknown names.
+     */
+    const PlacedWorkload &get(const std::string &bench_name);
+
+    /** True when @p bench_name has already been built. */
+    bool contains(const std::string &bench_name) const;
+
+    /** Number of workloads built so far. */
+    std::size_t size() const;
+
+    /** Drop all cached workloads (testing hook). */
+    void clear();
+
+  private:
+    /**
+     * Per-name slot. The once flag serializes the build; the map
+     * mutex only guards slot creation, so distinct names can build
+     * concurrently.
+     */
+    struct Slot
+    {
+        std::once_flag once;
+        std::unique_ptr<PlacedWorkload> work;
+    };
+
+    Slot &slot(const std::string &bench_name);
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Slot>> slots_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_SIM_WORKLOAD_CACHE_HH

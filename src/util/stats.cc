@@ -45,6 +45,17 @@ geometricMean(const std::vector<double> &values)
     return std::exp(log_sum / double(values.size()));
 }
 
+double
+meanOf(const std::vector<double> &values, MeanKind kind)
+{
+    switch (kind) {
+      case MeanKind::Arithmetic: return arithmeticMean(values);
+      case MeanKind::Harmonic: return harmonicMean(values);
+      case MeanKind::Geometric: return geometricMean(values);
+    }
+    return 0.0;
+}
+
 std::string
 StatSet::dump() const
 {

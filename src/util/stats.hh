@@ -69,6 +69,31 @@ class Histogram
         return buckets_.size() - 1;
     }
 
+    /**
+     * Fold another histogram into this one. Exact-value buckets are
+     * added index-wise; the source's overflow bucket (whose samples
+     * have no exact value) and any source buckets beyond this
+     * histogram's bound land in this histogram's overflow bucket.
+     */
+    void
+    merge(const Histogram &other)
+    {
+        if (other.n_ == 0)
+            return;
+        for (std::size_t b = 0; b < other.buckets_.size(); ++b) {
+            bool src_overflow = b == other.buckets_.size() - 1;
+            std::size_t dst = src_overflow || b >= buckets_.size() - 1
+                ? buckets_.size() - 1 : b;
+            buckets_[dst] += other.buckets_[b];
+        }
+        if (n_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+        sum_ += other.sum_;
+        n_ += other.n_;
+    }
+
     void
     reset()
     {
@@ -94,6 +119,20 @@ double arithmeticMean(const std::vector<double> &values);
 
 /** Geometric mean. */
 double geometricMean(const std::vector<double> &values);
+
+/**
+ * Mean flavour selector for suite-level aggregation: the paper uses
+ * harmonic means for IPC and arithmetic means for rates.
+ */
+enum class MeanKind
+{
+    Arithmetic,
+    Harmonic,
+    Geometric,
+};
+
+/** Dispatch to the matching mean function. */
+double meanOf(const std::vector<double> &values, MeanKind kind);
 
 /**
  * A named scalar statistics dictionary used for dumping simulation
@@ -122,6 +161,14 @@ class StatSet
     }
 
     const std::map<std::string, double> &all() const { return values_; }
+
+    bool
+    operator==(const StatSet &other) const
+    {
+        return values_ == other.values_;
+    }
+
+    bool operator!=(const StatSet &other) const { return !(*this == other); }
 
     /** Render as "name value" lines. */
     std::string dump() const;

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the sweep driver layer: the parallel-equals-serial
+ * guarantee, workload caching, CLI helpers, and ResultSet
+ * serialization round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cli.hh"
+#include "sim/driver.hh"
+#include "sim/workload_cache.hh"
+
+using namespace sfetch;
+
+namespace
+{
+
+/** A small 4-arch x 2-width grid over two benchmarks. */
+std::vector<SweepPoint>
+smallGrid()
+{
+    std::vector<RunConfig> cfgs;
+    for (ArchKind arch : allArchs()) {
+        for (unsigned width : {4u, 8u}) {
+            RunConfig cfg;
+            cfg.arch = arch;
+            cfg.width = width;
+            cfg.optimizedLayout = true;
+            cfg.insts = 25'000;
+            cfg.warmupInsts = 5'000;
+            cfgs.push_back(cfg);
+        }
+    }
+    return SweepDriver::grid({"gzip", "vpr"}, cfgs);
+}
+
+} // namespace
+
+TEST(SweepDriver, GridIsBenchMajorCrossProduct)
+{
+    RunConfig a;
+    a.width = 2;
+    RunConfig b;
+    b.width = 8;
+    auto points = SweepDriver::grid({"gzip", "gcc"}, {a, b});
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].bench, "gzip");
+    EXPECT_EQ(points[0].cfg.width, 2u);
+    EXPECT_EQ(points[1].bench, "gzip");
+    EXPECT_EQ(points[1].cfg.width, 8u);
+    EXPECT_EQ(points[2].bench, "gcc");
+    EXPECT_EQ(points[3].bench, "gcc");
+}
+
+TEST(SweepDriver, ParallelSweepMatchesSerialExactly)
+{
+    auto points = smallGrid();
+
+    SweepDriver serial(1);
+    serial.setQuiet(true);
+    ResultSet rs1 = serial.run(points);
+
+    SweepDriver parallel(4);
+    parallel.setQuiet(true);
+    ResultSet rs4 = parallel.run(points);
+
+    ASSERT_EQ(rs1.size(), points.size());
+    ASSERT_EQ(rs4.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(rs1.at(i).bench, points[i].bench);
+        EXPECT_EQ(rs1.at(i).cfg, points[i].cfg);
+        // The strong guarantee: every counter and engine stat of the
+        // parallel run is bit-identical to the serial run.
+        EXPECT_EQ(rs1.at(i).stats, rs4.at(i).stats)
+            << "row " << i << " (" << points[i].bench << ", "
+            << archName(points[i].cfg.arch) << ", w"
+            << points[i].cfg.width << ") diverged";
+    }
+}
+
+TEST(SweepDriver, RepeatedRunsAreDeterministic)
+{
+    auto points = smallGrid();
+    SweepDriver driver(4);
+    driver.setQuiet(true);
+    ResultSet a = driver.run(points);
+    ResultSet b = driver.run(points);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.at(i).stats, b.at(i).stats);
+}
+
+TEST(SweepDriver, ForEachWorkloadVisitsEveryBenchOnce)
+{
+    SweepDriver driver(4);
+    driver.setQuiet(true);
+    std::vector<std::string> benches = {"gzip", "vpr", "eon"};
+    std::vector<std::string> seen(benches.size());
+    driver.forEachWorkload(benches,
+                           [&](const PlacedWorkload &w,
+                               std::size_t i) { seen[i] = w.name(); });
+    EXPECT_EQ(seen, benches);
+}
+
+TEST(WorkloadCache, ReturnsSameInstance)
+{
+    WorkloadCache &cache = WorkloadCache::instance();
+    const PlacedWorkload &a = cache.get("gzip");
+    const PlacedWorkload &b = cache.get("gzip");
+    EXPECT_EQ(&a, &b);
+    EXPECT_TRUE(cache.contains("gzip"));
+    EXPECT_EQ(a.name(), "gzip");
+}
+
+TEST(WorkloadCache, UnknownBenchmarkThrows)
+{
+    EXPECT_THROW(WorkloadCache::instance().get("not-a-benchmark"),
+                 std::invalid_argument);
+}
+
+TEST(ResultSet, CsvRoundTripsRows)
+{
+    SweepDriver driver(2);
+    driver.setQuiet(true);
+    RunConfig cfg;
+    cfg.arch = ArchKind::Stream;
+    cfg.width = 8;
+    cfg.insts = 20'000;
+    cfg.warmupInsts = 4'000;
+    RunConfig cfg2 = cfg;
+    cfg2.arch = ArchKind::Trace;
+    cfg2.optimizedLayout = false;
+    cfg2.tracePartialMatching = true;
+    ResultSet rs =
+        driver.run(SweepDriver::grid({"gzip"}, {cfg, cfg2}));
+
+    ResultSet back = ResultSet::fromCsv(rs.toCsv());
+    ASSERT_EQ(back.size(), rs.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(back.at(i).bench, rs.at(i).bench);
+        EXPECT_EQ(back.at(i).cfg, rs.at(i).cfg);
+        // CSV carries the counters but not engine-internal stats.
+        SimStats expect = rs.at(i).stats;
+        expect.engine = StatSet{};
+        EXPECT_EQ(back.at(i).stats, expect);
+        EXPECT_EQ(back.at(i).wallSeconds, rs.at(i).wallSeconds);
+    }
+}
+
+TEST(ResultSet, JsonRoundTripsRowsIncludingEngineStats)
+{
+    SweepDriver driver(2);
+    driver.setQuiet(true);
+    RunConfig cfg;
+    cfg.arch = ArchKind::Ftb;
+    cfg.width = 4;
+    cfg.insts = 20'000;
+    cfg.warmupInsts = 4'000;
+    cfg.ftqEntriesOverride = 8;
+    ResultSet rs = driver.run(SweepDriver::grid({"vpr"}, {cfg}));
+
+    ResultSet back = ResultSet::fromJson(rs.toJson());
+    ASSERT_EQ(back.size(), rs.size());
+    EXPECT_EQ(back.wallSeconds(), rs.wallSeconds());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(back.at(i).bench, rs.at(i).bench);
+        EXPECT_EQ(back.at(i).cfg, rs.at(i).cfg);
+        EXPECT_EQ(back.at(i).stats, rs.at(i).stats);
+        EXPECT_EQ(back.at(i).wallSeconds, rs.at(i).wallSeconds);
+    }
+}
+
+TEST(ResultSet, JsonRejectsMalformedInput)
+{
+    EXPECT_THROW(ResultSet::fromJson("{"), std::runtime_error);
+    EXPECT_THROW(ResultSet::fromJson("{\"rows\": []}"),
+                 std::runtime_error); // missing wall_seconds
+    EXPECT_THROW(ResultSet::fromCsv(""), std::runtime_error);
+    EXPECT_THROW(ResultSet::fromCsv("bench,arch\n"),
+                 std::runtime_error); // missing columns
+}
+
+TEST(ResultSet, CsvRejectsCorruptNumericCells)
+{
+    ResultSet rs;
+    ResultRow r;
+    r.bench = "gzip";
+    rs.add(r);
+    std::string csv = rs.toCsv();
+
+    // Corrupt the cycles cell of the data row.
+    std::string bad = csv;
+    std::size_t pos = bad.find("gzip,");
+    ASSERT_NE(pos, std::string::npos);
+    // cycles is the 12th column; splice garbage into it.
+    std::string row = bad.substr(pos);
+    std::size_t comma = 0;
+    for (int c = 0; c < 11; ++c)
+        comma = row.find(',', comma) + 1;
+    bad = bad.substr(0, pos) + row.substr(0, comma) + "12x4" +
+          row.substr(row.find(',', comma));
+    EXPECT_THROW(ResultSet::fromCsv(bad), std::runtime_error);
+
+    // The unmodified document still parses.
+    EXPECT_EQ(ResultSet::fromCsv(csv).size(), 1u);
+}
+
+TEST(ResultSet, AggregationHelpers)
+{
+    ResultSet rs;
+    for (double ipc : {1.0, 2.0, 4.0}) {
+        ResultRow r;
+        r.bench = "gzip";
+        r.stats.cycles = 1000;
+        r.stats.committedInsts =
+            static_cast<InstCount>(1000 * ipc);
+        rs.add(r);
+    }
+    auto all = [](const ResultRow &) { return true; };
+    auto ipc = [](const ResultRow &r) { return r.stats.ipc(); };
+    EXPECT_DOUBLE_EQ(rs.mean(MeanKind::Arithmetic, all, ipc),
+                     (1.0 + 2.0 + 4.0) / 3.0);
+    EXPECT_DOUBLE_EQ(rs.mean(MeanKind::Harmonic, all, ipc),
+                     3.0 / (1.0 + 0.5 + 0.25));
+    EXPECT_DOUBLE_EQ(rs.mean(MeanKind::Geometric, all, ipc), 2.0);
+    EXPECT_EQ(rs.where([](const ResultRow &r) {
+                    return r.stats.committedInsts > 1500;
+                }).size(),
+              2u);
+}
+
+TEST(Cli, ParsesListsAndResolvesBenches)
+{
+    EXPECT_EQ(CliParser::parseUnsignedList("2,4,8"),
+              (std::vector<unsigned>{2, 4, 8}));
+    EXPECT_THROW(CliParser::parseUnsignedList("2,x"),
+                 std::invalid_argument);
+    EXPECT_EQ(resolveBenches({}), suiteNames());
+    EXPECT_EQ(resolveBenches({"all"}), suiteNames());
+    EXPECT_EQ(resolveBenches({"gzip", "gcc"}),
+              (std::vector<std::string>{"gzip", "gcc"}));
+    EXPECT_THROW(resolveBenches({"nope"}), std::invalid_argument);
+}
+
+TEST(Cli, WarmupDefaultsToFifthOfInsts)
+{
+    CliOptions opts;
+    EXPECT_EQ(opts.warmupFor(1'000'000), 200'000u);
+    opts.warmupSet = true;
+    opts.warmupInsts = 123;
+    EXPECT_EQ(opts.warmupFor(1'000'000), 123u);
+}

@@ -320,6 +320,44 @@ TEST(Histogram, ResetClears)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(Histogram, MergeCombinesSameShape)
+{
+    Histogram a(16), b(16);
+    a.sample(2);
+    a.sample(4);
+    b.sample(4);
+    b.sample(10);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_EQ(a.bucket(4), 2u);
+    EXPECT_EQ(a.minValue(), 2u);
+    EXPECT_EQ(a.maxValue(), 10u);
+    // Merging an empty histogram is a no-op.
+    a.merge(Histogram(16));
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.minValue(), 2u);
+}
+
+TEST(Histogram, MergeRoutesForeignOverflowToOverflow)
+{
+    // The source's overflow bucket holds samples with no exact
+    // value; a wider destination must not mis-file them as exact.
+    Histogram narrow(4), wide(128);
+    narrow.sample(1000); // lands in narrow's overflow bucket (4)
+    wide.merge(narrow);
+    EXPECT_EQ(wide.bucket(4), 0u);
+    EXPECT_EQ(wide.bucket(128), 1u); // wide's overflow bucket
+    EXPECT_DOUBLE_EQ(wide.mean(), 1000.0);
+
+    // And a narrower destination overflows exact source buckets.
+    Histogram tiny(2);
+    Histogram src(8);
+    src.sample(5);
+    tiny.merge(src);
+    EXPECT_EQ(tiny.bucket(2), 1u);
+}
+
 // ---- means ----
 
 TEST(Means, Harmonic)
