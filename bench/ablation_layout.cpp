@@ -12,7 +12,6 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/stream_engine.hh"
 #include "layout/layout_opt.hh"
 #include "pipeline/processor.hh"
 #include "sim/cli.hh"
@@ -42,15 +41,16 @@ runStreams(const PlacedWorkload &work, const std::vector<BlockId> &ord,
            InstCount insts)
 {
     CodeImage img(work.program(), ord);
+    SimConfig cfg("stream");
+    cfg.width = 8;
     MemoryConfig mc;
-    mc.l1i.lineBytes = defaultLineBytes(8);
+    mc.l1i.lineBytes = cfg.lineBytes();
     MemoryHierarchy mem(mc);
-    StreamConfig sc;
-    sc.lineBytes = defaultLineBytes(8);
-    StreamFetchEngine engine(sc, img, &mem);
+    auto engine = cfg.makeEngine(img, &mem);
     ProcessorConfig pc;
-    pc.width = 8;
-    Processor proc(pc, &engine, img, work.model(), &mem, kRefSeed);
+    pc.width = cfg.width;
+    Processor proc(pc, engine.get(), img, work.model(), &mem,
+                   kRefSeed);
     SimStats st = proc.run(insts, insts / 5);
 
     Result r;

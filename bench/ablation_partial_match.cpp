@@ -3,7 +3,7 @@
  * Verifies the paper's footnote 3: "in the context of code layout
  * optimizations, the partial matching optimization actually causes a
  * drop in trace cache performance." Runs the trace cache engine with
- * and without partial matching on both layouts.
+ * and without the `partial_match` parameter on both layouts.
  *
  * Usage: ablation_partial_match [--insts N] [--bench name] [--jobs N]
  *                               [--format table|csv|json]
@@ -26,20 +26,17 @@ main(int argc, char **argv)
     CliParser cli("ablation_partial_match",
                   "Partial matching ablation for the trace cache "
                   "(8-wide)");
-    cli.addStandard(&opts, CliParser::kSweep);
+    cli.addStandard(&opts,
+                    CliParser::kSweep & ~unsigned(CliParser::kArch));
     cli.parseOrExit(argc, argv);
     opts.benches = resolveBenches(opts.benches);
 
-    std::vector<RunConfig> cfgs;
+    std::vector<SimConfig> cfgs;
     for (bool opt : {false, true}) {
         for (bool partial : {false, true}) {
-            RunConfig cfg;
-            cfg.arch = ArchKind::Trace;
-            cfg.width = 8;
-            cfg.optimizedLayout = opt;
-            cfg.insts = opts.insts;
-            cfg.warmupInsts = opts.warmupFor(opts.insts);
-            cfg.tracePartialMatching = partial;
+            SimConfig cfg =
+                opts.stamped(SimConfig("trace"), 8, opt);
+            cfg.params().setBool("partial_match", partial);
             cfgs.push_back(cfg);
         }
     }
@@ -62,7 +59,8 @@ main(int argc, char **argv)
         for (bool partial : {false, true}) {
             auto sel = [&](const ResultRow &r) {
                 return r.cfg.optimizedLayout == opt &&
-                    r.cfg.tracePartialMatching == partial;
+                    r.cfg.params().getBool("partial_match") ==
+                    partial;
             };
             double phits = 0.0;
             for (double v : rs.collect(sel, [](const ResultRow &r) {

@@ -3,7 +3,8 @@
  * Ablations of the next stream predictor's design choices
  * (Section 3.2): the cascaded second (path) table, and the 2-bit
  * hysteresis replacement counters that let the predictor hold
- * overlapping streams.
+ * overlapping streams. The variants are the stream engine's
+ * `single_table` / `no_hysteresis` parameters.
  *
  * Usage: ablation_predictor [--insts N] [--bench name] [--jobs N]
  *                           [--format table|csv|json]
@@ -23,14 +24,13 @@ namespace
 struct Variant
 {
     const char *name;
-    bool singleTable;
-    bool noHysteresis;
+    const char *spec;
 };
 
 const Variant kVariants[] = {
-    {"cascaded + 2-bit hysteresis (paper)", false, false},
-    {"single address-indexed table", true, false},
-    {"cascaded, 1-bit counters", false, true},
+    {"cascaded + 2-bit hysteresis (paper)", "stream"},
+    {"single address-indexed table", "stream:single_table=1"},
+    {"cascaded, 1-bit counters", "stream:no_hysteresis=1"},
 };
 
 } // namespace
@@ -44,22 +44,15 @@ main(int argc, char **argv)
     CliParser cli("ablation_predictor",
                   "Stream predictor ablations (8-wide, optimized "
                   "codes)");
-    cli.addStandard(&opts, CliParser::kSweep);
+    cli.addStandard(&opts,
+                    CliParser::kSweep & ~unsigned(CliParser::kArch));
     cli.parseOrExit(argc, argv);
     opts.benches = resolveBenches(opts.benches);
 
-    std::vector<RunConfig> cfgs;
-    for (const Variant &v : kVariants) {
-        RunConfig cfg;
-        cfg.arch = ArchKind::Stream;
-        cfg.width = 8;
-        cfg.optimizedLayout = true;
-        cfg.insts = opts.insts;
-        cfg.warmupInsts = opts.warmupFor(opts.insts);
-        cfg.streamSingleTable = v.singleTable;
-        cfg.streamNoHysteresis = v.noHysteresis;
-        cfgs.push_back(cfg);
-    }
+    std::vector<SimConfig> cfgs;
+    for (const Variant &v : kVariants)
+        cfgs.push_back(
+            opts.stamped(SimConfig::fromSpec(v.spec), 8, true));
 
     SweepDriver driver(opts.jobs);
     ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
@@ -73,9 +66,10 @@ main(int argc, char **argv)
     TablePrinter tp;
     tp.addHeader({"variant", "mispredict", "fetch IPC", "IPC"});
     for (const Variant &v : kVariants) {
+        const std::string spec =
+            SimConfig::fromSpec(v.spec).specText();
         auto sel = [&](const ResultRow &r) {
-            return r.cfg.streamSingleTable == v.singleTable &&
-                r.cfg.streamNoHysteresis == v.noHysteresis;
+            return r.cfg.specText() == spec;
         };
         tp.addRow({v.name,
                    TablePrinter::pct(rs.mean(

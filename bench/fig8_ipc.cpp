@@ -3,9 +3,12 @@
  * Reproduces Figure 8 of the paper: harmonic-mean IPC over the
  * SPECint-like suite for the four fetch architectures, at pipe
  * widths 2, 4 and 8, with baseline and layout-optimized codes.
+ * `--arch` swaps in any registered engine specs (e.g. `seq` or
+ * `stream:single_table=1`) with no other changes.
  *
  * Usage: fig8_ipc [--insts N] [--widths 2,4,8] [--bench name]
- *                 [--jobs N] [--format table|csv|json]
+ *                 [--arch SPEC,...] [--jobs N]
+ *                 [--format table|csv|json]
  */
 
 #include <cstdio>
@@ -30,20 +33,12 @@ main(int argc, char **argv)
     cli.parseOrExit(argc, argv);
     opts.benches = resolveBenches(opts.benches);
 
-    std::vector<RunConfig> cfgs;
-    for (unsigned width : opts.widths) {
-        for (ArchKind arch : allArchs()) {
-            for (bool opt : {false, true}) {
-                RunConfig cfg;
-                cfg.arch = arch;
-                cfg.width = width;
-                cfg.optimizedLayout = opt;
-                cfg.insts = opts.insts;
-                cfg.warmupInsts = opts.warmupFor(opts.insts);
-                cfgs.push_back(cfg);
-            }
-        }
-    }
+    const std::vector<SimConfig> archs = opts.archsOrPaperSet();
+    std::vector<SimConfig> cfgs;
+    for (unsigned width : opts.widths)
+        for (const SimConfig &arch : archs)
+            for (bool opt : {false, true})
+                cfgs.push_back(opts.stamped(arch, width, opt));
 
     SweepDriver driver(opts.jobs);
     ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
@@ -64,20 +59,20 @@ main(int argc, char **argv)
         TablePrinter tp;
         tp.addHeader({"architecture", "base IPC", "optimized IPC",
                       "opt/base"});
-        for (ArchKind arch : allArchs()) {
+        for (const SimConfig &arch : archs) {
             auto ipcOf = [&](bool opt) {
                 return rs.mean(
                     MeanKind::Harmonic,
                     [&](const ResultRow &r) {
                         return r.cfg.width == width &&
-                            r.cfg.arch == arch &&
+                            r.cfg.specText() == arch.specText() &&
                             r.cfg.optimizedLayout == opt;
                     },
                     [](const ResultRow &r) { return r.stats.ipc(); });
             };
             double b = ipcOf(false);
             double o = ipcOf(true);
-            tp.addRow({archName(arch), TablePrinter::fmt(b),
+            tp.addRow({arch.label(), TablePrinter::fmt(b),
                        TablePrinter::fmt(o),
                        TablePrinter::fmt(b > 0 ? o / b : 0, 3)});
         }

@@ -1,9 +1,11 @@
 /**
  * @file
  * Reproduces Figure 9 of the paper: per-benchmark IPC for the 8-wide
- * processor with layout-optimized codes, all four architectures.
+ * processor with layout-optimized codes, all four architectures (or
+ * any `--arch` engine spec list).
  *
- * Usage: fig9_per_benchmark [--insts N] [--bench name] [--jobs N]
+ * Usage: fig9_per_benchmark [--insts N] [--bench name]
+ *                           [--arch SPEC,...] [--jobs N]
  *                           [--format table|csv|json]
  */
 
@@ -30,16 +32,10 @@ main(int argc, char **argv)
     cli.parseOrExit(argc, argv);
     opts.benches = resolveBenches(opts.benches);
 
-    std::vector<RunConfig> cfgs;
-    for (ArchKind arch : allArchs()) {
-        RunConfig cfg;
-        cfg.arch = arch;
-        cfg.width = 8;
-        cfg.optimizedLayout = true;
-        cfg.insts = opts.insts;
-        cfg.warmupInsts = opts.warmupFor(opts.insts);
-        cfgs.push_back(cfg);
-    }
+    const std::vector<SimConfig> archs = opts.archsOrPaperSet();
+    std::vector<SimConfig> cfgs;
+    for (const SimConfig &arch : archs)
+        cfgs.push_back(opts.stamped(arch, 8, true));
 
     SweepDriver driver(opts.jobs);
     ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
@@ -52,48 +48,52 @@ main(int argc, char **argv)
 
     TablePrinter tp;
     std::vector<std::string> header = {"benchmark"};
-    for (ArchKind arch : allArchs())
-        header.push_back(archName(arch));
+    for (const SimConfig &arch : archs)
+        header.push_back(arch.label());
     header.push_back("best");
     tp.addHeader(header);
 
-    std::map<ArchKind, std::vector<double>> per_arch;
-    std::map<ArchKind, int> wins;
+    // Keyed by canonical engine spec, filled in arch order.
+    std::map<std::string, std::vector<double>> per_arch;
+    std::map<std::string, int> wins;
 
     for (const std::string &bench : opts.benches) {
         std::vector<std::string> row = {bench};
         double best = 0.0;
-        ArchKind best_arch = ArchKind::Ev8;
-        for (ArchKind arch : allArchs()) {
+        std::string best_label;
+        for (const SimConfig &arch : archs) {
             std::vector<double> ipc = rs.collect(
                 [&](const ResultRow &r) {
-                    return r.bench == bench && r.cfg.arch == arch;
+                    return r.bench == bench &&
+                        r.cfg.specText() == arch.specText();
                 },
                 [](const ResultRow &r) { return r.stats.ipc(); });
             double v = ipc.empty() ? 0.0 : ipc.front();
-            per_arch[arch].push_back(v);
+            per_arch[arch.specText()].push_back(v);
             row.push_back(TablePrinter::fmt(v));
             if (v > best) {
                 best = v;
-                best_arch = arch;
+                best_label = arch.label();
             }
         }
-        ++wins[best_arch];
-        row.push_back(archName(best_arch));
+        ++wins[best_label];
+        row.push_back(best_label);
         tp.addRow(row);
     }
 
     tp.addSeparator();
     std::vector<std::string> hm = {"Hmean"};
-    for (ArchKind arch : allArchs())
-        hm.push_back(TablePrinter::fmt(harmonicMean(per_arch[arch])));
+    for (const SimConfig &arch : archs)
+        hm.push_back(TablePrinter::fmt(
+            harmonicMean(per_arch[arch.specText()])));
     hm.push_back("");
     tp.addRow(hm);
     std::printf("%s\n", tp.render().c_str());
 
     std::printf("wins per architecture:");
-    for (ArchKind arch : allArchs())
-        std::printf("  %s: %d", archName(arch).c_str(), wins[arch]);
+    for (const SimConfig &arch : archs)
+        std::printf("  %s: %d", arch.label().c_str(),
+                    wins[arch.label()]);
     std::printf("\n");
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "bpred/gskew.hh"
 #include "bpred/perceptron.hh"
 #include "core/nsp.hh"
+#include "sim/engine_registry.hh"
 #include "sim/experiment.hh"
 #include "sim/workload_cache.hh"
 #include "util/dolc.hh"
@@ -102,11 +103,14 @@ BENCHMARK(BM_DolcIndex);
 static void
 BM_SimulatorThroughput(benchmark::State &state)
 {
-    // Whole-pipeline simulation speed in committed instructions/s.
+    // Whole-pipeline simulation speed in committed instructions/s,
+    // one benchmark instance per registered engine.
+    const std::vector<std::string> tokens =
+        EngineRegistry::instance().tokens();
     const PlacedWorkload &work = WorkloadCache::instance().get("gzip");
     for (auto _ : state) {
-        RunConfig cfg;
-        cfg.arch = static_cast<ArchKind>(state.range(0));
+        SimConfig cfg(tokens.at(
+            static_cast<std::size_t>(state.range(0))));
         cfg.width = 8;
         cfg.insts = 100'000;
         cfg.warmupInsts = 0;
@@ -117,7 +121,9 @@ BM_SimulatorThroughput(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 100'000);
 }
 BENCHMARK(BM_SimulatorThroughput)
-    ->DenseRange(0, 3)
+    ->DenseRange(
+        0, static_cast<std::int64_t>(
+               EngineRegistry::instance().size()) - 1)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -4,7 +4,8 @@
  * fetch IPC for the 8-wide processor, base and optimized codes,
  * averaged over the suite. Also prints the processor IPC columns.
  *
- * Usage: table3_fetch_metrics [--insts N] [--bench name] [--jobs N]
+ * Usage: table3_fetch_metrics [--insts N] [--bench name]
+ *                             [--arch SPEC,...] [--jobs N]
  *                             [--format table|csv|json]
  */
 
@@ -29,18 +30,11 @@ main(int argc, char **argv)
     cli.parseOrExit(argc, argv);
     opts.benches = resolveBenches(opts.benches);
 
-    std::vector<RunConfig> cfgs;
-    for (ArchKind arch : allArchs()) {
-        for (bool opt : {false, true}) {
-            RunConfig cfg;
-            cfg.arch = arch;
-            cfg.width = 8;
-            cfg.optimizedLayout = opt;
-            cfg.insts = opts.insts;
-            cfg.warmupInsts = opts.warmupFor(opts.insts);
-            cfgs.push_back(cfg);
-        }
-    }
+    const std::vector<SimConfig> archs = opts.archsOrPaperSet();
+    std::vector<SimConfig> cfgs;
+    for (const SimConfig &arch : archs)
+        for (bool opt : {false, true})
+            cfgs.push_back(opts.stamped(arch, 8, opt));
 
     SweepDriver driver(opts.jobs);
     ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
@@ -54,10 +48,10 @@ main(int argc, char **argv)
     TablePrinter tp;
     tp.addHeader({"", "base Mispred.", "base Fetch", "base IPC",
                   "opt Mispred.", "opt Fetch", "opt IPC"});
-    for (ArchKind arch : allArchs()) {
+    for (const SimConfig &arch : archs) {
         auto sel = [&](bool opt) {
             return [&, opt](const ResultRow &r) {
-                return r.cfg.arch == arch &&
+                return r.cfg.specText() == arch.specText() &&
                     r.cfg.optimizedLayout == opt;
             };
         };
@@ -68,7 +62,7 @@ main(int argc, char **argv)
             return r.stats.fetchIpc();
         };
         auto ipc = [](const ResultRow &r) { return r.stats.ipc(); };
-        tp.addRow({archName(arch),
+        tp.addRow({arch.label(),
                    TablePrinter::pct(
                        rs.mean(MeanKind::Arithmetic, sel(false), mis)),
                    TablePrinter::fmt(

@@ -1,11 +1,12 @@
 /**
  * @file
- * Compare all four fetch architectures on one benchmark, both code
- * layouts, at a chosen pipe width — a one-benchmark slice of the
- * paper's evaluation.
+ * Compare fetch architectures on one benchmark, both code layouts,
+ * at a chosen pipe width — a one-benchmark slice of the paper's
+ * evaluation. Defaults to the paper's four engines; `--arch` swaps
+ * in any registered specs.
  *
  * Usage: arch_compare [benchmark] [width]
- *        arch_compare --bench gcc --width 8 --jobs 4
+ *        arch_compare --bench gcc --width 8 --arch stream,seq
  */
 
 #include <cstdio>
@@ -27,10 +28,11 @@ main(int argc, char **argv)
     unsigned width = 8;
 
     CliParser cli("arch_compare",
-                  "all four fetch architectures on one benchmark, "
+                  "registered fetch architectures on one benchmark, "
                   "both layouts");
     cli.addStandard(&opts, CliParser::kInsts | CliParser::kBench |
-                               CliParser::kJobs | CliParser::kFormat);
+                               CliParser::kJobs | CliParser::kFormat |
+                               CliParser::kArch);
     cli.addOption("--width", "2|4|8", "pipe width (default 8)",
                   [&](const std::string &v) {
                       width = CliParser::parseUnsignedList(v).at(0);
@@ -64,18 +66,10 @@ main(int argc, char **argv)
                 work.baseImage().numStubs(),
                 work.optImage().numStubs());
 
-    std::vector<RunConfig> cfgs;
-    for (ArchKind arch : allArchs()) {
-        for (bool opt : {false, true}) {
-            RunConfig cfg;
-            cfg.arch = arch;
-            cfg.width = width;
-            cfg.optimizedLayout = opt;
-            cfg.insts = opts.insts;
-            cfg.warmupInsts = opts.warmupFor(opts.insts);
-            cfgs.push_back(cfg);
-        }
-    }
+    std::vector<SimConfig> cfgs;
+    for (const SimConfig &arch : opts.archsOrPaperSet())
+        for (bool opt : {false, true})
+            cfgs.push_back(opts.stamped(arch, width, opt));
 
     SweepDriver driver(opts.jobs);
     ResultSet rs = driver.run(SweepDriver::grid({bench}, cfgs));
@@ -90,7 +84,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < rs.size(); ++i) {
         const ResultRow &r = rs.at(i);
         const SimStats &st = r.stats;
-        tp.addRow({archName(r.cfg.arch),
+        tp.addRow({r.cfg.label(),
                    r.cfg.optimizedLayout ? "optimized" : "base",
                    TablePrinter::fmt(st.ipc()),
                    TablePrinter::fmt(st.fetchIpc()),
@@ -99,8 +93,7 @@ main(int argc, char **argv)
         if (r.cfg.optimizedLayout)
             tp.addSeparator();
         if (verbose) {
-            std::printf("--- %s %s ---\n",
-                        archName(r.cfg.arch).c_str(),
+            std::printf("--- %s %s ---\n", r.cfg.label().c_str(),
                         r.cfg.optimizedLayout ? "opt" : "base");
             std::printf("cond mispred %.2f%% (%llu/%llu)  "
                         "other mispred %llu of %llu branches\n",

@@ -102,16 +102,9 @@ main(int argc, char **argv)
 
     // End-to-end effect on the stream fetch architecture: both
     // layouts through the shared driver.
-    std::vector<RunConfig> cfgs;
-    for (bool opt : {false, true}) {
-        RunConfig cfg;
-        cfg.arch = ArchKind::Stream;
-        cfg.width = 8;
-        cfg.optimizedLayout = opt;
-        cfg.insts = opts.insts;
-        cfg.warmupInsts = opts.warmupFor(opts.insts);
-        cfgs.push_back(cfg);
-    }
+    std::vector<SimConfig> cfgs;
+    for (bool opt : {false, true})
+        cfgs.push_back(opts.stamped(SimConfig("stream"), 8, opt));
     SweepDriver driver(opts.jobs);
     driver.setQuiet(true);
     ResultSet rs = driver.run(SweepDriver::grid({bench}, cfgs));

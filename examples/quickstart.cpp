@@ -12,7 +12,6 @@
 
 #include <cstdio>
 
-#include "core/stream_engine.hh"
 #include "isa/cfg_builder.hh"
 #include "layout/layout_opt.hh"
 #include "sim/experiment.hh"
@@ -84,14 +83,17 @@ main()
                 100.0 * qb.takenFraction(),
                 100.0 * qo.takenFraction());
 
-    // Run the stream engine on the optimized Figure 1 image.
+    // Run the stream engine on the optimized Figure 1 image. The
+    // engine comes from the registry: any `--list-archs` token and
+    // parameter spec would work here.
+    SimConfig streams("stream");
     MemoryConfig mc;
     MemoryHierarchy mem(mc);
-    StreamConfig sc;
-    StreamFetchEngine engine(sc, opt, &mem);
+    auto engine = streams.makeEngine(opt, &mem);
     ProcessorConfig pc;
     pc.width = 8;
-    Processor proc(pc, &engine, opt, fig1.model, &mem, kRefSeed);
+    Processor proc(pc, engine.get(), opt, fig1.model, &mem,
+                   kRefSeed);
     SimStats st = proc.run(200'000, 20'000);
 
     std::printf("stream engine on figure1(optimized): IPC %.2f, "
@@ -109,8 +111,7 @@ main()
     // ---- Part 2: a suite benchmark through the harness ----
     // (Sweeps over many configs should use SweepDriver from
     // sim/driver.hh; runBenchmark is the one-off convenience path.)
-    RunConfig cfg;
-    cfg.arch = ArchKind::Stream;
+    SimConfig cfg = SimConfig::fromSpec("stream");
     cfg.width = 8;
     cfg.optimizedLayout = true;
     cfg.insts = 500'000;

@@ -1,16 +1,21 @@
 /**
  * @file
- * sfetchsim: command-line driver for arbitrary simulations.
+ * sfetchsim: command-line driver for arbitrary simulations over the
+ * engine registry.
  *
  * Usage:
- *   sfetchsim [--arch ev8|ftb|stream|trace] [--bench NAME|all]
+ *   sfetchsim [--arch SPEC[,SPEC...]] [--bench NAME|all]
  *             [--width 2|4|8] [--layout base|opt] [--insts N]
- *             [--warmup N] [--line BYTES] [--jobs N]
- *             [--format table|csv|json] [--stats]
+ *             [--warmup N] [--jobs N] [--format table|csv|json]
+ *             [--stats] [--list-archs]
+ *
+ * SPEC is `arch[:key=value,...]` over the registered engines; run
+ * `sfetchsim --list-archs` for the full catalogue.
  *
  * Examples:
  *   sfetchsim --arch stream --bench gcc --width 8 --layout opt
- *   sfetchsim --arch trace --bench all --stats
+ *   sfetchsim --arch stream:ftq=8,single_table=1,seq --bench all
+ *   sfetchsim --arch trace:partial_match=1 --bench all --stats
  */
 
 #include <cstdio>
@@ -28,46 +33,36 @@ main(int argc, char **argv)
     CliOptions opts;
     opts.insts = 1'000'000;
     opts.benches = {"gcc"};
+    opts.archs = {SimConfig("stream")};
 
-    RunConfig cfg;
-    cfg.arch = ArchKind::Stream;
-    cfg.width = 8;
-    cfg.optimizedLayout = true;
+    unsigned width = 8;
+    bool optimized = true;
     bool dump_stats = false;
 
     CliParser cli("sfetchsim",
-                  "run one machine configuration over one or more "
-                  "suite benchmarks");
+                  "run any registered machine configuration over one "
+                  "or more suite benchmarks");
     cli.addStandard(&opts, CliParser::kSweep | CliParser::kWarmup);
-    cli.addOption("--arch", "ev8|ftb|stream|trace",
-                  "fetch architecture (default stream)",
-                  [&](const std::string &v) {
-                      cfg.arch = parseArch(v);
-                  });
     cli.addOption("--width", "2|4|8", "pipe width (default 8)",
                   [&](const std::string &v) {
-                      cfg.width = CliParser::parseUnsignedList(v).at(0);
+                      width = CliParser::parseUnsignedList(v).at(0);
                   });
     cli.addOption("--layout", "base|opt",
                   "code layout (default opt)",
                   [&](const std::string &v) {
-                      cfg.optimizedLayout = v != "base";
-                  });
-    cli.addOption("--line", "BYTES", "i-cache line override",
-                  [&](const std::string &v) {
-                      cfg.lineBytesOverride =
-                          CliParser::parseUnsignedList(v).at(0);
+                      optimized = v != "base";
                   });
     cli.addFlag("--stats", "dump engine-internal statistics",
                 [&] { dump_stats = true; });
     cli.parseOrExit(argc, argv);
 
     opts.benches = resolveBenches(opts.benches);
-    cfg.insts = opts.insts;
-    cfg.warmupInsts = opts.warmupFor(opts.insts);
+    std::vector<SimConfig> cfgs;
+    for (const SimConfig &arch : opts.archs)
+        cfgs.push_back(opts.stamped(arch, width, optimized));
 
     SweepDriver driver(opts.jobs);
-    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, {cfg}));
+    ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
     if (emitMachineReadable(rs, opts.format))
         return 0;
 
@@ -77,7 +72,7 @@ main(int argc, char **argv)
     std::vector<double> ipcs;
     for (const ResultRow &r : rs.rows()) {
         ipcs.push_back(r.stats.ipc());
-        tp.addRow({r.bench, archName(r.cfg.arch),
+        tp.addRow({r.bench, r.cfg.label(),
                    std::to_string(r.cfg.width),
                    r.cfg.optimizedLayout ? "opt" : "base",
                    TablePrinter::fmt(r.stats.ipc()),
@@ -85,8 +80,8 @@ main(int argc, char **argv)
                    TablePrinter::pct(r.stats.mispredictRate()),
                    TablePrinter::pct(r.stats.l1iMissRate, 2)});
         if (dump_stats)
-            std::printf("--- %s engine stats ---\n%s",
-                        r.bench.c_str(),
+            std::printf("--- %s / %s engine stats ---\n%s",
+                        r.bench.c_str(), r.cfg.label().c_str(),
                         r.stats.engine.dump().c_str());
     }
     if (rs.size() > 1) {

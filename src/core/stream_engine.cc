@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/engine_registry.hh"
+
 namespace sfetch
 {
 
@@ -225,5 +227,55 @@ StreamFetchEngine::stats() const
           builder_->lengthHistogram().mean());
     return s;
 }
+
+namespace detail
+{
+
+void
+registerStreamEngine(EngineRegistry &reg)
+{
+    EngineDescriptor d;
+    d.token = "stream";
+    d.displayName = "Streams";
+    d.summary =
+        "the paper's stream fetch architecture: cascaded next stream "
+        "predictor driving a wide-line i-cache through an FTQ";
+    d.aliases = {"streams"};
+    d.paperDefault = true;
+    d.params
+        .intParam("line", 0,
+                  "i-cache line bytes (0 = 4 x pipe width)")
+        .intParam("ftq", 4, "fetch target queue entries", 1)
+        .intParam("ras", 8, "return address stack entries", 1)
+        .intParam("max_stream", 64,
+                  "predictor stream length cap in instructions", 1)
+        .boolParam("single_table", false,
+                   "ablation: drop the path-indexed second table, "
+                   "all capacity address-indexed (Section 3.2)")
+        .boolParam("no_hysteresis", false,
+                   "ablation: 1-bit hysteresis-free replacement "
+                   "counters (Section 3.2)");
+    d.factory = [](const ParamSet &p, const CodeImage &image,
+                   MemoryHierarchy *mem) {
+        StreamConfig c;
+        c.lineBytes = static_cast<unsigned>(p.getInt("line"));
+        c.ftqEntries = static_cast<std::size_t>(p.getInt("ftq"));
+        c.rasEntries = static_cast<std::size_t>(p.getInt("ras"));
+        c.maxStreamInsts =
+            static_cast<std::uint32_t>(p.getInt("max_stream"));
+        if (p.getBool("single_table")) {
+            // Ablation: all capacity in the address-indexed table.
+            c.nsp.firstEntries = 8192;
+            c.nsp.firstAssoc = 4;
+            c.nsp.pathTableEnabled = false;
+        }
+        if (p.getBool("no_hysteresis"))
+            c.nsp.counterBits = 1;
+        return std::make_unique<StreamFetchEngine>(c, image, mem);
+    };
+    reg.add(std::move(d));
+}
+
+} // namespace detail
 
 } // namespace sfetch

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/engine_registry.hh"
+
 namespace sfetch
 {
 
@@ -203,5 +205,42 @@ Ev8Engine::stats() const
           ? double(btb_.hits()) / double(btb_.lookups()) : 0.0);
     return s;
 }
+
+namespace detail
+{
+
+void
+registerEv8Engine(EngineRegistry &reg)
+{
+    EngineDescriptor d;
+    d.token = "ev8";
+    d.displayName = "EV8+2bcgskew";
+    d.summary =
+        "coupled wide-line front end: 2bcgskew direction predictor, "
+        "BTB, line predictor, 8-entry RAS (Table 2 baseline)";
+    d.paperDefault = true;
+    d.params
+        .intParam("line", 0,
+                  "i-cache line bytes (0 = 4 x pipe width)")
+        .intParam("ras", 8, "return address stack entries", 1)
+        .intParam("btb_entries", 2048, "BTB entries", 1)
+        .intParam("btb_assoc", 4, "BTB associativity", 1)
+        .intParam("line_pred", 4096, "line predictor entries", 1);
+    d.factory = [](const ParamSet &p, const CodeImage &image,
+                   MemoryHierarchy *mem) {
+        Ev8Config c;
+        c.lineBytes = static_cast<unsigned>(p.getInt("line"));
+        c.rasEntries = static_cast<std::size_t>(p.getInt("ras"));
+        c.btb.entries =
+            static_cast<std::size_t>(p.getInt("btb_entries"));
+        c.btb.assoc = static_cast<unsigned>(p.getInt("btb_assoc"));
+        c.linePredEntries =
+            static_cast<std::size_t>(p.getInt("line_pred"));
+        return std::make_unique<Ev8Engine>(c, image, mem);
+    };
+    reg.add(std::move(d));
+}
+
+} // namespace detail
 
 } // namespace sfetch

@@ -23,6 +23,7 @@
 #ifndef SFETCH_FETCH_FETCH_ENGINE_HH
 #define SFETCH_FETCH_FETCH_ENGINE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -144,10 +145,20 @@ class FetchTargetQueue
     std::size_t size() const { return queue_.size(); }
     std::size_t capacity() const { return capacity_; }
 
-    void
+    /**
+     * Enqueue @p req. The capacity is enforced here, not by caller
+     * convention: pushing into a full queue asserts in debug builds
+     * and drops the request (returning false) in release builds.
+     */
+    bool
     push(const FetchRequest &req)
     {
+        assert(!full() &&
+               "FetchTargetQueue overflow: check full() first");
+        if (full())
+            return false;
         queue_.push_back(req);
+        return true;
     }
 
     FetchRequest &front() { return queue_.front(); }
@@ -194,10 +205,16 @@ class ICacheReader
         return static_cast<unsigned>((line_end - pc) / kInstBytes);
     }
 
+    /**
+     * Back to a pristine reader: clears the in-flight miss *and* the
+     * miss counter, so engines reused via reset(start) report only
+     * the misses of the current run.
+     */
     void
     reset()
     {
         readyAt_ = 0;
+        misses_ = 0;
     }
 
     std::uint64_t misses() const { return misses_; }

@@ -4,6 +4,8 @@
 
 #include <cassert>
 
+#include "sim/engine_registry.hh"
+
 namespace sfetch
 {
 
@@ -338,5 +340,47 @@ FtbEngine::stats() const
     s.set("ftb.icache_misses", double(reader_.misses()));
     return s;
 }
+
+namespace detail
+{
+
+void
+registerFtbEngine(EngineRegistry &reg)
+{
+    EngineDescriptor d;
+    d.token = "ftb";
+    d.displayName = "FTB+perceptron";
+    d.summary =
+        "decoupled fetch target buffer front end with perceptron "
+        "direction prediction and a fetch target queue";
+    d.paperDefault = true;
+    d.params
+        .intParam("line", 0,
+                  "i-cache line bytes (0 = 4 x pipe width)")
+        .intParam("ftq", 4, "fetch target queue entries", 1)
+        .intParam("ras", 8, "return address stack entries", 1)
+        .intParam("ftb_entries", 2048, "fetch target buffer entries",
+                  1)
+        .intParam("ftb_assoc", 4, "fetch target buffer associativity",
+                  1)
+        .intParam("max_block", 64,
+                  "fetch block length cap in instructions", 1);
+    d.factory = [](const ParamSet &p, const CodeImage &image,
+                   MemoryHierarchy *mem) {
+        FtbConfig c;
+        c.lineBytes = static_cast<unsigned>(p.getInt("line"));
+        c.ftqEntries = static_cast<std::size_t>(p.getInt("ftq"));
+        c.rasEntries = static_cast<std::size_t>(p.getInt("ras"));
+        c.ftbEntries =
+            static_cast<std::size_t>(p.getInt("ftb_entries"));
+        c.ftbAssoc = static_cast<unsigned>(p.getInt("ftb_assoc"));
+        c.maxBlockInsts =
+            static_cast<std::uint32_t>(p.getInt("max_block"));
+        return std::make_unique<FtbEngine>(c, image, mem);
+    };
+    reg.add(std::move(d));
+}
+
+} // namespace detail
 
 } // namespace sfetch

@@ -1,0 +1,95 @@
+#include "fetch/seq.hh"
+
+#include <algorithm>
+
+#include "sim/engine_registry.hh"
+
+namespace sfetch
+{
+
+SeqEngine::SeqEngine(const SeqConfig &cfg, const CodeImage &image,
+                     MemoryHierarchy *mem)
+    : cfg_(cfg), image_(&image), reader_(mem, cfg.lineBytes),
+      pc_(image.entryAddr())
+{}
+
+void
+SeqEngine::fetchCycle(Cycle now, unsigned max_insts,
+                      std::vector<FetchedInst> &out)
+{
+    if (!image_->contains(pc_))
+        return; // ran off the image: wait for a redirect
+
+    unsigned avail = reader_.available(now, pc_);
+    if (avail == 0)
+        return; // i-cache miss in service
+
+    unsigned n = std::min(avail, max_insts);
+    for (unsigned i = 0; i < n; ++i) {
+        FetchedInst fi;
+        fi.pc = pc_;
+        out.push_back(fi);
+        pc_ += kInstBytes;
+    }
+    instsFetched_ += n;
+}
+
+void
+SeqEngine::redirect(const ResolvedBranch &rb)
+{
+    pc_ = rb.target;
+    ++redirects_;
+}
+
+void
+SeqEngine::trainCommit(const CommittedBranch &)
+{
+    // Nothing learns; that is the point.
+}
+
+void
+SeqEngine::reset(Addr start)
+{
+    pc_ = start;
+    reader_.reset();
+    instsFetched_ = 0;
+    redirects_ = 0;
+}
+
+StatSet
+SeqEngine::stats() const
+{
+    StatSet s;
+    s.set("seq.insts_fetched", double(instsFetched_));
+    s.set("seq.redirects", double(redirects_));
+    s.set("seq.icache_misses", double(reader_.misses()));
+    return s;
+}
+
+namespace detail
+{
+
+void
+registerSeqEngine(EngineRegistry &reg)
+{
+    EngineDescriptor d;
+    d.token = "seq";
+    d.displayName = "NextLine";
+    d.summary =
+        "predictionless next-line sequential fetch; the weakest "
+        "baseline and the one-file extensibility example";
+    d.aliases = {"nextline"};
+    d.params.intParam("line", 0,
+                      "i-cache line bytes (0 = 4 x pipe width)");
+    d.factory = [](const ParamSet &p, const CodeImage &image,
+                   MemoryHierarchy *mem) {
+        SeqConfig c;
+        c.lineBytes = static_cast<unsigned>(p.getInt("line"));
+        return std::make_unique<SeqEngine>(c, image, mem);
+    };
+    reg.add(std::move(d));
+}
+
+} // namespace detail
+
+} // namespace sfetch

@@ -5,8 +5,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/engine_registry.hh"
+
 namespace sfetch
 {
+
+std::vector<SimConfig>
+CliOptions::archsOrPaperSet() const
+{
+    return archs.empty() ? paperArchConfigs() : archs;
+}
 
 CliParser::CliParser(std::string prog, std::string summary)
     : prog_(std::move(prog)), summary_(std::move(summary))
@@ -125,6 +133,23 @@ CliParser::addStandard(CliOptions *opts, unsigned mask)
                   [opts](const std::string &v) {
                       opts->format = parseFormat(v);
                   });
+    if (mask & kArch) {
+        addOption("--arch", "SPEC[,SPEC...]",
+                  "engine specs `arch[:key=v,...]`, e.g. "
+                  "ev8,stream:ftq=8 (see --list-archs)",
+                  [opts](const std::string &v) {
+                      opts->archs = parseArchSpecList(v);
+                  });
+        addFlag("--list-archs",
+                "list the registered fetch engines and their "
+                "parameters, then exit",
+                [] {
+                    std::fputs(
+                        EngineRegistry::instance().listText().c_str(),
+                        stdout);
+                    std::exit(0);
+                });
+    }
 }
 
 void

@@ -29,6 +29,8 @@ struct CliOptions
     bool warmupSet = false;
     std::vector<unsigned> widths;       //!< from --widths
     std::vector<std::string> benches;   //!< default: whole suite
+    /** Engine specs from --arch; empty = binary default. */
+    std::vector<SimConfig> archs;
     unsigned jobs = 0;                  //!< 0 = hardware_concurrency
     OutputFormat format = OutputFormat::Table;
 
@@ -37,6 +39,26 @@ struct CliOptions
     warmupFor(InstCount n) const
     {
         return warmupSet ? warmupInsts : n / 5;
+    }
+
+    /** The --arch selection, or the paper's four-engine set. */
+    std::vector<SimConfig> archsOrPaperSet() const;
+
+    /**
+     * Stamp the engine-agnostic sweep knobs (insts, warmup, layout,
+     * and width when nonzero) onto a copy of @p base.
+     */
+    SimConfig
+    stamped(const SimConfig &base, unsigned width = 0,
+            bool optimized_layout = true) const
+    {
+        SimConfig cfg = base;
+        if (width)
+            cfg.width = width;
+        cfg.optimizedLayout = optimized_layout;
+        cfg.insts = insts;
+        cfg.warmupInsts = warmupFor(insts);
+        return cfg;
     }
 };
 
@@ -52,8 +74,10 @@ class CliParser
         kJobs = 1u << 3,
         kFormat = 1u << 4,
         kWarmup = 1u << 5,
+        /** --arch engine-spec list + --list-archs. */
+        kArch = 1u << 6,
         /** The usual sweep-binary set. */
-        kSweep = kInsts | kBench | kJobs | kFormat,
+        kSweep = kInsts | kBench | kJobs | kFormat | kArch,
     };
 
     CliParser(std::string prog, std::string summary);

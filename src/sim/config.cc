@@ -1,0 +1,145 @@
+#include "sim/config.hh"
+
+#include <stdexcept>
+
+namespace sfetch
+{
+
+unsigned
+defaultLineBytes(unsigned width)
+{
+    // Table 2: L1 inst line = 4x pipe width (32, 64, 128 bytes).
+    return 4 * width * kInstBytes;
+}
+
+SimConfig::SimConfig() : SimConfig("stream") {}
+
+SimConfig::SimConfig(const std::string &arch_token)
+    : desc_(&EngineRegistry::instance().find(arch_token)),
+      params_(&desc_->params)
+{
+    arch_ = desc_->token;
+}
+
+void
+SimConfig::setArch(const std::string &arch_token)
+{
+    desc_ = &EngineRegistry::instance().find(arch_token);
+    arch_ = desc_->token;
+    params_ = ParamSet(&desc_->params);
+}
+
+SimConfig
+SimConfig::fromSpec(const std::string &spec)
+{
+    std::size_t colon = spec.find(':');
+    SimConfig cfg(spec.substr(0, colon));
+    if (colon != std::string::npos)
+        cfg.params_.applySpecText(spec.substr(colon + 1));
+    // Reject bad line overrides at parse time, where the CLI turns
+    // them into a clean exit(2), not mid-sweep on a worker thread.
+    if (cfg.params_.getInt("line") != 0)
+        cfg.lineBytes();
+    return cfg;
+}
+
+std::string
+SimConfig::specText() const
+{
+    std::string params = params_.toSpecText();
+    return params.empty() ? arch_ : arch_ + ":" + params;
+}
+
+std::string
+SimConfig::label() const
+{
+    std::string params = params_.toSpecText();
+    return params.empty() ? desc_->displayName
+                          : desc_->displayName + " (" + params + ")";
+}
+
+unsigned
+SimConfig::lineBytes() const
+{
+    auto line = static_cast<unsigned>(params_.getInt("line"));
+    if (line == 0)
+        return defaultLineBytes(width);
+    if ((line & (line - 1)) != 0 || line < kInstBytes)
+        throw std::invalid_argument(
+            "line=" + std::to_string(line) +
+            ": i-cache line bytes must be a power of two >= " +
+            std::to_string(kInstBytes));
+    return line;
+}
+
+std::unique_ptr<FetchEngine>
+SimConfig::makeEngine(const CodeImage &image,
+                      MemoryHierarchy *mem) const
+{
+    // Hand the factory a fully-resolved parameter set: the width-
+    // dependent line default is an experiment-level concern no
+    // engine should re-derive.
+    ParamSet resolved = params_;
+    resolved.setInt("line", lineBytes());
+    return desc_->factory(resolved, image, mem);
+}
+
+bool
+operator==(const SimConfig &a, const SimConfig &b)
+{
+    return a.arch() == b.arch() && a.params() == b.params() &&
+        a.width == b.width &&
+        a.optimizedLayout == b.optimizedLayout &&
+        a.insts == b.insts && a.warmupInsts == b.warmupInsts;
+}
+
+std::vector<SimConfig>
+parseArchSpecList(const std::string &text)
+{
+    // Split on commas, then re-attach bare key=value items to the
+    // spec before them: "ev8,stream:ftq=8,single_table=1" is
+    // ["ev8", "stream:ftq=8,single_table=1"]. An item starts a new
+    // spec when it has no '=', or when a ':' introduces a parameter
+    // list before the first '=' (i.e. it names an engine).
+    std::vector<std::string> specs;
+    std::string item;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        std::size_t colon = item.find(':');
+        bool continuation = eq != std::string::npos &&
+            (colon == std::string::npos || colon > eq) &&
+            !specs.empty();
+        if (continuation)
+            specs.back() += "," + item;
+        else
+            specs.push_back(item);
+    }
+    if (specs.empty())
+        throw std::invalid_argument("empty architecture list");
+
+    std::vector<SimConfig> out;
+    out.reserve(specs.size());
+    for (const std::string &spec : specs)
+        out.push_back(SimConfig::fromSpec(spec));
+    return out;
+}
+
+std::vector<SimConfig>
+paperArchConfigs()
+{
+    std::vector<SimConfig> out;
+    for (const std::string &token :
+         EngineRegistry::instance().paperTokens())
+        out.push_back(SimConfig(token));
+    return out;
+}
+
+} // namespace sfetch

@@ -52,14 +52,25 @@ SweepDriver::SweepDriver(unsigned jobs) : jobs_(jobs)
 
 std::vector<SweepPoint>
 SweepDriver::grid(const std::vector<std::string> &benches,
-                  const std::vector<RunConfig> &cfgs)
+                  const std::vector<SimConfig> &cfgs)
 {
     std::vector<SweepPoint> points;
     points.reserve(benches.size() * cfgs.size());
     for (const std::string &bench : benches)
-        for (const RunConfig &cfg : cfgs)
+        for (const SimConfig &cfg : cfgs)
             points.push_back({bench, cfg});
     return points;
+}
+
+std::vector<SweepPoint>
+SweepDriver::grid(const std::vector<std::string> &benches,
+                  const std::vector<RunConfig> &cfgs)
+{
+    std::vector<SimConfig> converted;
+    converted.reserve(cfgs.size());
+    for (const RunConfig &cfg : cfgs)
+        converted.push_back(toSimConfig(cfg));
+    return grid(benches, converted);
 }
 
 void

@@ -1,7 +1,7 @@
 /**
  * @file
  * SweepDriver: the shared simulation driver behind every bench and
- * example binary. It takes a list of (benchmark, RunConfig) points,
+ * example binary. It takes a list of (benchmark, SimConfig) points,
  * builds each PlacedWorkload once (through WorkloadCache), and runs
  * the points on a std::thread pool. Every run owns its
  * MemoryHierarchy, engine and Processor and reads the shared workload
@@ -28,7 +28,7 @@ class PlacedWorkload;
 struct SweepPoint
 {
     std::string bench;
-    RunConfig cfg;
+    SimConfig cfg;
 };
 
 class SweepDriver
@@ -46,6 +46,11 @@ class SweepDriver
     void setQuiet(bool quiet) { quiet_ = quiet; }
 
     /** Cross product: every benchmark against every config. */
+    static std::vector<SweepPoint>
+    grid(const std::vector<std::string> &benches,
+         const std::vector<SimConfig> &cfgs);
+
+    /** Legacy-config overload (converted via toSimConfig()). */
     static std::vector<SweepPoint>
     grid(const std::vector<std::string> &benches,
          const std::vector<RunConfig> &cfgs);

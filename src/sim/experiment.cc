@@ -2,25 +2,26 @@
 
 #include <stdexcept>
 
-#include "core/stream_engine.hh"
-#include "fetch/ev8.hh"
-#include "fetch/ftb.hh"
 #include "layout/layout_opt.hh"
-#include "tcache/trace_engine.hh"
 
 namespace sfetch
 {
 
+namespace
+{
+
+const EngineDescriptor &
+descriptorOf(ArchKind kind)
+{
+    return EngineRegistry::instance().find(archToken(kind));
+}
+
+} // namespace
+
 std::string
 archName(ArchKind kind)
 {
-    switch (kind) {
-      case ArchKind::Ev8: return "EV8+2bcgskew";
-      case ArchKind::Ftb: return "FTB+perceptron";
-      case ArchKind::Stream: return "Streams";
-      case ArchKind::Trace: return "Tcache+Tpred";
-    }
-    return "?";
+    return descriptorOf(kind).displayName;
 }
 
 std::string
@@ -38,16 +39,16 @@ archToken(ArchKind kind)
 ArchKind
 parseArch(const std::string &token)
 {
-    if (token == "ev8")
-        return ArchKind::Ev8;
-    if (token == "ftb")
-        return ArchKind::Ftb;
-    if (token == "stream" || token == "streams")
-        return ArchKind::Stream;
-    if (token == "trace" || token == "tcache")
-        return ArchKind::Trace;
-    throw std::invalid_argument("unknown architecture '" + token +
-                                "' (want ev8|ftb|stream|trace)");
+    // Resolve aliases through the registry, then map the canonical
+    // token onto the legacy enum.
+    const std::string &canon =
+        EngineRegistry::instance().find(token).token;
+    for (ArchKind kind : allArchs())
+        if (archToken(kind) == canon)
+            return kind;
+    throw std::invalid_argument(
+        "engine '" + canon +
+        "' has no legacy ArchKind; use SimConfig / registry tokens");
 }
 
 bool
@@ -73,11 +74,31 @@ allArchs()
     return kinds;
 }
 
-unsigned
-defaultLineBytes(unsigned width)
+SimConfig
+toSimConfig(const RunConfig &cfg)
 {
-    // Table 2: L1 inst line = 4x pipe width (32, 64, 128 bytes).
-    return 4 * width * kInstBytes;
+    SimConfig sc(archToken(cfg.arch));
+    sc.width = cfg.width;
+    sc.optimizedLayout = cfg.optimizedLayout;
+    sc.insts = cfg.insts;
+    sc.warmupInsts = cfg.warmupInsts;
+
+    ParamSet &p = sc.params();
+    if (cfg.lineBytesOverride)
+        p.setInt("line", cfg.lineBytesOverride);
+    // Engine-specific legacy fields apply only where the engine
+    // declares the matching parameter (the old switch ignored them
+    // elsewhere).
+    if (cfg.ftqEntriesOverride && p.spec().find("ftq"))
+        p.setInt("ftq",
+                 static_cast<std::int64_t>(cfg.ftqEntriesOverride));
+    if (cfg.streamSingleTable && p.spec().find("single_table"))
+        p.setBool("single_table", true);
+    if (cfg.streamNoHysteresis && p.spec().find("no_hysteresis"))
+        p.setBool("no_hysteresis", true);
+    if (cfg.tracePartialMatching && p.spec().find("partial_match"))
+        p.setBool("partial_match", true);
+    return sc;
 }
 
 PlacedWorkload::PlacedWorkload(const std::string &bench_name)
@@ -97,58 +118,19 @@ std::unique_ptr<FetchEngine>
 makeEngine(const RunConfig &cfg, const CodeImage &image,
            MemoryHierarchy *mem)
 {
-    const unsigned line = cfg.lineBytesOverride
-        ? cfg.lineBytesOverride : defaultLineBytes(cfg.width);
-
-    switch (cfg.arch) {
-      case ArchKind::Ev8: {
-        Ev8Config ec;
-        ec.lineBytes = line;
-        return std::make_unique<Ev8Engine>(ec, image, mem);
-      }
-      case ArchKind::Ftb: {
-        FtbConfig fc;
-        fc.lineBytes = line;
-        if (cfg.ftqEntriesOverride)
-            fc.ftqEntries = cfg.ftqEntriesOverride;
-        return std::make_unique<FtbEngine>(fc, image, mem);
-      }
-      case ArchKind::Stream: {
-        StreamConfig sc;
-        sc.lineBytes = line;
-        if (cfg.ftqEntriesOverride)
-            sc.ftqEntries = cfg.ftqEntriesOverride;
-        if (cfg.streamSingleTable) {
-            // Ablation: all capacity in the address-indexed table.
-            sc.nsp.firstEntries = 8192;
-            sc.nsp.firstAssoc = 4;
-            sc.nsp.pathTableEnabled = false;
-        }
-        if (cfg.streamNoHysteresis)
-            sc.nsp.counterBits = 1;
-        return std::make_unique<StreamFetchEngine>(sc, image, mem);
-      }
-      case ArchKind::Trace: {
-        TraceEngineConfig tc;
-        tc.lineBytes = line;
-        tc.partialMatching = cfg.tracePartialMatching;
-        return std::make_unique<TraceFetchEngine>(tc, image, mem);
-      }
-    }
-    throw std::invalid_argument("unknown architecture");
+    return toSimConfig(cfg).makeEngine(image, mem);
 }
 
 SimStats
-runOn(const PlacedWorkload &work, const RunConfig &cfg)
+runOn(const PlacedWorkload &work, const SimConfig &cfg)
 {
     const CodeImage &image = work.image(cfg.optimizedLayout);
 
     MemoryConfig mc;
-    mc.l1i.lineBytes = cfg.lineBytesOverride
-        ? cfg.lineBytesOverride : defaultLineBytes(cfg.width);
+    mc.l1i.lineBytes = cfg.lineBytes();
     MemoryHierarchy mem(mc);
 
-    auto engine = makeEngine(cfg, image, &mem);
+    auto engine = cfg.makeEngine(image, &mem);
 
     ProcessorConfig pc;
     pc.width = cfg.width;
@@ -159,10 +141,22 @@ runOn(const PlacedWorkload &work, const RunConfig &cfg)
 }
 
 SimStats
-runBenchmark(const std::string &bench_name, const RunConfig &cfg)
+runOn(const PlacedWorkload &work, const RunConfig &cfg)
+{
+    return runOn(work, toSimConfig(cfg));
+}
+
+SimStats
+runBenchmark(const std::string &bench_name, const SimConfig &cfg)
 {
     PlacedWorkload work(bench_name);
     return runOn(work, cfg);
+}
+
+SimStats
+runBenchmark(const std::string &bench_name, const RunConfig &cfg)
+{
+    return runBenchmark(bench_name, toSimConfig(cfg));
 }
 
 } // namespace sfetch

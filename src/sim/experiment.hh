@@ -1,10 +1,16 @@
 /**
  * @file
  * Experiment harness: builds the machine configurations of Table 2,
- * instantiates any of the four fetch architectures over any suite
+ * instantiates any registered fetch architecture over any suite
  * workload (base or optimized layout, any pipe width), runs the
  * simulation, and aggregates suite-level results. All bench binaries
  * and examples go through this API.
+ *
+ * The engine surface lives in sim/config.hh (SimConfig over the
+ * EngineRegistry). The ArchKind enum and RunConfig struct below are
+ * the legacy closed API, kept as a thin conversion shim: they cover
+ * exactly the paper's four architectures and the historical ablation
+ * flags, and translate 1:1 into SimConfig parameter sets.
  */
 
 #ifndef SFETCH_SIM_EXPERIMENT_HH
@@ -15,13 +21,17 @@
 #include <vector>
 
 #include "pipeline/processor.hh"
+#include "sim/config.hh"
 #include "workload/profile.hh"
 #include "workload/suite.hh"
 
 namespace sfetch
 {
 
-/** The four fetch architectures of the paper's evaluation. */
+/**
+ * The four fetch architectures of the paper's evaluation (legacy
+ * shim; registry tokens are the open-ended replacement).
+ */
 enum class ArchKind
 {
     Ev8,     //!< EV8 + 2bcgskew
@@ -30,19 +40,28 @@ enum class ArchKind
     Trace,   //!< trace cache + next trace predictor
 };
 
-/** Display name matching the paper's figures. */
+/** Display name matching the paper's figures (from the registry). */
 std::string archName(ArchKind kind);
 
 /** Stable machine-readable token: "ev8", "ftb", "stream", "trace". */
 std::string archToken(ArchKind kind);
 
-/** Inverse of archToken(); accepts a few aliases ("streams", "tcache"). */
+/** Inverse of archToken(); accepts the registry aliases. Only the
+ * four paper architectures have an ArchKind; use the registry for
+ * anything else. */
 ArchKind parseArch(const std::string &token);
 
-/** All four architectures in the paper's plotting order. */
+/** All four paper architectures in plotting order. */
 const std::vector<ArchKind> &allArchs();
 
-/** One fully-specified experiment. */
+/**
+ * One fully-specified experiment, legacy form. The engine-specific
+ * fields correspond to engine parameters: lineBytesOverride ->
+ * `line`, ftqEntriesOverride -> `ftq`, streamSingleTable ->
+ * `stream:single_table`, streamNoHysteresis ->
+ * `stream:no_hysteresis`, tracePartialMatching ->
+ * `trace:partial_match`.
+ */
 struct RunConfig
 {
     ArchKind arch = ArchKind::Stream;
@@ -68,6 +87,13 @@ operator!=(const RunConfig &a, const RunConfig &b)
 {
     return !(a == b);
 }
+
+/**
+ * Translate a legacy RunConfig into the equivalent SimConfig.
+ * Guaranteed to produce bit-identical SimStats (asserted by
+ * tests/test_config.cc).
+ */
+SimConfig toSimConfig(const RunConfig &cfg);
 
 /**
  * A reusable placed workload: program + behaviour + both layouts.
@@ -103,18 +129,18 @@ class PlacedWorkload
     std::unique_ptr<CodeImage> opt_;
 };
 
-/** Line size implied by Table 2: 4 x pipe width instructions. */
-unsigned defaultLineBytes(unsigned width);
-
-/** Build the fetch engine for a run. */
+/** Build the fetch engine for a legacy run (registry-backed). */
 std::unique_ptr<FetchEngine> makeEngine(const RunConfig &cfg,
                                         const CodeImage &image,
                                         MemoryHierarchy *mem);
 
 /** Run one experiment on a prepared workload. */
+SimStats runOn(const PlacedWorkload &work, const SimConfig &cfg);
 SimStats runOn(const PlacedWorkload &work, const RunConfig &cfg);
 
 /** Convenience: prepare the workload and run. */
+SimStats runBenchmark(const std::string &bench_name,
+                      const SimConfig &cfg);
 SimStats runBenchmark(const std::string &bench_name,
                       const RunConfig &cfg);
 

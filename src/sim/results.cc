@@ -94,7 +94,7 @@ ResultSet::toTable() const
     tp.addHeader({"benchmark", "arch", "width", "layout", "IPC",
                   "fetch IPC", "mispredict", "L1I miss"});
     for (const ResultRow &r : rows_) {
-        tp.addRow({r.bench, archName(r.cfg.arch),
+        tp.addRow({r.bench, r.cfg.label(),
                    std::to_string(r.cfg.width),
                    r.cfg.optimizedLayout ? "opt" : "base",
                    TablePrinter::fmt(r.stats.ipc()),
@@ -129,11 +129,13 @@ constexpr std::size_t kNumBranchTypes = SimStats::kNumBranchTypes;
 static_assert(SimStats::kNumBranchTypes == 7,
               "update kCsvColumns for the new branch-type arity");
 
-/** Column order of toCsv(); parsing is by header name, not index. */
+/**
+ * Column order of toCsv(); parsing is by header name, not index.
+ * `spec` is the canonical engine spec string (`arch:key=v,...`) and
+ * carries every engine-specific parameter.
+ */
 const char *const kCsvColumns[] = {
-    "bench", "arch", "width", "layout", "insts", "warmup",
-    "line_bytes", "ftq_entries", "stream_single_table",
-    "stream_no_hysteresis", "trace_partial_matching", "cycles",
+    "bench", "spec", "width", "layout", "insts", "warmup", "cycles",
     "committed_insts", "committed_branches",
     "committed_cond_branches", "mispredicts", "cond_mispredicts",
     "mispredicts_type_0", "mispredicts_type_1", "mispredicts_type_2",
@@ -145,13 +147,44 @@ const char *const kCsvColumns[] = {
     "ipc", "fetch_ipc", "mispredict_rate",
 };
 
+/** Quote a cell when it needs it (spec strings contain commas). */
+std::string
+csvCell(const std::string &text)
+{
+    if (text.find_first_of(",\"\n") == std::string::npos)
+        return text;
+    std::string out = "\"";
+    for (char c : text) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 std::vector<std::string>
 splitCsvLine(const std::string &line)
 {
     std::vector<std::string> cells;
     std::string cur;
-    for (char c : line) {
-        if (c == ',') {
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur.push_back('"');
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur.push_back(c);
+            }
+        } else if (c == '"' && cur.empty()) {
+            quoted = true;
+        } else if (c == ',') {
             cells.push_back(cur);
             cur.clear();
         } else {
@@ -193,15 +226,10 @@ ResultSet::toCsv() const
     os << "\n";
     for (const ResultRow &r : rows_) {
         const SimStats &st = r.stats;
-        os << r.bench << ',' << archToken(r.cfg.arch) << ','
+        os << r.bench << ',' << csvCell(r.cfg.specText()) << ','
            << r.cfg.width << ','
            << (r.cfg.optimizedLayout ? "opt" : "base") << ','
            << u2s(r.cfg.insts) << ',' << u2s(r.cfg.warmupInsts) << ','
-           << r.cfg.lineBytesOverride << ','
-           << r.cfg.ftqEntriesOverride << ','
-           << int(r.cfg.streamSingleTable) << ','
-           << int(r.cfg.streamNoHysteresis) << ','
-           << int(r.cfg.tracePartialMatching) << ','
            << u2s(st.cycles) << ',' << u2s(st.committedInsts) << ','
            << u2s(st.committedBranches) << ','
            << u2s(st.committedCondBranches) << ','
@@ -262,21 +290,11 @@ ResultSet::fromCsv(const std::string &text)
 
         ResultRow r;
         r.bench = cell("bench");
-        r.cfg.arch = parseArch(cell("arch"));
+        r.cfg = SimConfig::fromSpec(cell("spec"));
         r.cfg.width = static_cast<unsigned>(toU64(cell("width")));
         r.cfg.optimizedLayout = cell("layout") == "opt";
         r.cfg.insts = toU64(cell("insts"));
         r.cfg.warmupInsts = toU64(cell("warmup"));
-        r.cfg.lineBytesOverride =
-            static_cast<unsigned>(toU64(cell("line_bytes")));
-        r.cfg.ftqEntriesOverride =
-            static_cast<std::size_t>(toU64(cell("ftq_entries")));
-        r.cfg.streamSingleTable =
-            toU64(cell("stream_single_table")) != 0;
-        r.cfg.streamNoHysteresis =
-            toU64(cell("stream_no_hysteresis")) != 0;
-        r.cfg.tracePartialMatching =
-            toU64(cell("trace_partial_matching")) != 0;
 
         SimStats &st = r.stats;
         st.cycles = toU64(cell("cycles"));
@@ -587,24 +605,18 @@ ResultSet::toJson() const
     for (std::size_t i = 0; i < rows_.size(); ++i) {
         const ResultRow &r = rows_[i];
         const SimStats &st = r.stats;
-        const RunConfig &c = r.cfg;
+        const SimConfig &c = r.cfg;
         os << (i ? "," : "") << "\n    {\n"
            << "      \"bench\": \"" << jsonEscape(r.bench) << "\",\n"
            << "      \"config\": {"
-           << "\"arch\": \"" << archToken(c.arch) << "\", "
+           << "\"spec\": \"" << jsonEscape(c.specText()) << "\", "
+           << "\"arch\": \"" << jsonEscape(c.arch()) << "\", "
+           << "\"params\": " << c.params().toJson() << ", "
            << "\"width\": " << c.width << ", "
            << "\"layout\": \""
            << (c.optimizedLayout ? "opt" : "base") << "\", "
            << "\"insts\": " << u2s(c.insts) << ", "
-           << "\"warmup\": " << u2s(c.warmupInsts) << ", "
-           << "\"line_bytes\": " << c.lineBytesOverride << ", "
-           << "\"ftq_entries\": " << c.ftqEntriesOverride << ", "
-           << "\"stream_single_table\": "
-           << (c.streamSingleTable ? "true" : "false") << ", "
-           << "\"stream_no_hysteresis\": "
-           << (c.streamNoHysteresis ? "true" : "false") << ", "
-           << "\"trace_partial_matching\": "
-           << (c.tracePartialMatching ? "true" : "false") << "},\n"
+           << "\"warmup\": " << u2s(c.warmupInsts) << "},\n"
            << "      \"stats\": {"
            << "\"cycles\": " << u2s(st.cycles) << ", "
            << "\"committed_insts\": " << u2s(st.committedInsts)
@@ -653,21 +665,36 @@ ResultSet::fromJson(const std::string &text)
         r.bench = jr.at("bench").asString();
 
         const JsonValue &jc = jr.at("config");
-        r.cfg.arch = parseArch(jc.at("arch").asString());
+        // `spec` is authoritative; build the config from it, then
+        // apply any explicit `params` entries (supports hand-edited
+        // documents that only set `arch` + `params`).
+        const JsonValue *spec = jc.find("spec");
+        r.cfg = SimConfig::fromSpec(spec ? spec->asString()
+                                         : jc.at("arch").asString());
+        if (const JsonValue *params = jc.find("params")) {
+            for (const auto &[key, val] : params->object) {
+                switch (val.kind) {
+                  case JsonValue::Kind::Number:
+                    r.cfg.params().setInt(
+                        key, static_cast<std::int64_t>(val.number));
+                    break;
+                  case JsonValue::Kind::Bool:
+                    r.cfg.params().setBool(key, val.boolean);
+                    break;
+                  case JsonValue::Kind::String:
+                    r.cfg.params().setString(key, val.string);
+                    break;
+                  default:
+                    throw std::runtime_error(
+                        "fromJson: bad param value for '" + key +
+                        "'");
+                }
+            }
+        }
         r.cfg.width = static_cast<unsigned>(jc.at("width").asU64());
         r.cfg.optimizedLayout = jc.at("layout").asString() == "opt";
         r.cfg.insts = jc.at("insts").asU64();
         r.cfg.warmupInsts = jc.at("warmup").asU64();
-        r.cfg.lineBytesOverride =
-            static_cast<unsigned>(jc.at("line_bytes").asU64());
-        r.cfg.ftqEntriesOverride =
-            static_cast<std::size_t>(jc.at("ftq_entries").asU64());
-        r.cfg.streamSingleTable =
-            jc.at("stream_single_table").asBool();
-        r.cfg.streamNoHysteresis =
-            jc.at("stream_no_hysteresis").asBool();
-        r.cfg.tracePartialMatching =
-            jc.at("trace_partial_matching").asBool();
 
         const JsonValue &js = jr.at("stats");
         SimStats &st = r.stats;

@@ -1,12 +1,13 @@
 /**
  * @file
- * Structured sweep results: one ResultRow per (benchmark, RunConfig)
+ * Structured sweep results: one ResultRow per (benchmark, SimConfig)
  * simulation, collected into a ResultSet with table, CSV, and JSON
  * emitters. Benches aggregate their paper tables from a ResultSet
  * instead of ad-hoc printf loops, and `--format csv|json` dumps the
  * raw rows for offline analysis. CSV and JSON both round-trip the
- * configuration and counter fields; engine-internal stats ride along
- * in JSON only.
+ * configuration — rows carry the canonical engine spec string
+ * (`arch:key=v,...`) plus the engine-agnostic knobs — and the
+ * counter fields; engine-internal stats ride along in JSON only.
  */
 
 #ifndef SFETCH_SIM_RESULTS_HH
@@ -40,7 +41,7 @@ std::string formatName(OutputFormat fmt);
 struct ResultRow
 {
     std::string bench;
-    RunConfig cfg;
+    SimConfig cfg;
     SimStats stats;
     double wallSeconds = 0.0; //!< host wall-clock of this run
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/engine_registry.hh"
+
 namespace sfetch
 {
 
@@ -444,5 +446,47 @@ TraceFetchEngine::stats() const
     s.set("tc.icache_misses", double(reader_.misses()));
     return s;
 }
+
+namespace detail
+{
+
+void
+registerTraceEngine(EngineRegistry &reg)
+{
+    EngineDescriptor d;
+    d.token = "trace";
+    d.displayName = "Tcache+Tpred";
+    d.summary =
+        "trace cache with next trace prediction plus a full "
+        "conventional secondary fetch path (BTB + gshare)";
+    d.aliases = {"tcache"};
+    d.paperDefault = true;
+    d.params
+        .intParam("line", 0,
+                  "i-cache line bytes (0 = 4 x pipe width)")
+        .intParam("ras", 8, "return address stack entries", 1)
+        .intParam("gshare_entries", 8192,
+                  "secondary-path gshare table entries", 1)
+        .intParam("gshare_hist", 12,
+                  "secondary-path gshare history bits", 1)
+        .boolParam("partial_match", false,
+                   "serve matching prefixes of same-start resident "
+                   "traces (footnote 3: hurts optimized layouts)");
+    d.factory = [](const ParamSet &p, const CodeImage &image,
+                   MemoryHierarchy *mem) {
+        TraceEngineConfig c;
+        c.lineBytes = static_cast<unsigned>(p.getInt("line"));
+        c.rasEntries = static_cast<std::size_t>(p.getInt("ras"));
+        c.gshareEntries =
+            static_cast<std::size_t>(p.getInt("gshare_entries"));
+        c.gshareHistoryBits =
+            static_cast<unsigned>(p.getInt("gshare_hist"));
+        c.partialMatching = p.getBool("partial_match");
+        return std::make_unique<TraceFetchEngine>(c, image, mem);
+    };
+    reg.add(std::move(d));
+}
+
+} // namespace detail
 
 } // namespace sfetch

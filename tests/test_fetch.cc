@@ -39,6 +39,27 @@ TEST(Ftq, FullAtCapacity)
     EXPECT_TRUE(q.empty());
 }
 
+#ifdef NDEBUG
+TEST(Ftq, PushEnforcesCapacity)
+{
+    // The queue enforces its own capacity: pushing into a full
+    // queue is rejected instead of silently growing. (In debug
+    // builds the same condition asserts, so this test is
+    // release-only.)
+    FetchTargetQueue q(2);
+    EXPECT_TRUE(q.push(FetchRequest{0x100, 4, 1, true}));
+    EXPECT_TRUE(q.push(FetchRequest{0x200, 4, 2, true}));
+    EXPECT_FALSE(q.push(FetchRequest{0x300, 4, 3, true}));
+    EXPECT_EQ(q.size(), 2u);
+    // The queue contents are untouched by the rejected push.
+    EXPECT_EQ(q.front().start, 0x100u);
+    q.pop();
+    EXPECT_EQ(q.front().start, 0x200u);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+#endif
+
 TEST(Ftq, HeadRequestUpdateInPlace)
 {
     // The paper's fetch request update: advance start, shrink len.
@@ -77,6 +98,24 @@ TEST(ICacheReader, MissBlocksUntilFill)
     // After L1+L2+mem latency: line present.
     Cycle lat = mc.l1Latency + mc.l2Latency + mc.memLatency;
     EXPECT_GT(r.available(now + lat, 0x40000), 0u);
+}
+
+TEST(ICacheReader, ResetClearsMissCountAndPendingMiss)
+{
+    MemoryConfig mc;
+    MemoryHierarchy mem(mc);
+    ICacheReader r(&mem, 128);
+    EXPECT_EQ(r.available(100, 0x40000), 0u); // cold miss
+    EXPECT_EQ(r.misses(), 1u);
+
+    // reset() returns a pristine reader: the in-flight miss is gone
+    // and the miss counter does not bleed into the next run.
+    r.reset();
+    EXPECT_EQ(r.misses(), 0u);
+    // The line was filled by the earlier access, so the same address
+    // now hits immediately even at an earlier timestamp.
+    EXPECT_GT(r.available(0, 0x40000), 0u);
+    EXPECT_EQ(r.misses(), 0u);
 }
 
 // ---- TokenRing ----
