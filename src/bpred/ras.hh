@@ -30,7 +30,7 @@ class ReturnAddressStack
     void
     push(Addr ret)
     {
-        sp_ = (sp_ + 1) % stack_.size();
+        sp_ = sp_ + 1 == stack_.size() ? 0 : sp_ + 1;
         stack_[sp_] = ret;
     }
 
@@ -39,7 +39,7 @@ class ReturnAddressStack
     pop()
     {
         Addr top = stack_[sp_];
-        sp_ = (sp_ + stack_.size() - 1) % stack_.size();
+        sp_ = (sp_ == 0 ? stack_.size() : sp_) - 1;
         return top;
     }
 

@@ -22,52 +22,14 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
     assert(cfg_.sizeBytes % (std::uint64_t(cfg_.assoc) * cfg_.lineBytes)
            == 0);
     ways_.resize(cfg_.numSets() * cfg_.assoc);
-}
-
-std::size_t
-Cache::setIndex(Addr addr) const
-{
-    return (addr / cfg_.lineBytes) & (cfg_.numSets() - 1);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr / cfg_.lineBytes / cfg_.numSets();
-}
-
-bool
-Cache::access(Addr addr)
-{
-    ++tick_;
-    const std::size_t base = setIndex(addr) * cfg_.assoc;
-    const Addr tag = tagOf(addr);
-
-    std::size_t victim = base;
-    std::uint64_t oldest = UINT64_MAX;
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag) {
-            way.lastUse = tick_;
-            ++hits_;
-            return true;
-        }
-        std::uint64_t age = way.valid ? way.lastUse : 0;
-        if (!way.valid) {
-            victim = base + w;
-            oldest = 0;
-        } else if (age < oldest) {
-            oldest = age;
-            victim = base + w;
-        }
-    }
-
-    ++misses_;
-    Way &way = ways_[victim];
-    way.valid = true;
-    way.tag = tag;
-    way.lastUse = tick_;
-    return false;
+    mru_.assign(cfg_.numSets(), 0);
+    while ((Addr(1) << lineShift_) < cfg_.lineBytes)
+        ++lineShift_;
+    setMask_ = cfg_.numSets() - 1;
+    setShift_ = lineShift_;
+    while ((std::uint64_t(1) << (setShift_ - lineShift_)) <
+           cfg_.numSets())
+        ++setShift_;
 }
 
 bool
@@ -88,6 +50,8 @@ Cache::flush()
 {
     for (auto &w : ways_)
         w = Way{};
+    for (auto &m : mru_)
+        m = 0;
 }
 
 } // namespace sfetch

@@ -42,13 +42,72 @@ class Cache
   public:
     explicit Cache(const CacheConfig &cfg);
 
-    /** Probe and allocate. @return true on hit. */
-    bool access(Addr addr);
+    /**
+     * Probe and allocate. @return true on hit. Defined inline: this
+     * is the per-simulated-access path of every cache level.
+     */
+    bool
+    access(Addr addr)
+    {
+    ++tick_;
+    const std::size_t set = setIndex(addr);
+    const std::size_t base = set * cfg_.assoc;
+    const Addr tag = tagOf(addr);
+
+    // Fast path: most accesses re-touch the most recently used way
+    // of the set, skipping the associative scan entirely.
+    {
+        Way &way = ways_[base + mru_[set]];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+    }
+
+    std::size_t victim = base;
+    std::uint64_t oldest = UINT64_MAX;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (!way.valid) {
+            // Ways fill front-to-back and are only invalidated en
+            // masse by flush(), so the first invalid way ends both
+            // the lookup (the tag cannot be resident beyond it) and
+            // the victim scan.
+            victim = base + w;
+            break;
+        }
+        if (way.tag == tag) {
+            way.lastUse = tick_;
+            mru_[set] = w;
+            ++hits_;
+            return true;
+        }
+        if (way.lastUse < oldest) {
+            oldest = way.lastUse;
+            victim = base + w;
+        }
+    }
+
+    ++misses_;
+    Way &way = ways_[victim];
+    way.valid = true;
+    way.tag = tag;
+    way.lastUse = tick_;
+    mru_[set] = static_cast<std::uint32_t>(victim - base);
+    return false;
+    }
 
     /** Probe without allocating or touching LRU state. */
     bool probe(Addr addr) const;
 
-    /** Invalidate everything. */
+    /**
+     * Invalidate every line, as after a context switch: the contents
+     * are gone but the hit/miss counters and the LRU clock keep
+     * running. Callers that restart *measurement* (not machine
+     * state) want resetStats() instead; warmup boundaries reset
+     * stats while keeping the warmed-up contents.
+     */
     void flush();
 
     const CacheConfig &config() const { return cfg_; }
@@ -69,6 +128,13 @@ class Cache
         return addr & ~Addr(cfg_.lineBytes - 1);
     }
 
+    /**
+     * Zero the hit/miss counters, keeping contents and the LRU clock
+     * (resetting the clock would make resident lines look newer than
+     * every later access). This is the warmup-boundary hook used by
+     * MemoryHierarchy::resetStats(); flush() is the one that drops
+     * contents.
+     */
     void
     resetStats()
     {
@@ -83,11 +149,27 @@ class Cache
         bool valid = false;
     };
 
-    std::size_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> lineShift_) & setMask_;
+    }
+
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr >> setShift_;
+    }
 
     CacheConfig cfg_;
+    // Precomputed geometry: lineBytes and numSets are powers of two,
+    // and hoisting the shift/mask out of access() turns four 64-bit
+    // divisions per lookup into two shifts.
+    unsigned lineShift_ = 0;
+    unsigned setShift_ = 0; //!< lineShift_ + log2(numSets)
+    std::uint64_t setMask_ = 0;
     std::vector<Way> ways_; // numSets * assoc, row-major by set
+    std::vector<std::uint32_t> mru_; // per-set most recently used way
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

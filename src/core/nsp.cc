@@ -25,10 +25,12 @@ NextStreamPredictor::NextStreamPredictor(const NspConfig &cfg)
     assert(cfg_.secondEntries % cfg_.secondAssoc == 0);
     first_.numSets = cfg_.firstEntries / cfg_.firstAssoc;
     first_.assoc = cfg_.firstAssoc;
-    first_.ways.resize(cfg_.firstEntries);
+    first_.resize(cfg_.firstEntries);
     second_.numSets = cfg_.secondEntries / cfg_.secondAssoc;
+    while ((1ULL << secondIndexBits_) < second_.numSets)
+        ++secondIndexBits_;
     second_.assoc = cfg_.secondAssoc;
-    second_.ways.resize(cfg_.secondEntries);
+    second_.resize(cfg_.secondEntries);
     assert(isPow2(first_.numSets));
     assert(isPow2(second_.numSets));
 }
@@ -39,10 +41,10 @@ NextStreamPredictor::Entry *
 NextStreamPredictor::Table::find(std::size_t set, std::uint64_t tag,
                                  std::uint64_t tick)
 {
-    Entry *base = &ways[set * assoc];
+    const std::size_t base = set * assoc;
     for (unsigned w = 0; w < assoc; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.tag == tag) {
+        if (valid[base + w] && tags[base + w] == tag) {
+            Entry &e = ways[base + w];
             e.lastUse = tick;
             return &e;
         }
@@ -75,35 +77,40 @@ NextStreamPredictor::Table::install(std::size_t set, std::uint64_t tag,
                                     const StreamDescriptor &s,
                                     std::uint64_t tick)
 {
-    Entry *base = &ways[set * assoc];
-    Entry *victim = nullptr;
+    const std::size_t base = set * assoc;
+    std::size_t victim = base;
+    bool have = false;
     for (unsigned w = 0; w < assoc; ++w) {
-        Entry &e = base[w];
-        if (!e.valid) {
-            victim = &e;
+        if (!valid[base + w]) {
+            victim = base + w;
+            have = true;
             break;
         }
-        if (!victim || e.counter.value() < victim->counter.value() ||
-            (e.counter.value() == victim->counter.value() &&
-             e.lastUse < victim->lastUse)) {
-            victim = &e;
+        const Entry &e = ways[base + w];
+        const Entry &v = ways[victim];
+        if (!have || e.counter.value() < v.counter.value() ||
+            (e.counter.value() == v.counter.value() &&
+             e.lastUse < v.lastUse)) {
+            victim = base + w;
+            have = true;
         }
     }
 
-    if (victim->valid && victim->counter.value() > 0) {
+    Entry &e = ways[victim];
+    if (valid[victim] && e.counter.value() > 0) {
         // Hysteresis protects the resident stream; the newcomer only
         // weakens it.
-        victim->counter.decrement();
+        e.counter.decrement();
         return false;
     }
 
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lenInsts = s.lenInsts;
-    victim->endType = s.endType;
-    victim->next = s.next;
-    victim->counter.set(1);
-    victim->lastUse = tick;
+    valid[victim] = 1;
+    tags[victim] = tag;
+    e.lenInsts = s.lenInsts;
+    e.endType = s.endType;
+    e.next = s.next;
+    e.counter.set(1);
+    e.lastUse = tick;
     return true;
 }
 
@@ -125,11 +132,8 @@ std::size_t
 NextStreamPredictor::secondSet(Addr start,
                                const DolcHistory &path) const
 {
-    unsigned bits = 0;
-    std::size_t n = second_.numSets;
-    while ((1ULL << bits) < n)
-        ++bits;
-    return static_cast<std::size_t>(path.index(start, bits));
+    return static_cast<std::size_t>(
+        path.index(start, secondIndexBits_));
 }
 
 std::uint64_t

@@ -94,15 +94,14 @@ class NextStreamPredictor
     StatSet stats() const;
 
   private:
+    /** Payload of one predictor entry (tag/valid live separately). */
     struct Entry
     {
-        std::uint64_t tag = 0;
         std::uint32_t lenInsts = 0;
         BranchType endType = BranchType::None;
         Addr next = kNoAddr;
         SatCounter counter{2, 0};
         std::uint64_t lastUse = 0;
-        bool valid = false;
 
         bool
         sameData(const StreamDescriptor &s) const
@@ -112,11 +111,29 @@ class NextStreamPredictor
         }
     };
 
+    /**
+     * Set-associative table in structure-of-arrays form: the lookup
+     * scan touches only the dense tag/valid arrays (the valid bytes
+     * stay resident in the host cache; a whole set's tags share one
+     * line), and the payload line is touched on hits alone. This
+     * matters because every simulated prediction walks a
+     * pseudo-random set of a multi-hundred-KB table.
+     */
     struct Table
     {
+        std::vector<std::uint64_t> tags;
+        std::vector<std::uint8_t> valid;
         std::vector<Entry> ways;
         std::size_t numSets = 0;
         unsigned assoc = 0;
+
+        void
+        resize(std::size_t entries)
+        {
+            tags.assign(entries, 0);
+            valid.assign(entries, 0);
+            ways.assign(entries, Entry{});
+        }
 
         Entry *find(std::size_t set, std::uint64_t tag,
                     std::uint64_t tick);
@@ -135,6 +152,7 @@ class NextStreamPredictor
     NspConfig cfg_;
     Table first_;
     Table second_;
+    unsigned secondIndexBits_ = 0; //!< log2(second_.numSets)
     DolcHistory specPath_;
     DolcHistory commitPath_;
     std::uint64_t tick_ = 0;

@@ -87,7 +87,7 @@ StreamFetchEngine::predictStep()
 
 void
 StreamFetchEngine::icacheStep(Cycle now, unsigned max_insts,
-                              std::vector<FetchedInst> &out)
+                              FetchBundle &out)
 {
     if (ftq_.empty())
         return;
@@ -102,12 +102,16 @@ StreamFetchEngine::icacheStep(Cycle now, unsigned max_insts,
         return;
 
     unsigned n = std::min(std::min(avail, max_insts), req.lenInsts);
+    // Hoist the image bound out of the loop: the pc walks
+    // sequentially from a contained, aligned start, so only the end
+    // address can stop it.
+    n = std::min<unsigned>(
+        n, static_cast<unsigned>(
+               (image_->endAddr() - req.start) / kInstBytes));
     Addr pc = req.start;
     bool steered = false;
 
     for (unsigned i = 0; i < n; ++i) {
-        if (!image_->contains(pc))
-            break;
         const StaticInst &si = image_->inst(pc);
         FetchedInst fi;
         fi.pc = pc;
@@ -167,7 +171,7 @@ StreamFetchEngine::icacheStep(Cycle now, unsigned max_insts,
 
 void
 StreamFetchEngine::fetchCycle(Cycle now, unsigned max_insts,
-                              std::vector<FetchedInst> &out)
+                              FetchBundle &out)
 {
     predictStep();
     icacheStep(now, max_insts, out);

@@ -40,7 +40,7 @@ class StreamFetchEngine : public FetchEngine
                       MemoryHierarchy *mem);
 
     void fetchCycle(Cycle now, unsigned max_insts,
-                    std::vector<FetchedInst> &out) override;
+                    FetchBundle &out) override;
     void redirect(const ResolvedBranch &rb) override;
     void trainCommit(const CommittedBranch &cb) override;
     void reset(Addr start) override;
@@ -54,7 +54,7 @@ class StreamFetchEngine : public FetchEngine
   private:
     void predictStep();
     void icacheStep(Cycle now, unsigned max_insts,
-                    std::vector<FetchedInst> &out);
+                    FetchBundle &out);
 
     StreamConfig cfg_;
     const CodeImage *image_;

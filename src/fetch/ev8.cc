@@ -24,7 +24,7 @@ Ev8Engine::linePredIndex(Addr pc) const
 
 void
 Ev8Engine::fetchCycle(Cycle now, unsigned max_insts,
-                      std::vector<FetchedInst> &out)
+                      FetchBundle &out)
 {
     if (now < stallUntil_)
         return; // decode-stage target fix in progress

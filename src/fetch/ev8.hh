@@ -50,7 +50,7 @@ class Ev8Engine : public FetchEngine
               MemoryHierarchy *mem);
 
     void fetchCycle(Cycle now, unsigned max_insts,
-                    std::vector<FetchedInst> &out) override;
+                    FetchBundle &out) override;
     void redirect(const ResolvedBranch &rb) override;
     void trainCommit(const CommittedBranch &cb) override;
     void reset(Addr start) override;

@@ -25,14 +25,13 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <string>
-#include <vector>
 
 #include "bpred/ras.hh"
 #include "cache/cache.hh"
 #include "isa/instruction.hh"
 #include "layout/code_image.hh"
+#include "util/fixed_ring.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 
@@ -60,6 +59,46 @@ struct FetchedInst
      * out mispredicted.
      */
     std::uint64_t token = 0;
+};
+
+/**
+ * One cycle's worth of fetched instructions: a caller-owned,
+ * fixed-capacity inline array. The processor hands the same bundle
+ * to the engine every cycle, so the simulate-one-cycle path never
+ * touches the heap (the former `std::vector<FetchedInst>`
+ * out-parameter allocated every call).
+ */
+class FetchBundle
+{
+  public:
+    /** Widest supported fetch per cycle (2x the paper's max width). */
+    static constexpr unsigned kCapacity = 16;
+
+    void clear() { n_ = 0; }
+    bool empty() const { return n_ == 0; }
+    unsigned size() const { return n_; }
+
+    void
+    push_back(const FetchedInst &fi)
+    {
+        assert(n_ < kCapacity && "FetchBundle overflow: engine "
+               "produced more than the supported fetch width");
+        insts_[n_++] = fi;
+    }
+
+    const FetchedInst &
+    operator[](unsigned i) const
+    {
+        assert(i < n_);
+        return insts_[i];
+    }
+
+    const FetchedInst *begin() const { return insts_; }
+    const FetchedInst *end() const { return insts_ + n_; }
+
+  private:
+    FetchedInst insts_[kCapacity];
+    unsigned n_ = 0;
 };
 
 /** Resolution information passed to redirect(). */
@@ -90,10 +129,12 @@ class FetchEngine
     /**
      * Run one fetch cycle: append up to @p max_insts instructions to
      * @p out. May produce fewer (or none) on i-cache misses,
-     * predictor stalls, or taken-branch cycle breaks.
+     * predictor stalls, or taken-branch cycle breaks. The caller
+     * owns (and clears) the bundle; @p max_insts never exceeds
+     * FetchBundle::kCapacity minus the bundle's current size.
      */
     virtual void fetchCycle(Cycle now, unsigned max_insts,
-                            std::vector<FetchedInst> &out) = 0;
+                            FetchBundle &out) = 0;
 
     /**
      * A branch fetched earlier was mispredicted and has resolved:
@@ -132,18 +173,22 @@ struct FetchRequest
     bool bounded = true;
 };
 
-/** Fixed-capacity FIFO of fetch requests. */
+/**
+ * Fixed-capacity FIFO of fetch requests, backed by a FixedRing: the
+ * storage is allocated once at construction, so the per-cycle
+ * predict/drain traffic never allocates.
+ */
 class FetchTargetQueue
 {
   public:
     explicit FetchTargetQueue(std::size_t capacity = 4)
-        : capacity_(capacity)
+        : queue_(capacity)
     {}
 
-    bool full() const { return queue_.size() >= capacity_; }
+    bool full() const { return queue_.full(); }
     bool empty() const { return queue_.empty(); }
     std::size_t size() const { return queue_.size(); }
-    std::size_t capacity() const { return capacity_; }
+    std::size_t capacity() const { return queue_.capacity(); }
 
     /**
      * Enqueue @p req. The capacity is enforced here, not by caller
@@ -168,8 +213,7 @@ class FetchTargetQueue
     void clear() { queue_.clear(); }
 
   private:
-    std::size_t capacity_;
-    std::deque<FetchRequest> queue_;
+    FixedRing<FetchRequest> queue_;
 };
 
 /**

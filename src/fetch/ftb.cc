@@ -160,7 +160,7 @@ FtbEngine::predictStep()
 
 void
 FtbEngine::icacheStep(Cycle now, unsigned max_insts,
-                      std::vector<FetchedInst> &out)
+                      FetchBundle &out)
 {
     if (ftq_.empty())
         return;
@@ -176,12 +176,15 @@ FtbEngine::icacheStep(Cycle now, unsigned max_insts,
         return;
 
     unsigned n = std::min(std::min(avail, max_insts), req.lenInsts);
+    // The pc walks sequentially from a contained start; only the
+    // image end can stop it, so hoist that bound out of the loop.
+    n = std::min<unsigned>(
+        n, static_cast<unsigned>(
+               (image_->endAddr() - req.start) / kInstBytes));
     Addr pc = req.start;
     bool steered = false;
 
     for (unsigned i = 0; i < n; ++i) {
-        if (!image_->contains(pc))
-            break;
         const StaticInst &si = image_->inst(pc);
         FetchedInst fi;
         fi.pc = pc;
@@ -235,7 +238,7 @@ FtbEngine::icacheStep(Cycle now, unsigned max_insts,
 
 void
 FtbEngine::fetchCycle(Cycle now, unsigned max_insts,
-                      std::vector<FetchedInst> &out)
+                      FetchBundle &out)
 {
     // The two decoupled pipelines advance in the same cycle; the
     // prediction stage runs ahead filling the FTQ.

@@ -90,7 +90,7 @@ class FtbEngine : public FetchEngine
               MemoryHierarchy *mem);
 
     void fetchCycle(Cycle now, unsigned max_insts,
-                    std::vector<FetchedInst> &out) override;
+                    FetchBundle &out) override;
     void redirect(const ResolvedBranch &rb) override;
     void trainCommit(const CommittedBranch &cb) override;
     void reset(Addr start) override;
@@ -103,7 +103,7 @@ class FtbEngine : public FetchEngine
 
     /** I-cache pipeline: drain the FTQ head. */
     void icacheStep(Cycle now, unsigned max_insts,
-                    std::vector<FetchedInst> &out);
+                    FetchBundle &out);
 
     FtbConfig cfg_;
     const CodeImage *image_;

@@ -15,7 +15,7 @@ SeqEngine::SeqEngine(const SeqConfig &cfg, const CodeImage &image,
 
 void
 SeqEngine::fetchCycle(Cycle now, unsigned max_insts,
-                      std::vector<FetchedInst> &out)
+                      FetchBundle &out)
 {
     if (!image_->contains(pc_))
         return; // ran off the image: wait for a redirect

@@ -31,7 +31,7 @@ class SeqEngine : public FetchEngine
               MemoryHierarchy *mem);
 
     void fetchCycle(Cycle now, unsigned max_insts,
-                    std::vector<FetchedInst> &out) override;
+                    FetchBundle &out) override;
     void redirect(const ResolvedBranch &rb) override;
     void trainCommit(const CommittedBranch &cb) override;
     void reset(Addr start) override;

@@ -9,48 +9,43 @@ OracleStream::OracleStream(const CodeImage &image,
                            const WorkloadModel &model,
                            std::uint64_t seed)
     : image_(&image), gen_(image.program(), model, seed)
-{}
+{
+    ret_stack_.reserve(TraceGenerator::kMaxCallDepth);
+}
 
 OracleInst
-OracleStream::next()
+OracleStream::generate()
 {
-    if (queue_.empty())
-        refill();
-    OracleInst oi = queue_.front();
-    queue_.pop_front();
-    ++count_;
-    return oi;
-}
+    OracleInst oi;
+    for (;;) {
+        if (tryEmitInBlock(oi))
+            return oi;
+        if (inBlock_) {
+            // Terminator, then any stub walk scheduled after it.
+            inBlock_ = false;
+            return term_;
+        }
 
-const OracleInst &
-OracleStream::peek()
-{
-    if (queue_.empty())
-        refill();
-    return queue_.front();
-}
+        if (stubPc_ != stubStop_) {
+            [[maybe_unused]] const StaticInst &si =
+                image_->inst(stubPc_);
+            assert(si.isStub() && "non-stub on a sequential gap");
+            oi.pc = stubPc_;
+            oi.cls = InstClass::Branch;
+            oi.btype = BranchType::Jump;
+            oi.taken = true;
+            oi.nextPc = image_->takenTarget(stubPc_);
+            oi.block = kNoBlock;
+            stubPc_ = oi.nextPc;
+            return oi;
+        }
 
-void
-OracleStream::walkStubs(Addr from, Addr stop)
-{
-    Addr pc = from;
-    while (pc != stop) {
-        [[maybe_unused]] const StaticInst &si = image_->inst(pc);
-        assert(si.isStub() && "non-stub on a sequential gap");
-        OracleInst oi;
-        oi.pc = pc;
-        oi.cls = InstClass::Branch;
-        oi.btype = BranchType::Jump;
-        oi.taken = true;
-        oi.nextPc = image_->takenTarget(pc);
-        oi.block = kNoBlock;
-        queue_.push_back(oi);
-        pc = oi.nextPc;
+        startBlock();
     }
 }
 
 void
-OracleStream::refill()
+OracleStream::startBlock()
 {
     const Program &prog = image_->program();
     ControlRecord rec = gen_.next();
@@ -58,23 +53,27 @@ OracleStream::refill()
     const Addr block_start = image_->blockAddr(rec.block);
     const Addr succ_addr = image_->blockAddr(rec.next);
 
-    for (std::uint32_t k = 0; k < b.numInsts; ++k) {
-        OracleInst oi;
-        oi.pc = block_start + instsToBytes(k);
-        oi.cls = b.insts[k];
-        oi.block = b.id;
-        oi.nextPc = oi.pc + kInstBytes;
-        queue_.push_back(oi);
-    }
+    block_ = &b;
+    blockStart_ = block_start;
+    idx_ = 0;
+    inBlock_ = true;
+    stubPc_ = stubStop_ = kNoAddr;
 
-    OracleInst &term = queue_.back();
+    OracleInst &term = term_;
+    term = OracleInst{};
+    term.pc = block_start + instsToBytes(b.numInsts - 1);
+    term.cls = b.insts[b.numInsts - 1];
+    term.block = b.id;
+    term.nextPc = term.pc + kInstBytes;
+
     const Addr seq = image_->seqAfter(b.id);
 
     switch (b.branchType) {
       case BranchType::None:
         // Not a branch; sequential flow, possibly via a stub.
         term.nextPc = seq;
-        walkStubs(seq, succ_addr);
+        stubPc_ = seq;
+        stubStop_ = succ_addr;
         break;
       case BranchType::CondDirect: {
         term.btype = BranchType::CondDirect;
@@ -88,7 +87,8 @@ OracleStream::refill()
             assert(term.nextPc == succ_addr);
         } else {
             term.nextPc = seq;
-            walkStubs(seq, succ_addr);
+            stubPc_ = seq;
+            stubStop_ = succ_addr;
         }
         break;
       }
@@ -114,7 +114,8 @@ OracleStream::refill()
             Addr ret = ret_stack_.back();
             ret_stack_.pop_back();
             term.nextPc = ret;
-            walkStubs(ret, succ_addr);
+            stubPc_ = ret;
+            stubStop_ = succ_addr;
         }
         break;
       }

@@ -11,7 +11,7 @@
 #ifndef SFETCH_LAYOUT_ORACLE_HH
 #define SFETCH_LAYOUT_ORACLE_HH
 
-#include <deque>
+#include <vector>
 
 #include "layout/code_image.hh"
 #include "workload/trace_gen.hh"
@@ -37,6 +37,12 @@ struct OracleInst
  * (image, model, seed); two OracleStreams with the same arguments
  * produce identical sequences, which the simulator relies on when
  * comparing fetch architectures.
+ *
+ * Instructions are generated incrementally — a cursor into the
+ * current basic block plus an in-progress stub walk — instead of
+ * expanding whole blocks into a queue, so next()/peek() never
+ * allocate (the return-address stack reserves its bounded depth up
+ * front).
  */
 class OracleStream
 {
@@ -44,21 +50,106 @@ class OracleStream
     OracleStream(const CodeImage &image, const WorkloadModel &model,
                  std::uint64_t seed);
 
-    /** Next committed instruction. */
-    OracleInst next();
+    /**
+     * Next committed instruction. The in-block fast path is inline
+     * (one instruction per call on the hot path); block boundaries
+     * and stub walks go through generate().
+     */
+    OracleInst
+    next()
+    {
+        ++count_;
+        if (haveLook_) {
+            haveLook_ = false;
+            return look_;
+        }
+        return produce();
+    }
+
+    /**
+     * next(), writing straight into caller-owned storage (the fetch
+     * buffer slot) instead of returning through a temporary. Every
+     * field of @p out is assigned.
+     */
+    void
+    nextInto(OracleInst &out)
+    {
+        ++count_;
+        if (haveLook_) {
+            haveLook_ = false;
+            out = look_;
+            return;
+        }
+        if (!tryEmitInBlock(out))
+            out = generate();
+    }
 
     /** Peek without consuming. */
-    const OracleInst &peek();
+    const OracleInst &
+    peek()
+    {
+        if (!haveLook_) {
+            look_ = produce();
+            haveLook_ = true;
+        }
+        return look_;
+    }
 
     std::uint64_t instCount() const { return count_; }
 
   private:
-    void refill();
-    void walkStubs(Addr from, Addr stop);
+    /**
+     * The in-block fast path: emit the next non-terminator
+     * instruction of the current block, assigning every field of
+     * @p out. The single definition shared by next()/nextInto()/
+     * peek() and generate() — the bit-identity guarantee depends on
+     * all paths emitting exactly the same instructions.
+     */
+    bool
+    tryEmitInBlock(OracleInst &out)
+    {
+        if (!inBlock_ || idx_ + 1 >= block_->numInsts)
+            return false;
+        out.pc = blockStart_ + instsToBytes(idx_);
+        out.cls = block_->insts[idx_];
+        out.btype = BranchType::None;
+        out.taken = false;
+        out.nextPc = out.pc + kInstBytes;
+        out.block = block_->id;
+        ++idx_;
+        return true;
+    }
+
+    /** Produce the next instruction (fast path inline). */
+    OracleInst
+    produce()
+    {
+        OracleInst oi;
+        if (tryEmitInBlock(oi))
+            return oi;
+        return generate();
+    }
+
+    OracleInst generate();
+    void startBlock();
 
     const CodeImage *image_;
     TraceGenerator gen_;
-    std::deque<OracleInst> queue_;
+
+    // Incremental expansion state: the block being emitted, its
+    // precomputed terminator, and the stub walk that follows it.
+    const BasicBlock *block_ = nullptr;
+    Addr blockStart_ = kNoAddr;
+    std::uint32_t idx_ = 0; //!< next instruction index in block_
+    bool inBlock_ = false;
+    OracleInst term_;       //!< the block's terminator instruction
+    Addr stubPc_ = kNoAddr; //!< in-progress stub walk; == stubStop_
+    Addr stubStop_ = kNoAddr; //!< when there is nothing to walk
+
+    // One-instruction lookahead backing peek().
+    OracleInst look_;
+    bool haveLook_ = false;
+
     std::vector<Addr> ret_stack_;
     std::uint64_t count_ = 0;
 };

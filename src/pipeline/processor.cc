@@ -12,8 +12,19 @@ Processor::Processor(const ProcessorConfig &cfg, FetchEngine *engine,
     : cfg_(cfg), engine_(engine), image_(&image), mem_(mem),
       oracle_(image, model, seed),
       dstream_(model.data(), seed ^ 0xda7aULL),
-      expectedPc_(image.entryAddr())
-{}
+      expectedPc_(image.entryAddr()),
+      buffer_(cfg.fetchBufferInsts), rob_(cfg.robSize)
+{
+    // Runtime check, not an assert: the width comes from user
+    // configuration, and overrunning the inline FetchBundle array in
+    // a release build would be silent memory corruption.
+    if (cfg_.width > FetchBundle::kCapacity) {
+        throw std::invalid_argument(
+            "ProcessorConfig.width " + std::to_string(cfg_.width) +
+            " exceeds the supported fetch width " +
+            std::to_string(FetchBundle::kCapacity));
+    }
+}
 
 Cycle
 Processor::execLatency(const OracleInst &rec)
@@ -42,8 +53,7 @@ Processor::commitStep(SimStats &st)
     unsigned n = 0;
     while (!rob_.empty() && n < cfg_.width &&
            rob_.front().completeAt <= now_) {
-        RobEntry e = rob_.front();
-        rob_.pop_front();
+        const RobEntry &e = rob_.front();
         ++n;
         lastCommittedSeq_ = e.seqNo;
         ++totalCommitted_;
@@ -52,7 +62,6 @@ Processor::commitStep(SimStats &st)
             ++st.committedInsts;
 
         if (e.rec.isBranch()) {
-            branchDispatchAt_.erase(e.seqNo);
             CommittedBranch cb;
             cb.pc = e.rec.pc;
             cb.type = e.rec.btype;
@@ -65,6 +74,7 @@ Processor::commitStep(SimStats &st)
                     ++st.committedCondBranches;
             }
         }
+        rob_.pop_front();
     }
 }
 
@@ -72,27 +82,25 @@ void
 Processor::dispatchStep(SimStats &)
 {
     unsigned n = 0;
-    while (!buffer_.empty() && n < cfg_.width &&
-           rob_.size() < cfg_.robSize) {
-        BufEntry e = buffer_.front();
-        buffer_.pop_front();
+    while (!buffer_.empty() && n < cfg_.width && !rob_.full()) {
+        const BufEntry &e = buffer_.front();
         ++n;
 
-        RobEntry re;
+        RobEntry &re = rob_.push_back_slot();
         re.seqNo = e.seqNo;
         re.rec = e.rec;
         re.completeAt = now_ + execLatency(e.rec);
-        rob_.push_back(re);
+        re.dispatchedAt = now_;
 
-        if (e.rec.isBranch()) {
-            branchDispatchAt_[e.seqNo] = now_;
+        if (re.rec.isBranch()) {
             if (diverged_ && !redirectTimeKnown_ &&
-                e.seqNo == faultingSeq_) {
+                re.seqNo == faultingSeq_) {
                 redirectAt_ = now_ + cfg_.branchResolveLat;
                 redirectTimeKnown_ = true;
                 redirectPending_ = true;
             }
         }
+        buffer_.pop_front();
     }
 }
 
@@ -117,12 +125,12 @@ Processor::fetchStep(SimStats &st)
         // Wrong path with a scheduled redirect: the front end keeps
         // running (i-cache pollution / prefetch), but its output is
         // discarded without entering the pipeline.
-        std::vector<FetchedInst> wrong;
-        engine_->fetchCycle(now_, cfg_.width, wrong);
+        bundle_.clear();
+        engine_->fetchCycle(now_, cfg_.width, bundle_);
         if (measuring_) {
-            if (!wrong.empty())
+            if (!bundle_.empty())
                 ++st.fetchCyclesAttempted; // delivered, 0 useful
-            st.fetchedWrong += wrong.size();
+            st.fetchedWrong += bundle_.size();
         }
         return;
     }
@@ -135,7 +143,8 @@ Processor::fetchStep(SimStats &st)
     unsigned ask = static_cast<unsigned>(
         std::min<std::size_t>(space, cfg_.width));
     const bool full_opportunity = (ask == cfg_.width);
-    std::vector<FetchedInst> out;
+    FetchBundle &out = bundle_;
+    out.clear();
     engine_->fetchCycle(now_, ask, out);
     // The paper's fetch IPC counts instructions per *delivering*
     // full-width access; pure stall cycles (i-cache misses, FTQ
@@ -145,17 +154,20 @@ Processor::fetchStep(SimStats &st)
 
     for (const FetchedInst &fi : out) {
         if (!diverged_ && fi.pc == expectedPc_) {
-            OracleInst rec = oracle_.next();
-            assert(rec.pc == fi.pc);
-            BufEntry be;
+            BufEntry &be = buffer_.push_back_slot();
             be.pc = fi.pc;
             be.token = fi.token;
             be.seqNo = nextSeq_++;
-            be.rec = rec;
-            buffer_.push_back(be);
-            expectedPc_ = rec.nextPc;
-            prev_ = be;
-            havePrev_ = true;
+            oracle_.nextInto(be.rec);
+            assert(be.rec.pc == fi.pc);
+            expectedPc_ = be.rec.nextPc;
+            if (be.rec.isBranch()) {
+                prev_ = be;
+                havePrev_ = true;
+                lastWasBranch_ = true;
+            } else {
+                lastWasBranch_ = false;
+            }
             if (measuring_) {
                 ++st.fetchedCorrect;
                 if (full_opportunity)
@@ -187,7 +199,7 @@ Processor::fetchStep(SimStats &st)
 void
 Processor::declareDivergence(SimStats &st)
 {
-    if (!havePrev_ || !prev_.rec.isBranch()) {
+    if (!havePrev_ || !lastWasBranch_) {
         throw std::runtime_error(
             "fetch engine protocol violation: divergence without a "
             "preceding branch");
@@ -208,20 +220,31 @@ Processor::declareDivergence(SimStats &st)
         st.mispredictsByType[static_cast<unsigned>(faulting_.type)]++;
     }
 
-    auto it = branchDispatchAt_.find(faultingSeq_);
-    if (it != branchDispatchAt_.end()) {
-        redirectAt_ = it->second + cfg_.branchResolveLat;
+    // The ROB holds consecutive seqNos in dispatch order, so the
+    // faulting branch — if it is in flight — sits at a fixed offset
+    // from the head; its entry carries the dispatch cycle that the
+    // retired branchDispatchAt_ map used to record.
+    if (!rob_.empty() && faultingSeq_ >= rob_.front().seqNo &&
+        faultingSeq_ <= rob_.back().seqNo) {
+        const RobEntry &e = rob_.at(
+            static_cast<std::size_t>(faultingSeq_ -
+                                     rob_.front().seqNo));
+        assert(e.seqNo == faultingSeq_ &&
+               "ROB seqNos must be consecutive");
+        redirectAt_ = e.dispatchedAt + cfg_.branchResolveLat;
         if (redirectAt_ <= now_)
             redirectAt_ = now_ + 1;
         redirectTimeKnown_ = true;
         redirectPending_ = true;
     } else if (faultingSeq_ <= lastCommittedSeq_) {
-        // Resolved long ago (fetch was stalled meanwhile).
+        // Already committed and resolved long ago (fetch was stalled
+        // meanwhile): deliver the latched resolution next cycle.
         redirectAt_ = now_ + 1;
         redirectTimeKnown_ = true;
         redirectPending_ = true;
     }
-    // else: the redirect is scheduled when the branch dispatches.
+    // else: still in the fetch buffer; the redirect is scheduled
+    // when the branch dispatches.
 }
 
 SimStats

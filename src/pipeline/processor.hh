@@ -22,12 +22,9 @@
 #ifndef SFETCH_PIPELINE_PROCESSOR_HH
 #define SFETCH_PIPELINE_PROCESSOR_HH
 
-#include <deque>
-#include <memory>
-#include <unordered_map>
-
 #include "fetch/fetch_engine.hh"
 #include "layout/oracle.hh"
+#include "util/fixed_ring.hh"
 #include "util/stats.hh"
 
 namespace sfetch
@@ -177,6 +174,12 @@ class Processor
     struct RobEntry
     {
         Cycle completeAt;
+        /**
+         * Dispatch cycle, carried in the entry so a divergence can
+         * schedule the redirect without a side-table lookup (the ROB
+         * holds consecutive seqNos, making the entry O(1) to find).
+         */
+        Cycle dispatchedAt;
         std::uint64_t seqNo;
         OracleInst rec;
     };
@@ -201,8 +204,11 @@ class Processor
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 1;
     Addr expectedPc_;
-    std::deque<BufEntry> buffer_;
-    std::deque<RobEntry> rob_;
+    /** Fetch buffer and ROB: capacities fixed by ProcessorConfig. */
+    FixedRing<BufEntry> buffer_;
+    FixedRing<RobEntry> rob_;
+    /** Reused every cycle; never reallocates. */
+    FetchBundle bundle_;
 
     // Divergence / redirect state.
     bool diverged_ = false;
@@ -212,11 +218,17 @@ class Processor
     Cycle redirectAt_ = 0;
     bool redirectTimeKnown_ = false;
 
-    // Last correct-path instruction fetched (divergence attribution).
+    /**
+     * Divergence attribution state. A divergence can only legally
+     * follow a branch, so only branches are checkpointed into prev_;
+     * lastWasBranch_ tracks whether the newest correct-path fetch
+     * actually was that branch (the protocol check the full
+     * every-instruction copy used to provide).
+     */
     bool havePrev_ = false;
+    bool lastWasBranch_ = false;
     BufEntry prev_;
 
-    std::unordered_map<std::uint64_t, Cycle> branchDispatchAt_;
     std::uint64_t lastCommittedSeq_ = 0;
     InstCount totalCommitted_ = 0;
     Cycle silentFetchCycles_ = 0;

@@ -14,6 +14,8 @@ NextTracePredictor::NextTracePredictor(const NtpConfig &cfg)
     first_.assoc = cfg_.firstAssoc;
     first_.ways.resize(cfg_.firstEntries);
     second_.numSets = cfg_.secondEntries / cfg_.secondAssoc;
+    while ((1ULL << secondIndexBits_) < second_.numSets)
+        ++secondIndexBits_;
     second_.assoc = cfg_.secondAssoc;
     second_.ways.resize(cfg_.secondEntries);
 }
@@ -103,12 +105,10 @@ NextTracePredictor::firstTag(Addr start) const
 
 std::size_t
 NextTracePredictor::secondSet(Addr start,
-                              const DolcHistory &path) const
+                               const DolcHistory &path) const
 {
-    unsigned bits = 0;
-    while ((1ULL << bits) < second_.numSets)
-        ++bits;
-    return static_cast<std::size_t>(path.index(start, bits));
+    return static_cast<std::size_t>(
+        path.index(start, secondIndexBits_));
 }
 
 std::uint64_t

@@ -109,6 +109,7 @@ class NextTracePredictor
     NtpConfig cfg_;
     Table first_;
     Table second_;
+    unsigned secondIndexBits_ = 0; //!< log2(second_.numSets)
     DolcHistory specPath_;
     DolcHistory commitPath_;
     std::uint64_t tick_ = 0;

@@ -21,6 +21,9 @@ TraceFetchEngine::TraceFetchEngine(const TraceEngineConfig &cfg,
             ntp_.commitTrace(t, mispredicted);
             tcache_.insert(t);
         });
+    // Traces are capped at fill.maxInsts instructions; reserving that
+    // up front keeps the latch/drain path allocation-free.
+    emitQueue_.reserve(cfg_.fill.maxInsts);
 }
 
 TraceFetchEngine::TraceTry
@@ -163,7 +166,7 @@ TraceFetchEngine::tryTracePath()
 
 void
 TraceFetchEngine::walkStep(Cycle now, unsigned max_insts,
-                           std::vector<FetchedInst> &out)
+                           FetchBundle &out)
 {
     if (!image_->contains(walk_.pc)) {
         // Wrong path ran off the image; abandon trace sequencing.
@@ -250,7 +253,7 @@ TraceFetchEngine::walkStep(Cycle now, unsigned max_insts,
 
 void
 TraceFetchEngine::emitTrace(unsigned max_insts,
-                            std::vector<FetchedInst> &out)
+                            FetchBundle &out)
 {
     unsigned n = 0;
     while (emitPos_ < emitQueue_.size() && n < max_insts) {
@@ -271,7 +274,7 @@ TraceFetchEngine::emitTrace(unsigned max_insts,
 
 void
 TraceFetchEngine::secondaryFetch(Cycle now, unsigned max_insts,
-                                 std::vector<FetchedInst> &out)
+                                 FetchBundle &out)
 {
     ++secondaryCycles_;
     if (!image_->contains(fetchAddr_))
@@ -350,7 +353,7 @@ TraceFetchEngine::secondaryFetch(Cycle now, unsigned max_insts,
 
 void
 TraceFetchEngine::fetchCycle(Cycle now, unsigned max_insts,
-                             std::vector<FetchedInst> &out)
+                             FetchBundle &out)
 {
     // Drain a previously latched wide trace first; predictor and
     // trace cache stall while it feeds the pipeline (footnote 2).

@@ -57,7 +57,7 @@ class TraceFetchEngine : public FetchEngine
                      const CodeImage &image, MemoryHierarchy *mem);
 
     void fetchCycle(Cycle now, unsigned max_insts,
-                    std::vector<FetchedInst> &out) override;
+                    FetchBundle &out) override;
     void redirect(const ResolvedBranch &rb) override;
     void trainCommit(const CommittedBranch &cb) override;
     void reset(Addr start) override;
@@ -87,14 +87,14 @@ class TraceFetchEngine : public FetchEngine
      * one taken branch per cycle.
      */
     void walkStep(Cycle now, unsigned max_insts,
-                  std::vector<FetchedInst> &out);
+                  FetchBundle &out);
 
     /** Secondary path (no prediction): one fetch block per cycle. */
     void secondaryFetch(Cycle now, unsigned max_insts,
-                        std::vector<FetchedInst> &out);
+                        FetchBundle &out);
 
     /** Drain the latched trace into @p out. */
-    void emitTrace(unsigned max_insts, std::vector<FetchedInst> &out);
+    void emitTrace(unsigned max_insts, FetchBundle &out);
 
     TraceEngineConfig cfg_;
     const CodeImage *image_;

@@ -53,9 +53,10 @@ class DolcHistory
     push(Addr id)
     {
         ring_[head_] = id;
-        head_ = (head_ + 1) % ring_.size();
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
         if (filled_ < ring_.size())
             ++filled_;
+        invalidateCache();
     }
 
     /** Forget all recorded path elements. */
@@ -66,6 +67,7 @@ class DolcHistory
         filled_ = 0;
         for (auto &v : ring_)
             v = 0;
+        invalidateCache();
     }
 
     /**
@@ -75,21 +77,31 @@ class DolcHistory
     std::uint64_t
     index(Addr current, unsigned index_bits) const
     {
-        std::uint64_t h = 0;
-        unsigned shift = 0;
-        // Older elements (all but the newest).
-        for (unsigned i = 1; i < filled_; ++i) {
-            Addr id = at(i);
-            h ^= extract(id, spec_.olderBits) << shift;
-            shift = (shift + spec_.olderBits) % index_bits;
+        // The path contribution (everything but `current`) only
+        // changes on push/clear/restore, while index() runs on every
+        // prediction: memoize it instead of re-walking the ring.
+        if (!pathCacheValid_ || cachedBits_ != index_bits) {
+            std::uint64_t h = 0;
+            unsigned shift = 0;
+            // Older elements (all but the newest).
+            for (unsigned i = 1; i < filled_; ++i) {
+                Addr id = at(i);
+                h ^= extract(id, spec_.olderBits) << shift;
+                shift = (shift + spec_.olderBits) % index_bits;
+            }
+            // Newest element.
+            if (filled_ >= 1) {
+                h ^= extract(at(0), spec_.lastBits) << shift;
+                shift = (shift + spec_.lastBits) % index_bits;
+            }
+            cachedPath_ = h;
+            cachedPathShift_ = shift;
+            cachedBits_ = index_bits;
+            pathCacheValid_ = true;
         }
-        // Newest element.
-        if (filled_ >= 1) {
-            h ^= extract(at(0), spec_.lastBits) << shift;
-            shift = (shift + spec_.lastBits) % index_bits;
-        }
-        // Current address.
-        h ^= extract(current, spec_.currentBits) << shift;
+        // Current address on top of the memoized path hash.
+        std::uint64_t h = cachedPath_ ^
+            (extract(current, spec_.currentBits) << cachedPathShift_);
         // Final fold to the requested width.
         std::uint64_t mask = (index_bits >= 64)
             ? ~0ULL : ((1ULL << index_bits) - 1);
@@ -109,10 +121,14 @@ class DolcHistory
     std::uint64_t
     signature(Addr current) const
     {
-        std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-        for (unsigned i = 0; i < filled_; ++i)
-            h = (h ^ at(i)) * 0x100000001b3ULL;
-        return h ^ (current * 0x9ddfea08eb382d69ULL);
+        if (!sigCacheValid_) {
+            std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+            for (unsigned i = 0; i < filled_; ++i)
+                h = (h ^ at(i)) * 0x100000001b3ULL;
+            cachedSig_ = h;
+            sigCacheValid_ = true;
+        }
+        return cachedSig_ ^ (current * 0x9ddfea08eb382d69ULL);
     }
 
     /** Snapshot for later restoration. */
@@ -135,6 +151,7 @@ class DolcHistory
         ring_ = cp.ring;
         head_ = cp.head;
         filled_ = cp.filled;
+        invalidateCache();
     }
 
     /** Copy the state of another history (speculative <- committed). */
@@ -144,6 +161,7 @@ class DolcHistory
         ring_ = other.ring_;
         head_ = other.head_;
         filled_ = other.filled_;
+        invalidateCache();
     }
 
     const DolcSpec &spec() const { return spec_; }
@@ -169,10 +187,25 @@ class DolcHistory
         return (id / kInstBytes) & mask;
     }
 
+    void
+    invalidateCache()
+    {
+        pathCacheValid_ = false;
+        sigCacheValid_ = false;
+    }
+
     DolcSpec spec_;
     std::vector<Addr> ring_;
     std::size_t head_;
     std::size_t filled_;
+
+    // Memoized path-only hash state (see index()/signature()).
+    mutable bool pathCacheValid_ = false;
+    mutable bool sigCacheValid_ = false;
+    mutable unsigned cachedBits_ = 0;
+    mutable unsigned cachedPathShift_ = 0;
+    mutable std::uint64_t cachedPath_ = 0;
+    mutable std::uint64_t cachedSig_ = 0;
 };
 
 } // namespace sfetch

@@ -52,7 +52,13 @@ class Histogram
     std::uint64_t bucket(std::size_t b) const { return buckets_.at(b); }
     std::size_t numBuckets() const { return buckets_.size(); }
 
-    /** Smallest value v such that at least frac of samples are <= v. */
+    /**
+     * Smallest value v such that at least frac of samples are <= v.
+     * Samples in the overflow bucket have no exact value, so a
+     * percentile landing there reports maxValue() — the tightest
+     * bound the histogram still knows — rather than the (possibly
+     * far smaller) overflow bucket index.
+     */
     std::uint64_t
     percentile(double frac) const
     {
@@ -61,12 +67,12 @@ class Histogram
         std::uint64_t target =
             static_cast<std::uint64_t>(frac * double(n_));
         std::uint64_t seen = 0;
-        for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        for (std::size_t b = 0; b + 1 < buckets_.size(); ++b) {
             seen += buckets_[b];
             if (seen > target)
                 return b;
         }
-        return buckets_.size() - 1;
+        return max_;
     }
 
     /**

@@ -60,14 +60,13 @@ correlatedOutcome(std::uint64_t history, unsigned history_bits,
 bool
 WorkloadModel::choosePrimary(BlockId id, Pcg32 &rng)
 {
-    auto it = cond_.find(id);
     // Unmodelled conditionals default to a weak not-primary bias so
     // that hand-built test programs remain runnable.
     bool primary;
-    if (it == cond_.end()) {
+    if (!hasCond(id)) {
         primary = rng.nextBool(0.3);
     } else {
-        CondModel &m = it->second;
+        CondModel &m = cond_[id];
         switch (m.kind) {
           case CondModel::Kind::Loop:
             if (m.remainingTrips == 0) {
@@ -164,7 +163,7 @@ WorkloadModel::reset()
 {
     history_ = 0;
     case_history_ = 0;
-    for (auto &[id, m] : cond_) {
+    for (CondModel &m : cond_) {
         m.remainingTrips = 0;
         m.phaseLeft = 0;
         m.phasePrimary = false;

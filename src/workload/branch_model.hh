@@ -25,6 +25,7 @@
 #ifndef SFETCH_WORKLOAD_BRANCH_MODEL_HH
 #define SFETCH_WORKLOAD_BRANCH_MODEL_HH
 
+#include <cassert>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -131,6 +132,14 @@ class WorkloadModel
     void
     setCond(BlockId id, CondModel m)
     {
+        if (id >= cond_.size()) {
+            cond_.resize(id + 1);
+            condPresent_.resize(id + 1, 0);
+        }
+        if (!condPresent_[id]) {
+            condPresent_[id] = 1;
+            ++numCond_;
+        }
         cond_[id] = m;
     }
 
@@ -143,12 +152,17 @@ class WorkloadModel
     void setData(DataModel m) { data_ = m; }
     const DataModel &data() const { return data_; }
 
-    bool hasCond(BlockId id) const { return cond_.count(id) != 0; }
+    bool
+    hasCond(BlockId id) const
+    {
+        return id < condPresent_.size() && condPresent_[id];
+    }
 
     const CondModel &
     cond(BlockId id) const
     {
-        return cond_.at(id);
+        assert(hasCond(id));
+        return cond_[id];
     }
 
     /**
@@ -170,11 +184,19 @@ class WorkloadModel
     /** Recent indirect-case choices (3 bits per case, newest low). */
     std::uint64_t caseHistory() const { return case_history_; }
 
-    std::size_t numCondModels() const { return cond_.size(); }
+    std::size_t numCondModels() const { return numCond_; }
     std::size_t numIndirectModels() const { return indirect_.size(); }
 
   private:
-    std::unordered_map<BlockId, CondModel> cond_;
+    /**
+     * Conditional models as a dense block-id-indexed table: the
+     * trace generator queries one per executed conditional, and an
+     * indexed load beats a hash lookup on that path. condPresent_
+     * distinguishes modelled blocks from the default behaviour.
+     */
+    std::vector<CondModel> cond_;
+    std::vector<std::uint8_t> condPresent_;
+    std::size_t numCond_ = 0;
     std::unordered_map<BlockId, IndirectModel> indirect_;
     DataModel data_;
     std::uint64_t history_ = 0;

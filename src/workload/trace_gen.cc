@@ -67,24 +67,5 @@ TraceGenerator::reset()
     records_ = 0;
 }
 
-Addr
-DataAddressStream::next()
-{
-    double u = rng_.nextDouble();
-    Addr base = 0x10000000ULL;
-    if (u < model_.streamFraction) {
-        // Sequential walk through the working set.
-        seq_cursor_ = (seq_cursor_ + 8) % model_.workingSetBytes;
-        return base + seq_cursor_;
-    }
-    if (u < model_.streamFraction + model_.hotFraction) {
-        // Hot (stack-like) region.
-        Addr off = rng_.next64() % model_.hotBytes;
-        return base + model_.workingSetBytes + (off & ~Addr(7));
-    }
-    // Random access over the working set.
-    Addr off = rng_.next64() % model_.workingSetBytes;
-    return base + (off & ~Addr(7));
-}
 
 } // namespace sfetch

@@ -88,15 +88,57 @@ class DataAddressStream
   public:
     DataAddressStream(const DataModel &model, std::uint64_t seed)
         : model_(model), rng_(mix64(seed), 0x5851f42d4c957f2dULL)
-    {}
+    {
+        // The region sizes are normally powers of two; precomputing
+        // the masks turns the per-access modulo (a 64-bit divide)
+        // into an AND on that common case.
+        if (isPow2(model_.workingSetBytes))
+            wsMask_ = model_.workingSetBytes - 1;
+        if (isPow2(model_.hotBytes))
+            hotMask_ = model_.hotBytes - 1;
+    }
 
-    /** Address of the next memory access. */
-    Addr next();
+    /** Address of the next memory access (hot path, inline). */
+    Addr
+    next()
+    {
+        double u = rng_.nextDouble();
+        Addr base = 0x10000000ULL;
+        if (u < model_.streamFraction) {
+            // Sequential walk through the working set.
+            seq_cursor_ = modWs(seq_cursor_ + 8);
+            return base + seq_cursor_;
+        }
+        if (u < model_.streamFraction + model_.hotFraction) {
+            // Hot (stack-like) region.
+            Addr off = modHot(rng_.next64());
+            return base + model_.workingSetBytes + (off & ~Addr(7));
+        }
+        // Random access over the working set.
+        Addr off = modWs(rng_.next64());
+        return base + (off & ~Addr(7));
+    }
 
   private:
+    static bool isPow2(Addr x) { return x && (x & (x - 1)) == 0; }
+
+    Addr
+    modWs(Addr x) const
+    {
+        return wsMask_ ? (x & wsMask_) : x % model_.workingSetBytes;
+    }
+
+    Addr
+    modHot(Addr x) const
+    {
+        return hotMask_ ? (x & hotMask_) : x % model_.hotBytes;
+    }
+
     DataModel model_;
     Pcg32 rng_;
     Addr seq_cursor_ = 0;
+    Addr wsMask_ = 0;
+    Addr hotMask_ = 0;
 };
 
 } // namespace sfetch

@@ -73,6 +73,60 @@ TEST(Cache, FlushInvalidatesAll)
     EXPECT_FALSE(c.probe(0x1000));
 }
 
+TEST(Cache, FlushKeepsStatsResetStatsKeepsContents)
+{
+    // The two resets are deliberately split: flush() models a
+    // content invalidation (counters keep accumulating across it),
+    // while resetStats() is the warmup boundary (contents stay warm,
+    // counters restart).
+    Cache c(tinyCache());
+    c.access(0x1000); // miss
+    c.access(0x1000); // hit
+    c.flush();
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 1u);
+    c.access(0x1000); // miss again: flush dropped the line
+    EXPECT_EQ(c.misses(), 2u);
+
+    c.resetStats();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_TRUE(c.probe(0x1000)); // contents survived
+    c.access(0x1000);
+    EXPECT_EQ(c.hits(), 1u); // still resident: a hit, not a miss
+}
+
+TEST(Cache, MruFastPathPreservesLruReplacement)
+{
+    // Repeated re-touches of one line (the MRU fast path) must still
+    // age the other way correctly: after filling a 2-way set and
+    // hammering one line, an eviction must pick the colder way.
+    Cache c(tinyCache(2, 64, 1024)); // 8 sets, 2 ways
+    c.access(0x0000);               // set 0
+    c.access(0x0200);               // set 0, second way
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(c.access(0x0000)); // MRU hits
+    c.access(0x0400);                  // set 0: evicts LRU 0x0200
+    EXPECT_TRUE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x0200));
+    EXPECT_TRUE(c.probe(0x0400));
+}
+
+TEST(Cache, AlternatingLinesHitViaScanPath)
+{
+    // Ping-ponging between the two ways of one set exercises the
+    // non-MRU scan path every other access; all must still hit.
+    Cache c(tinyCache(2, 64, 1024));
+    c.access(0x0000);
+    c.access(0x0200);
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_TRUE(c.access(0x0000));
+        EXPECT_TRUE(c.access(0x0200));
+    }
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.hits(), 12u);
+}
+
 TEST(Cache, MissRate)
 {
     Cache c(tinyCache());

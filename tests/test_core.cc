@@ -307,7 +307,7 @@ TEST(StreamEngine, SequentialFallbackFromColdPredictor)
 {
     StreamFixture f;
     StreamFetchEngine e(f.cfg, *f.img, f.mem.get());
-    std::vector<FetchedInst> out;
+    FetchBundle out;
     for (Cycle t = 1; t < 40 && out.empty(); ++t)
         e.fetchCycle(t, 8, out);
     ASSERT_GE(out.size(), 1u);
@@ -342,7 +342,7 @@ TEST(StreamEngine, PredictedStreamDrivesFetch)
     // contiguous pcs, then wrap to the entry again (next stream).
     std::vector<FetchedInst> all;
     for (Cycle t = 10; t < 60 && all.size() < 16; ++t) {
-        std::vector<FetchedInst> out;
+        FetchBundle out;
         e.fetchCycle(t, 8, out);
         all.insert(all.end(), out.begin(), out.end());
     }
@@ -363,7 +363,7 @@ TEST(StreamEngine, RedirectStartsPartialStream)
     rb.taken = true;
     rb.target = f.img->blockAddr(2);
     e.redirect(rb);
-    std::vector<FetchedInst> out;
+    FetchBundle out;
     for (Cycle t = 1; t < 40 && out.empty(); ++t)
         e.fetchCycle(t, 8, out);
     ASSERT_GE(out.size(), 1u);

@@ -189,9 +189,9 @@ struct EngineFixture
 std::vector<FetchedInst>
 cycleOf(FetchEngine &e, Cycle now, unsigned w = 8)
 {
-    std::vector<FetchedInst> out;
+    FetchBundle out;
     e.fetchCycle(now, w, out);
-    return out;
+    return std::vector<FetchedInst>(out.begin(), out.end());
 }
 
 /** Run cycles from @p start until the engine produces output. */
@@ -199,10 +199,10 @@ std::vector<FetchedInst>
 firstOutput(FetchEngine &e, Cycle start, unsigned w = 8)
 {
     for (Cycle t = start; t < start + 300; ++t) {
-        std::vector<FetchedInst> out;
+        FetchBundle out;
         e.fetchCycle(t, w, out);
         if (!out.empty())
-            return out;
+            return std::vector<FetchedInst>(out.begin(), out.end());
     }
     return {};
 }

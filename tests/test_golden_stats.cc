@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-stats regression gate for the zero-allocation hot-loop
+ * refactor: every registered engine must produce *bit-identical*
+ * SimStats to the pre-refactor (seed-revision) simulator. The golden
+ * values below were recorded at commit d62e046 ("PR 2"), before the
+ * FetchBundle / ring-buffer / incremental-oracle rework, for the
+ * gzip workload in two configurations. Any divergence means a
+ * performance change altered simulated behaviour, which the hot-loop
+ * work is contractually forbidden to do.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/workload_cache.hh"
+
+namespace sfetch
+{
+namespace
+{
+
+struct GoldenRow
+{
+    const char *arch;
+    // cycles, committedInsts, committedBranches, committedCond,
+    // mispredicts, condMispredicts, fetchedCorrect, fetchedWrong,
+    // fetchCyclesAttempted, fetchOppInsts
+    std::uint64_t v[10];
+};
+
+// gzip, width 8, optimized layout, 60k measured / 10k warmup.
+const GoldenRow kGoldenW8Opt[] = {
+    {"ev8",
+     {27038ull, 60001ull, 7164ull, 6911ull, 156ull, 144ull, 60007ull,
+      11304ull, 13377ull, 55763ull}},
+    {"ftb",
+     {27206ull, 60006ull, 7164ull, 6911ull, 223ull, 211ull, 60007ull,
+      18280ull, 14006ull, 55989ull}},
+    {"stream",
+     {27357ull, 60001ull, 7164ull, 6911ull, 294ull, 226ull, 60011ull,
+      28057ull, 13933ull, 56696ull}},
+    {"trace",
+     {27046ull, 60004ull, 7164ull, 6911ull, 209ull, 201ull, 60011ull,
+      27238ull, 11084ull, 56601ull}},
+    {"seq",
+     {68365ull, 60007ull, 7165ull, 6912ull, 4759ull, 4567ull,
+      60083ull, 448686ull, 67089ull, 60083ull}},
+};
+
+// gzip, width 4, base layout, 60k measured / 10k warmup.
+const GoldenRow kGoldenW4Base[] = {
+    {"ev8",
+     {28475ull, 60001ull, 7163ull, 6912ull, 163ull, 151ull, 60018ull,
+      7943ull, 23555ull, 59312ull}},
+    {"ftb",
+     {28612ull, 60001ull, 7163ull, 6912ull, 199ull, 187ull, 59999ull,
+      9752ull, 23797ull, 59120ull}},
+    {"stream",
+     {29243ull, 60001ull, 7163ull, 6912ull, 251ull, 243ull, 60003ull,
+      12108ull, 24474ull, 59191ull}},
+    {"trace",
+     {27980ull, 60002ull, 7163ull, 6912ull, 186ull, 178ull, 60001ull,
+      13773ull, 18609ull, 58539ull}},
+    {"seq",
+     {104196ull, 60001ull, 7163ull, 6912ull, 6860ull, 6670ull,
+      60001ull, 340778ull, 103268ull, 60001ull}},
+};
+
+SimStats
+runGolden(const char *arch, unsigned width, bool optimized)
+{
+    const PlacedWorkload &work = WorkloadCache::instance().get("gzip");
+    SimConfig cfg(arch);
+    cfg.width = width;
+    cfg.optimizedLayout = optimized;
+    cfg.insts = 60000;
+    cfg.warmupInsts = 10000;
+    return runOn(work, cfg);
+}
+
+void
+expectGolden(const GoldenRow &g, const SimStats &st)
+{
+    EXPECT_EQ(st.cycles, g.v[0]) << g.arch << " cycles";
+    EXPECT_EQ(st.committedInsts, g.v[1]) << g.arch << " insts";
+    EXPECT_EQ(st.committedBranches, g.v[2]) << g.arch << " branches";
+    EXPECT_EQ(st.committedCondBranches, g.v[3]) << g.arch << " cond";
+    EXPECT_EQ(st.mispredicts, g.v[4]) << g.arch << " mispredicts";
+    EXPECT_EQ(st.condMispredicts, g.v[5]) << g.arch << " cond misp";
+    EXPECT_EQ(st.fetchedCorrect, g.v[6]) << g.arch << " correct";
+    EXPECT_EQ(st.fetchedWrong, g.v[7]) << g.arch << " wrong";
+    EXPECT_EQ(st.fetchCyclesAttempted, g.v[8]) << g.arch
+                                               << " attempts";
+    EXPECT_EQ(st.fetchOppInsts, g.v[9]) << g.arch << " opp insts";
+}
+
+TEST(GoldenStats, AllEnginesWidth8Optimized)
+{
+    for (const GoldenRow &g : kGoldenW8Opt)
+        expectGolden(g, runGolden(g.arch, 8, true));
+}
+
+TEST(GoldenStats, AllEnginesWidth4Base)
+{
+    for (const GoldenRow &g : kGoldenW4Base)
+        expectGolden(g, runGolden(g.arch, 4, false));
+}
+
+// Reruns on the same process must also be deterministic (the engines
+// and processor are freshly constructed per run).
+TEST(GoldenStats, RerunIsBitIdentical)
+{
+    SimStats a = runGolden("stream", 8, true);
+    SimStats b = runGolden("stream", 8, true);
+    EXPECT_TRUE(a == b);
+}
+
+} // namespace
+} // namespace sfetch

@@ -94,6 +94,21 @@ struct Harness
 
 } // namespace
 
+TEST(Processor, RejectsWidthBeyondFetchBundleCapacity)
+{
+    // The FetchBundle is a fixed inline array; a silent overrun in
+    // release builds would be memory corruption, so construction
+    // must fail loudly instead.
+    // 2x capacity keeps the default line size (4x width) a power of
+    // two, so construction reaches the Processor's own width check.
+    EXPECT_THROW(Harness(biasedLoop(), ArchKind::Stream,
+                         FetchBundle::kCapacity * 2),
+                 std::invalid_argument);
+    Harness ok(biasedLoop(), ArchKind::Stream,
+               FetchBundle::kCapacity);
+    EXPECT_GT(ok.proc->run(1'000).committedInsts, 0u);
+}
+
 TEST(Processor, CommitsExactlyRequestedInstructions)
 {
     Harness h(biasedLoop(), ArchKind::Stream);

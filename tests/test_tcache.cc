@@ -283,7 +283,7 @@ TEST(TraceEngine, SecondaryPathFetchesColdCode)
 {
     TraceFixture f;
     TraceFetchEngine e(f.cfg, *f.img, f.mem.get());
-    std::vector<FetchedInst> out;
+    FetchBundle out;
     for (Cycle t = 1; t < 40 && out.empty(); ++t)
         e.fetchCycle(t, 8, out);
     ASSERT_GE(out.size(), 1u);
@@ -310,7 +310,7 @@ TEST(TraceEngine, CommittedTracePredictsAndEmits)
     // non-sequential pc sequence b0[0..3], b2[0..3].
     std::vector<FetchedInst> all;
     for (Cycle t = 50; t < 90 && all.size() < 8; ++t) {
-        std::vector<FetchedInst> out;
+        FetchBundle out;
         e.fetchCycle(t, 8, out);
         all.insert(all.end(), out.begin(), out.end());
     }
@@ -332,7 +332,7 @@ TEST(TraceEngine, RedirectClearsLatchedTrace)
     rb.taken = false;
     rb.target = f.img->blockAddr(1);
     e.redirect(rb);
-    std::vector<FetchedInst> out;
+    FetchBundle out;
     for (Cycle t = 2; t < 40 && out.empty(); ++t)
         e.fetchCycle(t, 8, out);
     ASSERT_GE(out.size(), 1u);
@@ -383,7 +383,7 @@ TEST(TraceEngine, PartialMatchingServesPrefix)
                              BranchType::Jump));
     }
     e.reset(f.img->entryAddr());
-    std::vector<FetchedInst> out;
+    FetchBundle out;
     for (Cycle t = 100; t < 140 && out.empty(); ++t)
         e.fetchCycle(t, 8, out);
     ASSERT_GE(out.size(), 1u);

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "util/dolc.hh"
+#include "util/fixed_ring.hh"
 #include "util/rng.hh"
 #include "util/sat_counter.hh"
 #include "util/stats.hh"
@@ -309,6 +310,91 @@ TEST(Histogram, Percentile)
         h.sample(v);
     EXPECT_EQ(h.percentile(0.5), 6u);
     EXPECT_GE(h.percentile(0.99), 9u);
+}
+
+TEST(Histogram, PercentileOverflowBucketReportsMaxValue)
+{
+    // Regression: a high percentile landing in the overflow bucket
+    // used to report the bucket *index* (the bound), a gross
+    // underestimate when samples far exceed it.
+    Histogram h(8);
+    h.sample(2, 10);
+    h.sample(5000, 10); // all in the overflow bucket
+    EXPECT_EQ(h.maxValue(), 5000u);
+    EXPECT_EQ(h.percentile(0.99), 5000u);
+    // Percentiles inside the exact buckets are unaffected.
+    EXPECT_EQ(h.percentile(0.25), 2u);
+}
+
+TEST(Histogram, PercentileAllInRangeNeverReportsBound)
+{
+    // With no overflow samples, even frac = 1.0 must report the real
+    // maximum, not the overflow bucket index.
+    Histogram h(64);
+    h.sample(3, 4);
+    EXPECT_EQ(h.percentile(1.0), 3u);
+}
+
+// ---- FixedRing ----
+
+TEST(FixedRing, FifoOrderAcrossWraparound)
+{
+    FixedRing<int> r(3); // internal pow2 storage of 4
+    for (int round = 0; round < 5; ++round) {
+        r.push_back(round * 10 + 1);
+        r.push_back(round * 10 + 2);
+        r.push_back(round * 10 + 3);
+        EXPECT_TRUE(r.full());
+        EXPECT_EQ(r.front(), round * 10 + 1);
+        EXPECT_EQ(r.back(), round * 10 + 3);
+        EXPECT_EQ(r.at(1), round * 10 + 2);
+        r.pop_front();
+        r.pop_front();
+        r.pop_front();
+        EXPECT_TRUE(r.empty());
+    }
+}
+
+TEST(FixedRing, PushBackSlotIsInPlace)
+{
+    FixedRing<int> r(2);
+    r.push_back_slot() = 7;
+    r.push_back_slot() = 9;
+    EXPECT_EQ(r.front(), 7);
+    EXPECT_EQ(r.back(), 9);
+    EXPECT_TRUE(r.full());
+}
+
+TEST(FixedRing, ClearAndCopy)
+{
+    FixedRing<int> r(4);
+    r.push_back(1);
+    r.push_back(2);
+    FixedRing<int> s(r);
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.front(), 1);
+    EXPECT_EQ(s.back(), 2);
+}
+
+TEST(FixedRing, DolcMemoizedIndexMatchesFreshHistory)
+{
+    // The DOLC memoization must be invisible: an incrementally
+    // updated history and a freshly rebuilt one agree on every index
+    // and signature.
+    DolcSpec spec{4, 2, 3, 8};
+    DolcHistory inc(spec);
+    for (int i = 0; i < 12; ++i) {
+        inc.push(0x1000 + 16u * i);
+        DolcHistory fresh(spec);
+        for (int j = std::max(0, i - 3); j <= i; ++j)
+            fresh.push(0x1000 + 16u * j);
+        EXPECT_EQ(inc.index(0x2000, 8), fresh.index(0x2000, 8));
+        EXPECT_EQ(inc.signature(0x2000), fresh.signature(0x2000));
+        // Interleave lookups at another pc to stress the cache.
+        EXPECT_EQ(inc.index(0x4444, 8), fresh.index(0x4444, 8));
+    }
 }
 
 TEST(Histogram, ResetClears)
