@@ -1,16 +1,34 @@
 #include "layout/oracle.hh"
 
 #include <cassert>
+#include <stdexcept>
+
+#include "workload/trace_io.hh"
 
 namespace sfetch
 {
 
 OracleStream::OracleStream(const CodeImage &image,
                            const WorkloadModel &model,
-                           std::uint64_t seed)
-    : image_(&image), gen_(image.program(), model, seed)
+                           std::uint64_t seed,
+                           const RecordedTrace *replay)
+    : image_(&image), gen_(image.program(), model, seed),
+      replay_(replay)
 {
     ret_stack_.reserve(TraceGenerator::kMaxCallDepth);
+}
+
+ControlRecord
+OracleStream::nextRecord()
+{
+    if (!replay_)
+        return gen_.next();
+    if (replayPos_ >= replay_->records.size())
+        throw std::runtime_error(
+            "trace replay exhausted after " +
+            std::to_string(replayPos_) +
+            " records; record the trace with more margin");
+    return replay_->records[replayPos_++];
 }
 
 OracleInst
@@ -48,7 +66,7 @@ void
 OracleStream::startBlock()
 {
     const Program &prog = image_->program();
-    ControlRecord rec = gen_.next();
+    ControlRecord rec = nextRecord();
     const BasicBlock &b = prog.block(rec.block);
     const Addr block_start = image_->blockAddr(rec.block);
     const Addr succ_addr = image_->blockAddr(rec.next);

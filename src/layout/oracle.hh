@@ -19,6 +19,8 @@
 namespace sfetch
 {
 
+struct RecordedTrace;
+
 /** One committed-path instruction. */
 struct OracleInst
 {
@@ -47,8 +49,17 @@ struct OracleInst
 class OracleStream
 {
   public:
+    /**
+     * @param replay When non-null, the committed control path is
+     * read from the recorded trace (which must outlive the stream)
+     * instead of being generated live; @p model and @p seed then
+     * only drive the data-address side held elsewhere. A replay that
+     * runs past the end of the trace throws std::runtime_error —
+     * record with enough margin (see recordTrace()).
+     */
     OracleStream(const CodeImage &image, const WorkloadModel &model,
-                 std::uint64_t seed);
+                 std::uint64_t seed,
+                 const RecordedTrace *replay = nullptr);
 
     /**
      * Next committed instruction. The in-block fast path is inline
@@ -133,8 +144,13 @@ class OracleStream
     OracleInst generate();
     void startBlock();
 
+    /** The next committed control record: live or replayed. */
+    ControlRecord nextRecord();
+
     const CodeImage *image_;
     TraceGenerator gen_;
+    const RecordedTrace *replay_ = nullptr;
+    std::size_t replayPos_ = 0;
 
     // Incremental expansion state: the block being emitted, its
     // precomputed terminator, and the stub walk that follows it.

@@ -8,9 +8,10 @@ namespace sfetch
 
 Processor::Processor(const ProcessorConfig &cfg, FetchEngine *engine,
                      const CodeImage &image, const WorkloadModel &model,
-                     MemoryHierarchy *mem, std::uint64_t seed)
+                     MemoryHierarchy *mem, std::uint64_t seed,
+                     const RecordedTrace *replay)
     : cfg_(cfg), engine_(engine), image_(&image), mem_(mem),
-      oracle_(image, model, seed),
+      oracle_(image, model, seed, replay),
       dstream_(model.data(), seed ^ 0xda7aULL),
       expectedPc_(image.entryAddr()),
       buffer_(cfg.fetchBufferInsts), rob_(cfg.robSize)

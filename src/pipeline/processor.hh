@@ -147,10 +147,16 @@ class Processor
      * @param model Workload behaviour (copied into the oracle).
      * @param mem Memory hierarchy shared with the engine (not owned).
      * @param seed Oracle/data-stream seed (the `ref` input).
+     * @param replay Optional recorded control trace (not owned; must
+     *        outlive the processor). When set, the committed path is
+     *        replayed from it instead of generated live; with
+     *        matching @p seed the run is bit-identical to live
+     *        generation.
      */
     Processor(const ProcessorConfig &cfg, FetchEngine *engine,
               const CodeImage &image, const WorkloadModel &model,
-              MemoryHierarchy *mem, std::uint64_t seed);
+              MemoryHierarchy *mem, std::uint64_t seed,
+              const RecordedTrace *replay = nullptr);
 
     /**
      * Simulate until @p insts instructions have committed (after

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sim/engine_registry.hh"
+#include "workload/workload_registry.hh"
 
 namespace sfetch
 {
@@ -66,9 +67,11 @@ resolveBenches(const std::vector<std::string> &requested)
         return suiteNames();
     if (requested.size() == 1 && requested[0] == "all")
         return suiteNames();
-    for (const std::string &name : requested)
-        suiteParams(name); // throws on unknown names
-    return requested;
+    std::vector<std::string> out;
+    out.reserve(requested.size());
+    for (const std::string &spec : requested)
+        out.push_back(canonicalBenchSpec(spec)); // throws on unknown
+    return out;
 }
 
 std::string
@@ -110,13 +113,28 @@ CliParser::addStandard(CliOptions *opts, unsigned mask)
                   [opts](const std::string &v) {
                       opts->widths = parseUnsignedList(v);
                   });
-    if (mask & kBench)
-        addOption("--bench", "NAME[,NAME...]",
-                  "suite benchmarks, or 'all' (default: all)",
+    if (mask & kBench) {
+        addOption("--bench", "SPEC[,SPEC...]",
+                  "workload specs: suite names, 'all', or "
+                  "`family[:key=v,...]` (see --list-benches)",
                   [opts](const std::string &v) {
-                      opts->benches =
-                          resolveBenches(parseNameList(v));
+                      // parseBenchSpecList canonicalizes and
+                      // validates (bad specs die cleanly here);
+                      // the binary's resolveBenches() call expands
+                      // 'all' and empty defaults.
+                      opts->benches = parseBenchSpecList(v);
                   });
+        addFlag("--list-benches",
+                "list the registered workload families, their "
+                "parameters and the suite presets, then exit",
+                [] {
+                    std::fputs(WorkloadRegistry::instance()
+                                   .listText()
+                                   .c_str(),
+                               stdout);
+                    std::exit(0);
+                });
+    }
     if (mask & kJobs)
         addOption("--jobs", "N",
                   "worker threads (default: all hardware threads)",

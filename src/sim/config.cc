@@ -96,35 +96,7 @@ operator==(const SimConfig &a, const SimConfig &b)
 std::vector<SimConfig>
 parseArchSpecList(const std::string &text)
 {
-    // Split on commas, then re-attach bare key=value items to the
-    // spec before them: "ev8,stream:ftq=8,single_table=1" is
-    // ["ev8", "stream:ftq=8,single_table=1"]. An item starts a new
-    // spec when it has no '=', or when a ':' introduces a parameter
-    // list before the first '=' (i.e. it names an engine).
-    std::vector<std::string> specs;
-    std::string item;
-    std::size_t pos = 0;
-    while (pos <= text.size()) {
-        std::size_t comma = text.find(',', pos);
-        if (comma == std::string::npos)
-            comma = text.size();
-        item = text.substr(pos, comma - pos);
-        pos = comma + 1;
-        if (item.empty())
-            continue;
-        std::size_t eq = item.find('=');
-        std::size_t colon = item.find(':');
-        bool continuation = eq != std::string::npos &&
-            (colon == std::string::npos || colon > eq) &&
-            !specs.empty();
-        if (continuation)
-            specs.back() += "," + item;
-        else
-            specs.push_back(item);
-    }
-    if (specs.empty())
-        throw std::invalid_argument("empty architecture list");
-
+    std::vector<std::string> specs = splitSpecList(text);
     std::vector<SimConfig> out;
     out.reserve(specs.size());
     for (const std::string &spec : specs)

@@ -101,8 +101,9 @@ toSimConfig(const RunConfig &cfg)
     return sc;
 }
 
-PlacedWorkload::PlacedWorkload(const std::string &bench_name)
-    : name_(bench_name), work_(generateWorkload(suiteParams(bench_name)))
+PlacedWorkload::PlacedWorkload(const std::string &bench_spec)
+    : name_(canonicalBenchSpec(bench_spec)),
+      work_(buildBenchWorkload(name_))
 {
     base_ = std::make_unique<CodeImage>(
         work_.program, baselineOrder(work_.program));
@@ -122,8 +123,14 @@ makeEngine(const RunConfig &cfg, const CodeImage &image,
 }
 
 SimStats
-runOn(const PlacedWorkload &work, const SimConfig &cfg)
+runOn(const PlacedWorkload &work, const SimConfig &cfg,
+      const RecordedTrace *replay)
 {
+    if (replay && replay->bench != work.name())
+        throw std::invalid_argument(
+            "trace was recorded for '" + replay->bench +
+            "', not '" + work.name() + "'");
+
     const CodeImage &image = work.image(cfg.optimizedLayout);
 
     MemoryConfig mc;
@@ -135,9 +142,25 @@ runOn(const PlacedWorkload &work, const SimConfig &cfg)
     ProcessorConfig pc;
     pc.width = cfg.width;
 
+    // The replayed trace supplies the control path; its seed keeps
+    // the (independent) data-address stream aligned with capture.
     Processor proc(pc, engine.get(), image, work.model(), &mem,
-                   kRefSeed);
+                   replay ? replay->seed : kRefSeed, replay);
     return proc.run(cfg.insts, cfg.warmupInsts);
+}
+
+RecordedTrace
+recordBenchTrace(const PlacedWorkload &work, InstCount insts,
+                 InstCount warmup, std::uint64_t seed)
+{
+    // The oracle is consumed once per correct-path fetched
+    // instruction; beyond the committed target that is bounded by
+    // the fetch buffer, the ROB, and one instruction of lookahead.
+    // 4096 covers the largest configuration with an order of
+    // magnitude to spare.
+    InstCount margin = 4096;
+    return recordTrace(work.program(), work.model(), seed,
+                       insts + warmup + margin, work.name());
 }
 
 SimStats

@@ -24,6 +24,8 @@
 #include "sim/config.hh"
 #include "workload/profile.hh"
 #include "workload/suite.hh"
+#include "workload/trace_io.hh"
+#include "workload/workload_registry.hh"
 
 namespace sfetch
 {
@@ -105,7 +107,12 @@ SimConfig toSimConfig(const RunConfig &cfg);
 class PlacedWorkload
 {
   public:
-    explicit PlacedWorkload(const std::string &bench_name);
+    /**
+     * @param bench_spec A suite preset name (gzip, ...) or a
+     * workload-registry spec `family[:key=v,...]`; see
+     * canonicalBenchSpec(). name() is the canonical form.
+     */
+    explicit PlacedWorkload(const std::string &bench_spec);
 
     const std::string &name() const { return name_; }
     const Program &program() const { return work_.program; }
@@ -134,9 +141,27 @@ std::unique_ptr<FetchEngine> makeEngine(const RunConfig &cfg,
                                         const CodeImage &image,
                                         MemoryHierarchy *mem);
 
-/** Run one experiment on a prepared workload. */
-SimStats runOn(const PlacedWorkload &work, const SimConfig &cfg);
+/**
+ * Run one experiment on a prepared workload. When @p replay is
+ * non-null the committed path comes from the recorded trace instead
+ * of live generation (the trace's bench spec must match the
+ * workload; std::invalid_argument otherwise). A trace recorded via
+ * recordBenchTrace() with the default seed replays bit-identically
+ * to live generation on every engine.
+ */
+SimStats runOn(const PlacedWorkload &work, const SimConfig &cfg,
+               const RecordedTrace *replay = nullptr);
 SimStats runOn(const PlacedWorkload &work, const RunConfig &cfg);
+
+/**
+ * Capture the committed control path of @p work for a run of
+ * @p insts measured + @p warmup instructions, with enough margin
+ * for the processor's fetch-ahead on any engine. @p seed defaults
+ * to the `ref` input every runOn() simulation uses.
+ */
+RecordedTrace recordBenchTrace(const PlacedWorkload &work,
+                               InstCount insts, InstCount warmup,
+                               std::uint64_t seed = kRefSeed);
 
 /** Convenience: prepare the workload and run. */
 SimStats runBenchmark(const std::string &bench_name,

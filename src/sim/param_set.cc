@@ -300,6 +300,43 @@ ParamSet::toJson() const
     return os.str();
 }
 
+std::vector<std::string>
+splitSpecList(const std::string &text)
+{
+    // Split on commas, then re-attach bare key=value items to the
+    // spec before them: "ev8,stream:ftq=8,single_table=1" is
+    // ["ev8", "stream:ftq=8,single_table=1"]. An item starts a new
+    // spec when it has no '=', or when a ':' introduces a parameter
+    // list before the first '=' (i.e. it names a token).
+    std::vector<std::string> specs;
+    std::string item;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        std::size_t colon = item.find(':');
+        bool continuation = eq != std::string::npos &&
+            (colon == std::string::npos || colon > eq);
+        if (continuation && specs.empty())
+            throw std::invalid_argument(
+                "spec list starts with a parameter assignment '" +
+                item + "' (no token to attach it to)");
+        if (continuation)
+            specs.back() += "," + item;
+        else
+            specs.push_back(item);
+    }
+    if (specs.empty())
+        throw std::invalid_argument("empty spec list");
+    return specs;
+}
+
 bool
 operator==(const ParamSet &a, const ParamSet &b)
 {

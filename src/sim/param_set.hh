@@ -154,6 +154,16 @@ class ParamSet
     friend bool operator==(const ParamSet &a, const ParamSet &b);
 };
 
+/**
+ * Split a comma-separated list of `token[:key=v,...]` specs into one
+ * string per spec: an item is a continuation of the previous spec's
+ * parameter list when it contains '=' before any ':', so
+ * `ev8,stream:ftq=8,single_table=1` is two specs. Shared by the
+ * --arch and --bench grammars. Throws std::invalid_argument on an
+ * empty list or a leading continuation item.
+ */
+std::vector<std::string> splitSpecList(const std::string &text);
+
 /** Effective-value equality over the (shared) spec. */
 bool operator==(const ParamSet &a, const ParamSet &b);
 inline bool

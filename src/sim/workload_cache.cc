@@ -1,5 +1,7 @@
 #include "sim/workload_cache.hh"
 
+#include "workload/workload_registry.hh"
+
 namespace sfetch
 {
 
@@ -21,20 +23,27 @@ WorkloadCache::slot(const std::string &bench_name)
 }
 
 const PlacedWorkload &
-WorkloadCache::get(const std::string &bench_name)
+WorkloadCache::get(const std::string &bench_spec)
 {
-    Slot &s = slot(bench_name);
+    // Key on the canonical spec (validated here, before any slot is
+    // created): without this, `loops:depth=2,trips=8` and
+    // `loops:trips=8,depth=2` would build twice — and a key that
+    // dropped workload params would let different workloads alias
+    // one cache entry.
+    const std::string key = canonicalBenchSpec(bench_spec);
+    Slot &s = slot(key);
     std::call_once(s.once, [&] {
-        s.work = std::make_unique<PlacedWorkload>(bench_name);
+        s.work = std::make_unique<PlacedWorkload>(key);
     });
     return *s.work;
 }
 
 bool
-WorkloadCache::contains(const std::string &bench_name) const
+WorkloadCache::contains(const std::string &bench_spec) const
 {
+    const std::string key = canonicalBenchSpec(bench_spec);
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = slots_.find(bench_name);
+    auto it = slots_.find(key);
     return it != slots_.end() && it->second->work != nullptr;
 }
 

@@ -30,14 +30,20 @@ class WorkloadCache
     static WorkloadCache &instance();
 
     /**
-     * The cached workload for @p bench_name, building it on first
-     * use. The reference stays valid (and immutable) for the cache's
-     * lifetime. Throws std::invalid_argument for unknown names.
+     * The cached workload for @p bench_spec (a suite preset name or
+     * a workload-registry spec), building it on first use. Specs are
+     * keyed by their *canonical* form — family token plus the
+     * canonical ParamSet text — so two specs naming the same
+     * parameters in different order or spelling share one build,
+     * while specs differing in any workload parameter can never
+     * alias one entry. The reference stays valid (and immutable) for
+     * the cache's lifetime. Throws std::invalid_argument for unknown
+     * names.
      */
-    const PlacedWorkload &get(const std::string &bench_name);
+    const PlacedWorkload &get(const std::string &bench_spec);
 
-    /** True when @p bench_name has already been built. */
-    bool contains(const std::string &bench_name) const;
+    /** True when @p bench_spec has already been built. */
+    bool contains(const std::string &bench_spec) const;
 
     /** Number of workloads built so far. */
     std::size_t size() const;

@@ -1,0 +1,204 @@
+#include "workload/trace_io.hh"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sfetch
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'S', 'F', 'T', 'R'};
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(char(0x80 | (v & 0x7f)));
+        v >>= 7;
+    }
+    out.push_back(char(v));
+}
+
+/** Bounds-checked little-endian cursor over the encoded bytes. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &bytes) : bytes_(bytes) {}
+
+    std::uint32_t
+    u32()
+    {
+        need(4, "u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(std::uint8_t(bytes_[pos_++]))
+                << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8, "u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(std::uint8_t(bytes_[pos_++]))
+                << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            need(1, "varint");
+            auto byte = std::uint8_t(bytes_[pos_++]);
+            v |= std::uint64_t(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+        }
+        throw std::runtime_error("trace: varint overruns 64 bits");
+    }
+
+    std::string
+    blob(std::size_t n)
+    {
+        need(n, "string payload");
+        std::string s = bytes_.substr(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    std::size_t pos() const { return pos_; }
+
+  private:
+    void
+    need(std::size_t n, const char *what)
+    {
+        if (pos_ + n > bytes_.size())
+            throw std::runtime_error(
+                std::string("trace truncated reading ") + what +
+                " at offset " + std::to_string(pos_));
+    }
+
+    const std::string &bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+encodeTrace(const RecordedTrace &trace)
+{
+    std::string out;
+    out.reserve(32 + trace.bench.size() + trace.records.size() * 3);
+    out.append(kMagic, sizeof(kMagic));
+    putU32(out, kTraceFormatVersion);
+    putU64(out, trace.seed);
+    putU32(out, std::uint32_t(trace.bench.size()));
+    out += trace.bench;
+    putU64(out, trace.records.size());
+    for (const ControlRecord &r : trace.records) {
+        putVarint(out, r.block);
+        putVarint(out, r.next);
+    }
+    return out;
+}
+
+RecordedTrace
+decodeTrace(const std::string &bytes)
+{
+    if (bytes.size() < sizeof(kMagic) ||
+        bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error(
+            "not an sfetch trace (bad magic; want \"SFTR\")");
+    Cursor cur(bytes);
+    cur.blob(sizeof(kMagic));
+
+    RecordedTrace t;
+    std::uint32_t version = cur.u32();
+    if (version != kTraceFormatVersion)
+        throw std::runtime_error(
+            "unsupported trace version " + std::to_string(version) +
+            " (this build reads version " +
+            std::to_string(kTraceFormatVersion) + ")");
+    t.seed = cur.u64();
+    t.bench = cur.blob(cur.u32());
+    std::uint64_t count = cur.u64();
+    // An impossible count means corruption; fail before reserving.
+    if (count > (bytes.size() - cur.pos()))
+        throw std::runtime_error(
+            "trace record count " + std::to_string(count) +
+            " exceeds the remaining payload");
+    t.records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ControlRecord r;
+        r.block = static_cast<BlockId>(cur.varint());
+        r.next = static_cast<BlockId>(cur.varint());
+        t.records.push_back(r);
+    }
+    return t;
+}
+
+void
+TraceWriter::write(const RecordedTrace &trace) const
+{
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw std::runtime_error("cannot open trace file for "
+                                 "writing: " + path_);
+    std::string bytes = encodeTrace(trace);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os)
+        throw std::runtime_error("short write to trace file: " +
+                                 path_);
+}
+
+RecordedTrace
+TraceReader::read() const
+{
+    std::ifstream is(path_, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot open trace file: " + path_);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    return decodeTrace(bytes);
+}
+
+RecordedTrace
+recordTrace(const Program &prog, const WorkloadModel &model,
+            std::uint64_t seed, InstCount min_insts,
+            std::string bench_spec)
+{
+    RecordedTrace t;
+    t.bench = std::move(bench_spec);
+    t.seed = seed;
+    TraceGenerator gen(prog, model, seed);
+    InstCount covered = 0;
+    while (covered < min_insts) {
+        ControlRecord r = gen.next();
+        covered += prog.block(r.block).numInsts;
+        t.records.push_back(r);
+    }
+    return t;
+}
+
+} // namespace sfetch

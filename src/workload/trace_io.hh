@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Versioned binary control-trace record/replay. A RecordedTrace
+ * captures the committed control-flow path of a workload — the
+ * ControlRecord stream TraceGenerator produces — together with the
+ * bench spec and RNG seed that produced it. Replaying the trace
+ * through OracleStream substitutes the recorded records for live
+ * generation, so a workload captured once drives every fetch engine
+ * with bit-identical architectural behaviour (the engines stay fully
+ * speculative; only the committed path is canned).
+ *
+ * File format (sfetch trace format, version 1), little-endian:
+ *
+ *     offset  size  field
+ *     0       4     magic "SFTR"
+ *     4       4     u32 version (currently 1)
+ *     8       8     u64 generation seed
+ *     16      4     u32 bench-spec byte length N
+ *     20      N     bench spec, canonical text (no terminator)
+ *     20+N    8     u64 record count R
+ *     ...           R records: LEB128 varint block id, then
+ *                   LEB128 varint successor id
+ *
+ * Block ids are varint-encoded (most programs have < 16k blocks, so
+ * a record is typically 2-4 bytes). Readers reject bad magic,
+ * unknown versions, and truncated payloads with std::runtime_error.
+ */
+
+#ifndef SFETCH_WORKLOAD_TRACE_IO_HH
+#define SFETCH_WORKLOAD_TRACE_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/trace_gen.hh"
+
+namespace sfetch
+{
+
+/** The trace format version this build writes. */
+constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/** A captured committed control-flow path. */
+struct RecordedTrace
+{
+    /** Canonical bench spec of the workload that was captured. */
+    std::string bench;
+    /** TraceGenerator seed the capture ran with. */
+    std::uint64_t seed = 0;
+    std::vector<ControlRecord> records;
+};
+
+/** Serialize @p trace to the version-1 binary format. */
+std::string encodeTrace(const RecordedTrace &trace);
+
+/**
+ * Parse a version-1 binary trace. Throws std::runtime_error on bad
+ * magic, an unsupported version, or truncation.
+ */
+RecordedTrace decodeTrace(const std::string &bytes);
+
+/** Writes traces to a file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(std::string path) : path_(std::move(path)) {}
+
+    /** Encode and write @p trace; throws std::runtime_error on IO
+     * failure. */
+    void write(const RecordedTrace &trace) const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Reads traces back from a file. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(std::string path) : path_(std::move(path)) {}
+
+    /** Read and decode the file; throws std::runtime_error on IO or
+     * format errors. */
+    RecordedTrace read() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/**
+ * Capture the control path of (@p prog, @p model, @p seed) covering
+ * at least @p min_insts instructions: records are generated until
+ * the static instruction counts of the recorded blocks alone reach
+ * the bound, so the replayed oracle stream (which only adds layout
+ * stub instructions on top) is guaranteed to cover it too.
+ */
+RecordedTrace recordTrace(const Program &prog,
+                          const WorkloadModel &model,
+                          std::uint64_t seed, InstCount min_insts,
+                          std::string bench_spec);
+
+} // namespace sfetch
+
+#endif // SFETCH_WORKLOAD_TRACE_IO_HH

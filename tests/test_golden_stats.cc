@@ -67,10 +67,51 @@ const GoldenRow kGoldenW4Base[] = {
       60001ull, 340778ull, 103268ull, 60001ull}},
 };
 
-SimStats
-runGolden(const char *arch, unsigned width, bool optimized)
+/**
+ * Per-family goldens on the stream and trace engines (width 8,
+ * optimized layout, 60k/10k), recorded at commit e5aa252 when the
+ * workload registry landed: hot-loop or engine work must keep every
+ * registered scenario bit-identical, not just gzip.
+ */
+struct FamilyGoldenRow
 {
-    const PlacedWorkload &work = WorkloadCache::instance().get("gzip");
+    const char *bench;
+    const char *arch;
+    std::uint64_t v[10];
+};
+
+const FamilyGoldenRow kGoldenFamilies[] = {
+    {"loops", "stream",
+     {26817ull, 60002ull, 4697ull, 4623ull, 400ull, 400ull, 60002ull,
+      42107ull, 15429ull, 56205ull}},
+    {"loops", "trace",
+     {26581ull, 60002ull, 4697ull, 4623ull, 387ull, 387ull, 60003ull,
+      54067ull, 14565ull, 56702ull}},
+    {"server", "stream",
+     {34575ull, 60007ull, 9547ull, 2472ull, 1324ull, 542ull, 60167ull,
+      83845ull, 28406ull, 57885ull}},
+    {"server", "trace",
+     {45963ull, 60000ull, 9546ull, 2472ull, 3009ull, 600ull, 59981ull,
+      210660ull, 45731ull, 59981ull}},
+    {"thrash", "stream",
+     {119667ull, 60000ull, 960ull, 1ull, 5ull, 1ull, 60134ull,
+      241ull, 8373ull, 60134ull}},
+    {"thrash", "trace",
+     {119416ull, 60000ull, 960ull, 1ull, 0ull, 0ull, 60134ull,
+      0ull, 8131ull, 60134ull}},
+    {"phased", "stream",
+     {27021ull, 60007ull, 8456ull, 5970ull, 363ull, 363ull, 59956ull,
+      35762ull, 15224ull, 57114ull}},
+    {"phased", "trace",
+     {29097ull, 60006ull, 8456ull, 5970ull, 708ull, 706ull, 59939ull,
+      73430ull, 18150ull, 57483ull}},
+};
+
+SimStats
+runGolden(const char *bench, const char *arch, unsigned width,
+          bool optimized)
+{
+    const PlacedWorkload &work = WorkloadCache::instance().get(bench);
     SimConfig cfg(arch);
     cfg.width = width;
     cfg.optimizedLayout = optimized;
@@ -98,21 +139,33 @@ expectGolden(const GoldenRow &g, const SimStats &st)
 TEST(GoldenStats, AllEnginesWidth8Optimized)
 {
     for (const GoldenRow &g : kGoldenW8Opt)
-        expectGolden(g, runGolden(g.arch, 8, true));
+        expectGolden(g, runGolden("gzip", g.arch, 8, true));
 }
 
 TEST(GoldenStats, AllEnginesWidth4Base)
 {
     for (const GoldenRow &g : kGoldenW4Base)
-        expectGolden(g, runGolden(g.arch, 4, false));
+        expectGolden(g, runGolden("gzip", g.arch, 4, false));
+}
+
+TEST(GoldenStats, WorkloadFamiliesOnStreamAndTrace)
+{
+    for (const FamilyGoldenRow &g : kGoldenFamilies) {
+        SimStats st = runGolden(g.bench, g.arch, 8, true);
+        GoldenRow as_row;
+        as_row.arch = g.arch;
+        for (int i = 0; i < 10; ++i)
+            as_row.v[i] = g.v[i];
+        expectGolden(as_row, st);
+    }
 }
 
 // Reruns on the same process must also be deterministic (the engines
 // and processor are freshly constructed per run).
 TEST(GoldenStats, RerunIsBitIdentical)
 {
-    SimStats a = runGolden("stream", 8, true);
-    SimStats b = runGolden("stream", 8, true);
+    SimStats a = runGolden("gzip", "stream", 8, true);
+    SimStats b = runGolden("gzip", "stream", 8, true);
     EXPECT_TRUE(a == b);
 }
 
