@@ -55,6 +55,7 @@ main(int argc, char **argv)
             opts.stamped(SimConfig::fromSpec(v.spec), 8, true));
 
     SweepDriver driver(opts.jobs);
+    driver.setArenaMode(opts.arena);
     ResultSet rs = driver.run(SweepDriver::grid(opts.benches, cfgs));
     if (emitMachineReadable(rs, opts.format))
         return 0;

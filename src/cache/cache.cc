@@ -21,7 +21,8 @@ Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
     assert(cfg_.assoc >= 1);
     assert(cfg_.sizeBytes % (std::uint64_t(cfg_.assoc) * cfg_.lineBytes)
            == 0);
-    ways_.resize(cfg_.numSets() * cfg_.assoc);
+    tags_.assign(cfg_.numSets() * cfg_.assoc, kNoAddr);
+    lastUse_.assign(cfg_.numSets() * cfg_.assoc, 0);
     mru_.assign(cfg_.numSets(), 0);
     while ((Addr(1) << lineShift_) < cfg_.lineBytes)
         ++lineShift_;
@@ -37,19 +38,19 @@ Cache::probe(Addr addr) const
 {
     const std::size_t base = setIndex(addr) * cfg_.assoc;
     const Addr tag = tagOf(addr);
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        const Way &way = ways_[base + w];
-        if (way.valid && way.tag == tag)
+    for (unsigned w = 0; w < cfg_.assoc; ++w)
+        if (tags_[base + w] == tag)
             return true;
-    }
     return false;
 }
 
 void
 Cache::flush()
 {
-    for (auto &w : ways_)
-        w = Way{};
+    for (auto &t : tags_)
+        t = kNoAddr;
+    for (auto &u : lastUse_)
+        u = 0;
     for (auto &m : mru_)
         m = 0;
 }

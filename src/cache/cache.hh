@@ -55,11 +55,14 @@ class Cache
     const Addr tag = tagOf(addr);
 
     // Fast path: most accesses re-touch the most recently used way
-    // of the set, skipping the associative scan entirely.
+    // of the set, skipping the associative scan entirely. The tag
+    // sentinel (kNoAddr = invalid; a real tag is addr >> setShift_
+    // and can never reach it) folds the validity test into the tag
+    // compare.
     {
-        Way &way = ways_[base + mru_[set]];
-        if (way.valid && way.tag == tag) {
-            way.lastUse = tick_;
+        const std::size_t m = base + mru_[set];
+        if (tags_[m] == tag) {
+            lastUse_[m] = tick_;
             ++hits_;
             return true;
         }
@@ -68,38 +71,54 @@ class Cache
     std::size_t victim = base;
     std::uint64_t oldest = UINT64_MAX;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        Way &way = ways_[base + w];
-        if (!way.valid) {
+        const std::size_t i = base + w;
+        const Addr t = tags_[i];
+        if (t == kNoAddr) {
             // Ways fill front-to-back and are only invalidated en
             // masse by flush(), so the first invalid way ends both
             // the lookup (the tag cannot be resident beyond it) and
             // the victim scan.
-            victim = base + w;
+            victim = i;
             break;
         }
-        if (way.tag == tag) {
-            way.lastUse = tick_;
-            mru_[set] = w;
+        if (t == tag) {
+            lastUse_[i] = tick_;
+            mru_[set] = static_cast<std::uint32_t>(w);
             ++hits_;
             return true;
         }
-        if (way.lastUse < oldest) {
-            oldest = way.lastUse;
-            victim = base + w;
+        if (lastUse_[i] < oldest) {
+            oldest = lastUse_[i];
+            victim = i;
         }
     }
 
     ++misses_;
-    Way &way = ways_[victim];
-    way.valid = true;
-    way.tag = tag;
-    way.lastUse = tick_;
+    tags_[victim] = tag;
+    lastUse_[victim] = tick_;
     mru_[set] = static_cast<std::uint32_t>(victim - base);
     return false;
     }
 
     /** Probe without allocating or touching LRU state. */
     bool probe(Addr addr) const;
+
+    /**
+     * Host-side prefetch of the way state @p addr would touch. Pure
+     * performance hint for callers that know future access addresses
+     * (the arena replay path): no modelled state changes.
+     */
+    void
+    prefetch(Addr addr) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        const std::size_t base = setIndex(addr) * cfg_.assoc;
+        __builtin_prefetch(&tags_[base], 1, 1);
+        __builtin_prefetch(&lastUse_[base], 1, 1);
+#else
+        (void)addr; // hint only; no portable equivalent needed
+#endif
+    }
 
     /**
      * Invalidate every line, as after a context switch: the contents
@@ -142,13 +161,6 @@ class Cache
     }
 
   private:
-    struct Way
-    {
-        Addr tag = kNoAddr;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-    };
-
     std::size_t
     setIndex(Addr addr) const
     {
@@ -158,6 +170,8 @@ class Cache
     Addr
     tagOf(Addr addr) const
     {
+        // setShift_ >= 1, so a real tag is < 2^63 and can never
+        // collide with the kNoAddr invalid sentinel in tags_.
         return addr >> setShift_;
     }
 
@@ -168,7 +182,13 @@ class Cache
     unsigned lineShift_ = 0;
     unsigned setShift_ = 0; //!< lineShift_ + log2(numSets)
     std::uint64_t setMask_ = 0;
-    std::vector<Way> ways_; // numSets * assoc, row-major by set
+    // Way state, split SoA (row-major by set): the associative scan
+    // touches only the contiguous tag words — 2-4 x 8 bytes in one
+    // cache line — instead of striding over 24-byte structs; the
+    // recency clock is only read on the miss path and written on
+    // hits. tags_[i] == kNoAddr means the way is invalid.
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lastUse_;
     std::vector<std::uint32_t> mru_; // per-set most recently used way
     std::uint64_t tick_ = 0;
     std::uint64_t hits_ = 0;
@@ -217,6 +237,18 @@ class MemoryHierarchy
         if (l2_.access(addr))
             return cfg_.l1Latency + cfg_.l2Latency;
         return cfg_.l1Latency + cfg_.l2Latency + cfg_.memLatency;
+    }
+
+    /**
+     * Host-side prefetch of the tag state a future accessData(@p
+     * addr) will touch (both levels; the L2 probe only happens on an
+     * L1 miss, but the hint is cheap and the model state untouched).
+     */
+    void
+    prefetchData(Addr addr) const
+    {
+        l1d_.prefetch(addr);
+        l2_.prefetch(addr);
     }
 
     const Cache &l1i() const { return l1i_; }

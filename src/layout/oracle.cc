@@ -11,10 +11,15 @@ namespace sfetch
 OracleStream::OracleStream(const CodeImage &image,
                            const WorkloadModel &model,
                            std::uint64_t seed,
-                           const RecordedTrace *replay)
+                           const RecordedTrace *replay,
+                           const OracleArena *arena)
     : image_(&image), gen_(image.program(), model, seed),
-      replay_(replay)
+      replay_(replay), arena_(arena)
 {
+    if (replay_ && arena_)
+        throw std::invalid_argument(
+            "OracleStream: a recorded-trace replay and an arena "
+            "replay are mutually exclusive");
     ret_stack_.reserve(TraceGenerator::kMaxCallDepth);
 }
 

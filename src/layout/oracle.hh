@@ -14,25 +14,14 @@
 #include <vector>
 
 #include "layout/code_image.hh"
+#include "layout/oracle_arena.hh"
+#include "layout/oracle_inst.hh"
 #include "workload/trace_gen.hh"
 
 namespace sfetch
 {
 
 struct RecordedTrace;
-
-/** One committed-path instruction. */
-struct OracleInst
-{
-    Addr pc = kNoAddr;
-    InstClass cls = InstClass::IntAlu;
-    BranchType btype = BranchType::None;
-    bool taken = false;  //!< meaningful when btype != None
-    Addr nextPc = kNoAddr; //!< committed successor instruction
-    BlockId block = kNoBlock; //!< kNoBlock for layout stub jumps
-
-    bool isBranch() const { return btype != BranchType::None; }
-};
 
 /**
  * Infinite committed instruction stream. Deterministic given
@@ -56,10 +45,16 @@ class OracleStream
      * only drive the data-address side held elsewhere. A replay that
      * runs past the end of the trace throws std::runtime_error —
      * record with enough margin (see recordTrace()).
+     * @param arena When non-null, the fully pre-decoded committed
+     * path (which must outlive the stream and have been built from
+     * the same image/model/seed) is replayed with a bounds-checked
+     * pointer bump — nothing is generated at all. Mutually exclusive
+     * with @p replay.
      */
     OracleStream(const CodeImage &image, const WorkloadModel &model,
                  std::uint64_t seed,
-                 const RecordedTrace *replay = nullptr);
+                 const RecordedTrace *replay = nullptr,
+                 const OracleArena *arena = nullptr);
 
     /**
      * Next committed instruction. The in-block fast path is inline
@@ -73,6 +68,11 @@ class OracleStream
         if (haveLook_) {
             haveLook_ = false;
             return look_;
+        }
+        if (arena_) {
+            OracleInst oi;
+            arena_->read(arenaPos_++, oi);
+            return oi;
         }
         return produce();
     }
@@ -91,6 +91,10 @@ class OracleStream
             out = look_;
             return;
         }
+        if (arena_) {
+            arena_->read(arenaPos_++, out);
+            return;
+        }
         if (!tryEmitInBlock(out))
             out = generate();
     }
@@ -100,7 +104,10 @@ class OracleStream
     peek()
     {
         if (!haveLook_) {
-            look_ = produce();
+            if (arena_)
+                arena_->read(arenaPos_++, look_);
+            else
+                look_ = produce();
             haveLook_ = true;
         }
         return look_;
@@ -151,6 +158,8 @@ class OracleStream
     TraceGenerator gen_;
     const RecordedTrace *replay_ = nullptr;
     std::size_t replayPos_ = 0;
+    const OracleArena *arena_ = nullptr;
+    std::uint64_t arenaPos_ = 0;
 
     // Incremental expansion state: the block being emitted, its
     // precomputed terminator, and the stub walk that follows it.

@@ -1,0 +1,102 @@
+#include "layout/oracle_arena.hh"
+
+#include <stdexcept>
+#include <string>
+
+#include "layout/oracle.hh"
+#include "workload/trace_gen.hh"
+
+namespace sfetch
+{
+
+OracleArena::OracleArena(const CodeImage &image,
+                         const WorkloadModel &model,
+                         std::uint64_t seed, std::uint64_t insts)
+    : image_(&image), base_(image.baseAddr()), seed_(seed),
+      size_(insts)
+{
+    // Size the control arrays up front and fill by index: the decode
+    // is the arena's whole cost, and per-element push_back capacity
+    // checks plus lazy first-touch page faults were a third of it.
+    pcOff_.resize(insts + 1);
+    meta_.resize(insts);
+    block_.resize(insts);
+    dataAddr_.reserve(insts / 2);
+
+    OracleStream live(image, model, seed);
+    DataAddressStream dstream(model.data(),
+                              seed ^ kDataStreamSeedSalt);
+
+    OracleInst oi;
+    Addr prev_next = kNoAddr;
+    for (std::uint64_t i = 0; i < insts; ++i) {
+        live.nextInto(oi);
+
+        // The whole committed path lives inside the image, so a u32
+        // offset from the base always suffices; and the committed
+        // successor of instruction i must be instruction i+1, which
+        // is what lets nextPc be pcOff_[i+1] instead of its own
+        // array. Both are invariants of OracleStream — check them
+        // while decoding rather than corrupting every replay.
+        const Addr off = oi.pc - base_;
+        if (oi.pc < base_ || off > 0xffffffffULL ||
+            (i > 0 && oi.pc != prev_next)) {
+            throw std::logic_error(
+                "OracleArena: committed path violates the "
+                "flat-replay invariants at instruction " +
+                std::to_string(i));
+        }
+        prev_next = oi.nextPc;
+
+        pcOff_[i] = static_cast<std::uint32_t>(off);
+        meta_[i] = static_cast<std::uint8_t>(
+            (static_cast<unsigned>(oi.cls) & 0x07) |
+            ((static_cast<unsigned>(oi.btype) & 0x07) << 3) |
+            (oi.taken ? 0x40u : 0u));
+        block_[i] = oi.block;
+
+        if (oi.cls == InstClass::Load || oi.cls == InstClass::Store)
+            dataAddr_.push_back(dstream.next());
+    }
+
+    // Sentinel: the committed successor of the last instruction, so
+    // read(size_-1) can still supply nextPc.
+    if (insts > 0) {
+        const Addr off = oi.nextPc - base_;
+        if (oi.nextPc < base_ || off > 0xffffffffULL) {
+            throw std::logic_error(
+                "OracleArena: final successor outside the image");
+        }
+        pcOff_[insts] = static_cast<std::uint32_t>(off);
+    }
+}
+
+std::size_t
+OracleArena::bytes() const
+{
+    return pcOff_.capacity() * sizeof(std::uint32_t) +
+        meta_.capacity() * sizeof(std::uint8_t) +
+        block_.capacity() * sizeof(BlockId) +
+        dataAddr_.capacity() * sizeof(Addr);
+}
+
+void
+OracleArena::throwExhausted(std::uint64_t i) const
+{
+    throw std::runtime_error(
+        "oracle arena exhausted: instruction " + std::to_string(i) +
+        " requested from an arena of " + std::to_string(size_) +
+        "; decode with more margin");
+}
+
+void
+OracleArena::throwDataExhausted(std::uint64_t k) const
+{
+    throw std::runtime_error(
+        "oracle arena data stream exhausted: access " +
+        std::to_string(k) + " requested from an arena holding " +
+        std::to_string(dataAddr_.size()) +
+        "; decode with more margin");
+}
+
+} // namespace sfetch

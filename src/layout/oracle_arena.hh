@@ -1,0 +1,153 @@
+/**
+ * @file
+ * OracleArena: a flat, immutable, SoA pre-decode of a workload's
+ * committed path. The paper's experiments are sweeps — the same
+ * benchmark fed through every fetch engine, pipe width, and layout —
+ * yet live generation re-walks the CFG (RNG draws, branch-model
+ * lookups, stub walks) once per sweep point. The arena runs the
+ * generator exactly once and stores the expanded instruction stream
+ * in parallel arrays; every sweep point then replays it with a
+ * bounds-checked pointer bump, sharing one read-only arena across
+ * all threads (gem5-style decode-once / simulate-many).
+ *
+ * Storage is structure-of-arrays and packed for sequential streaming:
+ *
+ *   - pcOff_[i]   u32 byte offset of instruction i from the image
+ *                 base (the committed path never leaves the image);
+ *                 entry size()+1 exists so nextPc is pcOff_[i+1] —
+ *                 the committed successor of instruction i *is* the
+ *                 next committed instruction, so nextPc needs no
+ *                 array of its own.
+ *   - meta_[i]    u8: InstClass (bits 0-2), BranchType (bits 3-5),
+ *                 taken (bit 6).
+ *   - block_[i]   u32 owning BlockId (kNoBlock for layout stubs).
+ *   - dataAddr_[k] u64 address of the k-th data access: the back
+ *                 end's synthetic address stream is part of the
+ *                 workload model (independent of the fetch engine),
+ *                 so it is pre-generated alongside the control path.
+ *
+ * Memory cost: 9 bytes per committed instruction plus 8 bytes per
+ * load/store, i.e. ~11-12 MB per million instructions for typical
+ * instruction mixes. An arena for a full paper-scale run (2M + 0.3M
+ * warmup) is ~28 MB, built once per (bench, layout, run length).
+ *
+ * Bit-identity: the arena is built by running the live OracleStream
+ * and recording exactly what it produced, so an arena-backed replay
+ * is bit-identical to live generation by construction; the golden
+ * stats suite pins this for every engine.
+ */
+
+#ifndef SFETCH_LAYOUT_ORACLE_ARENA_HH
+#define SFETCH_LAYOUT_ORACLE_ARENA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/code_image.hh"
+#include "layout/oracle_inst.hh"
+#include "workload/branch_model.hh"
+
+namespace sfetch
+{
+
+/** Immutable pre-decoded committed path (see file comment). */
+class OracleArena
+{
+  public:
+    /**
+     * Decode @p insts committed instructions of (@p image, @p model,
+     * @p seed) by running the live generator once. The caller sizes
+     * @p insts with enough margin for the processor's fetch-ahead
+     * (see kFetchAheadMargin in sim/experiment.hh).
+     */
+    OracleArena(const CodeImage &image, const WorkloadModel &model,
+                std::uint64_t seed, std::uint64_t insts);
+
+    /** Generation seed the committed path was decoded with. */
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * The placed binary the path was decoded from. Replay is only
+     * meaningful against this exact image (a base-layout arena
+     * replayed on the optimized image would yield silently wrong
+     * PCs) — runOn() enforces identity.
+     */
+    const CodeImage *image() const { return image_; }
+
+    /** Number of replayable instructions. */
+    std::uint64_t size() const { return size_; }
+
+    /** Number of pre-generated data-access addresses. */
+    std::uint64_t dataCount() const { return dataAddr_.size(); }
+
+    /** Approximate heap footprint in bytes. */
+    std::size_t bytes() const;
+
+    /**
+     * Read instruction @p i into @p out (every field assigned): the
+     * arena-backed OracleStream::nextInto(). Reading past the end
+     * throws std::runtime_error — build with more margin.
+     */
+    void
+    read(std::uint64_t i, OracleInst &out) const
+    {
+        if (i >= size_)
+            throwExhausted(i);
+        readUnchecked(i, out);
+    }
+
+    /**
+     * Address of the @p k-th data access (the k-th load or store on
+     * the committed path, in dispatch order). Reading past the end
+     * throws std::runtime_error.
+     */
+    Addr
+    dataAddr(std::uint64_t k) const
+    {
+        if (k >= dataAddr_.size())
+            throwDataExhausted(k);
+        return dataAddr_[k];
+    }
+
+    /**
+     * Non-throwing peek at the @p k-th data address (0 past the
+     * end): feeds the processor's host-side cache-model prefetch of
+     * upcoming accesses, a lookahead only the pre-decoded path can
+     * provide.
+     */
+    Addr
+    peekDataAddr(std::uint64_t k) const
+    {
+        return k < dataAddr_.size() ? dataAddr_[k] : 0;
+    }
+
+  private:
+    /** The pointer-bump read itself (bounds already checked). */
+    void
+    readUnchecked(std::uint64_t i, OracleInst &out) const
+    {
+        out.pc = base_ + pcOff_[i];
+        out.nextPc = base_ + pcOff_[i + 1];
+        const std::uint8_t m = meta_[i];
+        out.cls = static_cast<InstClass>(m & 0x07);
+        out.btype = static_cast<BranchType>((m >> 3) & 0x07);
+        out.taken = (m & 0x40) != 0;
+        out.block = block_[i];
+    }
+
+    [[noreturn]] void throwExhausted(std::uint64_t i) const;
+    [[noreturn]] void throwDataExhausted(std::uint64_t k) const;
+
+    const CodeImage *image_ = nullptr;
+    Addr base_ = 0;
+    std::uint64_t seed_ = 0;
+    std::uint64_t size_ = 0;
+    std::vector<std::uint32_t> pcOff_; //!< size_+1 entries
+    std::vector<std::uint8_t> meta_;
+    std::vector<BlockId> block_;
+    std::vector<Addr> dataAddr_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_LAYOUT_ORACLE_ARENA_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * OracleInst: one committed-path instruction, the unit both the live
+ * OracleStream and the pre-decoded OracleArena produce. Split into
+ * its own header so the arena's inline read path and the stream can
+ * share it without a circular include.
+ */
+
+#ifndef SFETCH_LAYOUT_ORACLE_INST_HH
+#define SFETCH_LAYOUT_ORACLE_INST_HH
+
+#include "isa/instruction.hh"
+#include "util/types.hh"
+
+namespace sfetch
+{
+
+/** One committed-path instruction. */
+struct OracleInst
+{
+    Addr pc = kNoAddr;
+    InstClass cls = InstClass::IntAlu;
+    BranchType btype = BranchType::None;
+    bool taken = false;  //!< meaningful when btype != None
+    Addr nextPc = kNoAddr; //!< committed successor instruction
+    BlockId block = kNoBlock; //!< kNoBlock for layout stub jumps
+
+    bool isBranch() const { return btype != BranchType::None; }
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_LAYOUT_ORACLE_INST_HH

@@ -9,10 +9,12 @@ namespace sfetch
 Processor::Processor(const ProcessorConfig &cfg, FetchEngine *engine,
                      const CodeImage &image, const WorkloadModel &model,
                      MemoryHierarchy *mem, std::uint64_t seed,
-                     const RecordedTrace *replay)
+                     const RecordedTrace *replay,
+                     const OracleArena *arena)
     : cfg_(cfg), engine_(engine), image_(&image), mem_(mem),
-      oracle_(image, model, seed, replay),
-      dstream_(model.data(), seed ^ 0xda7aULL),
+      oracle_(image, model, seed, replay, arena),
+      dstream_(model.data(), seed ^ kDataStreamSeedSalt),
+      arena_(arena),
       expectedPc_(image.entryAddr()),
       buffer_(cfg.fetchBufferInsts), rob_(cfg.robSize)
 {
@@ -32,9 +34,9 @@ Processor::execLatency(const OracleInst &rec)
 {
     switch (rec.cls) {
       case InstClass::Load:
-        return mem_->accessData(dstream_.next());
+        return mem_->accessData(nextDataAddr());
       case InstClass::Store:
-        dstream_.next(); // stores allocate but retire immediately
+        nextDataAddr(); // stores allocate but retire immediately
         return cfg_.latStore;
       case InstClass::IntMul:
         return cfg_.latMul;
@@ -82,6 +84,17 @@ Processor::commitStep(SimStats &st)
 void
 Processor::dispatchStep(SimStats &)
 {
+    // Arena replay knows the addresses of upcoming data accesses, so
+    // the (host) cache lines of the d-cache tag state they will
+    // touch can be fetched ahead of the dependent model lookups —
+    // those sets are effectively random, making them the model's
+    // main memory stalls. Pure host-side hint; no modelled state.
+    if (arena_) {
+        while (dataPrefetched_ < dataPos_ + kDataPrefetchAhead)
+            mem_->prefetchData(
+                arena_->peekDataAddr(dataPrefetched_++));
+    }
+
     unsigned n = 0;
     while (!buffer_.empty() && n < cfg_.width && !rob_.full()) {
         const BufEntry &e = buffer_.front();

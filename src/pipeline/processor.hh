@@ -152,11 +152,19 @@ class Processor
      *        replayed from it instead of generated live; with
      *        matching @p seed the run is bit-identical to live
      *        generation.
+     * @param arena Optional pre-decoded committed path (not owned;
+     *        must outlive the processor and have been built from the
+     *        same image/model/@p seed). When set, both the oracle
+     *        stream and the data-address stream are replayed from
+     *        flat memory — bit-identical to live generation, with no
+     *        workload-model work per instruction. Mutually exclusive
+     *        with @p replay.
      */
     Processor(const ProcessorConfig &cfg, FetchEngine *engine,
               const CodeImage &image, const WorkloadModel &model,
               MemoryHierarchy *mem, std::uint64_t seed,
-              const RecordedTrace *replay = nullptr);
+              const RecordedTrace *replay = nullptr,
+              const OracleArena *arena = nullptr);
 
     /**
      * Simulate until @p insts instructions have committed (after
@@ -190,6 +198,19 @@ class Processor
         OracleInst rec;
     };
 
+    /**
+     * Address of the next data access: pre-generated when replaying
+     * from an arena, drawn from the live stream otherwise. Dispatch
+     * is in-order over the committed path, so the consumption order
+     * (and thus the sequence) is identical either way.
+     */
+    Addr
+    nextDataAddr()
+    {
+        return arena_ ? arena_->dataAddr(dataPos_++)
+                      : dstream_.next();
+    }
+
     void commitStep(SimStats &st);
     void dispatchStep(SimStats &st);
     void redirectStep();
@@ -206,6 +227,12 @@ class Processor
     MemoryHierarchy *mem_;
     OracleStream oracle_;
     DataAddressStream dstream_;
+    /** Arena replay: pre-generated data addresses (else dstream_). */
+    const OracleArena *arena_ = nullptr;
+    std::uint64_t dataPos_ = 0;
+    /** How far ahead of dataPos_ the d-cache tag prefetch runs. */
+    static constexpr std::uint64_t kDataPrefetchAhead = 12;
+    std::uint64_t dataPrefetched_ = 0;
 
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 1;

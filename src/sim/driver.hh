@@ -45,6 +45,19 @@ class SweepDriver
     /** Suppress the stderr progress/wall-clock report. */
     void setQuiet(bool quiet) { quiet_ = quiet; }
 
+    /**
+     * Enable/disable committed-path arena sharing (default on).
+     * When enabled, run() groups its points by (workload, layout,
+     * insts + warmup); every group with at least two points gets the
+     * workload's shared OracleArena — the committed path is decoded
+     * once and each point replays it from flat memory, bit-identical
+     * to live generation. Single-point groups always generate live
+     * (decoding would cost exactly one generation pass and save
+     * none). Off forces live generation everywhere.
+     */
+    void setArenaMode(bool enabled) { arenaMode_ = enabled; }
+    bool arenaMode() const { return arenaMode_; }
+
     /** Cross product: every benchmark against every config. */
     static std::vector<SweepPoint>
     grid(const std::vector<std::string> &benches,
@@ -83,6 +96,7 @@ class SweepDriver
 
     unsigned jobs_;
     bool quiet_ = false;
+    bool arenaMode_ = true;
     double lastWall_ = 0.0;
 };
 

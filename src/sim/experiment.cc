@@ -115,6 +115,35 @@ PlacedWorkload::PlacedWorkload(const std::string &bench_spec)
         work_.program, optimizedOrder(work_.program, *profile_));
 }
 
+std::shared_ptr<const OracleArena>
+PlacedWorkload::arena(bool optimized, InstCount total_insts) const
+{
+    std::lock_guard<std::mutex> lock(arenaMu_);
+    std::shared_ptr<const OracleArena> &slot =
+        arenas_[optimized ? 1 : 0];
+    if (!slot || slot->size() < total_insts) {
+        // The decode is a prefix property: a longer arena serves
+        // every shorter request, so only the longest ever built per
+        // layout is kept. Holding the lock through the build
+        // serializes duplicate work instead of racing it.
+        slot = std::make_shared<OracleArena>(
+            image(optimized), model(), kRefSeed, total_insts);
+    }
+    return slot;
+}
+
+std::shared_ptr<const OracleArena>
+PlacedWorkload::cachedArena(bool optimized,
+                            InstCount total_insts) const
+{
+    std::lock_guard<std::mutex> lock(arenaMu_);
+    const std::shared_ptr<const OracleArena> &slot =
+        arenas_[optimized ? 1 : 0];
+    if (slot && slot->size() >= total_insts)
+        return slot;
+    return nullptr;
+}
+
 std::unique_ptr<FetchEngine>
 makeEngine(const RunConfig &cfg, const CodeImage &image,
            MemoryHierarchy *mem)
@@ -124,14 +153,26 @@ makeEngine(const RunConfig &cfg, const CodeImage &image,
 
 SimStats
 runOn(const PlacedWorkload &work, const SimConfig &cfg,
-      const RecordedTrace *replay)
+      const RecordedTrace *replay, const OracleArena *arena)
 {
     if (replay && replay->bench != work.name())
         throw std::invalid_argument(
             "trace was recorded for '" + replay->bench +
             "', not '" + work.name() + "'");
+    if (replay && arena)
+        throw std::invalid_argument(
+            "runOn: a recorded-trace replay and an arena replay "
+            "are mutually exclusive");
+    if (arena && arena->seed() != kRefSeed)
+        throw std::invalid_argument(
+            "runOn: the arena was not decoded with the ref seed "
+            "this run uses");
 
     const CodeImage &image = work.image(cfg.optimizedLayout);
+    if (arena && arena->image() != &image)
+        throw std::invalid_argument(
+            "runOn: the arena was decoded from a different "
+            "workload or layout than this run simulates");
 
     MemoryConfig mc;
     mc.l1i.lineBytes = cfg.lineBytes();
@@ -145,7 +186,7 @@ runOn(const PlacedWorkload &work, const SimConfig &cfg,
     // The replayed trace supplies the control path; its seed keeps
     // the (independent) data-address stream aligned with capture.
     Processor proc(pc, engine.get(), image, work.model(), &mem,
-                   replay ? replay->seed : kRefSeed, replay);
+                   replay ? replay->seed : kRefSeed, replay, arena);
     return proc.run(cfg.insts, cfg.warmupInsts);
 }
 
@@ -153,14 +194,9 @@ RecordedTrace
 recordBenchTrace(const PlacedWorkload &work, InstCount insts,
                  InstCount warmup, std::uint64_t seed)
 {
-    // The oracle is consumed once per correct-path fetched
-    // instruction; beyond the committed target that is bounded by
-    // the fetch buffer, the ROB, and one instruction of lookahead.
-    // 4096 covers the largest configuration with an order of
-    // magnitude to spare.
-    InstCount margin = 4096;
     return recordTrace(work.program(), work.model(), seed,
-                       insts + warmup + margin, work.name());
+                       insts + warmup + kFetchAheadMargin,
+                       work.name());
 }
 
 SimStats

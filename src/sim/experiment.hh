@@ -17,9 +17,11 @@
 #define SFETCH_SIM_EXPERIMENT_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "layout/oracle_arena.hh"
 #include "pipeline/processor.hh"
 #include "sim/config.hh"
 #include "workload/profile.hh"
@@ -29,6 +31,16 @@
 
 namespace sfetch
 {
+
+/**
+ * Committed-path margin beyond (insts + warmup) that any pre-decoded
+ * or recorded oracle must cover: the oracle is consumed once per
+ * correct-path *fetched* instruction, which runs ahead of commit by
+ * at most the fetch buffer, the ROB, and one instruction of
+ * lookahead. 4096 covers the largest configuration with an order of
+ * magnitude to spare.
+ */
+constexpr InstCount kFetchAheadMargin = 4096;
 
 /**
  * The four fetch architectures of the paper's evaluation (legacy
@@ -128,12 +140,36 @@ class PlacedWorkload
         return optimized ? *opt_ : *base_;
     }
 
+    /**
+     * Shared pre-decoded committed path for @p total_insts
+     * instructions (measured + warmup + kFetchAheadMargin) on the
+     * given layout, decoded with the `ref` seed every runOn() uses.
+     * Built lazily, once, and cached per layout: concurrent callers
+     * and later sweeps share one immutable arena. A request longer
+     * than the cached arena rebuilds (the longer arena replaces the
+     * shorter; outstanding references stay valid through the
+     * shared_ptr). Thread-safe.
+     */
+    std::shared_ptr<const OracleArena>
+    arena(bool optimized, InstCount total_insts) const;
+
+    /**
+     * The cached arena for the layout when one exists and already
+     * covers @p total_insts; null otherwise (never builds).
+     */
+    std::shared_ptr<const OracleArena>
+    cachedArena(bool optimized, InstCount total_insts) const;
+
   private:
     std::string name_;
     SyntheticWorkload work_;
     std::unique_ptr<EdgeProfile> profile_;
     std::unique_ptr<CodeImage> base_;
     std::unique_ptr<CodeImage> opt_;
+
+    /** Lazily-built per-layout committed-path arenas ([0]=base). */
+    mutable std::mutex arenaMu_;
+    mutable std::shared_ptr<const OracleArena> arenas_[2];
 };
 
 /** Build the fetch engine for a legacy run (registry-backed). */
@@ -148,9 +184,18 @@ std::unique_ptr<FetchEngine> makeEngine(const RunConfig &cfg,
  * workload; std::invalid_argument otherwise). A trace recorded via
  * recordBenchTrace() with the default seed replays bit-identically
  * to live generation on every engine.
+ *
+ * When @p arena is non-null the committed path *and* the data
+ * address stream are replayed from the pre-decoded arena (which must
+ * come from this workload's arena()/cachedArena(), i.e. be decoded
+ * with the `ref` seed on the configured layout) — bit-identical to
+ * live generation, pointer-bump cheap. Mutually exclusive with
+ * @p replay. The sweep driver passes an arena automatically when
+ * several points share one (workload, layout, run length).
  */
 SimStats runOn(const PlacedWorkload &work, const SimConfig &cfg,
-               const RecordedTrace *replay = nullptr);
+               const RecordedTrace *replay = nullptr,
+               const OracleArena *arena = nullptr);
 SimStats runOn(const PlacedWorkload &work, const RunConfig &cfg);
 
 /**

@@ -10,6 +10,8 @@
 #define SFETCH_TCACHE_FILL_UNIT_HH
 
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 #include "fetch/fetch_engine.hh"
 #include "tcache/trace.hh"
@@ -23,6 +25,7 @@ struct FillUnitConfig
 {
     std::uint32_t maxInsts = 16;
     std::uint8_t maxCondBranches = 3;
+    /** Must not exceed TraceDescriptor::kMaxSegments. */
     std::size_t maxSegments = 8;
 };
 
@@ -36,6 +39,16 @@ class TraceFillUnit
     TraceFillUnit(Addr start, const FillUnitConfig &cfg, Sink sink)
         : cfg_(cfg), sink_(std::move(sink))
     {
+        // Runtime check, not an assert: the limit comes from user
+        // configuration and overrunning the descriptor's inline
+        // segment array would silently truncate traces.
+        if (cfg_.maxSegments > TraceDescriptor::kMaxSegments) {
+            throw std::invalid_argument(
+                "FillUnitConfig.maxSegments " +
+                std::to_string(cfg_.maxSegments) +
+                " exceeds TraceDescriptor::kMaxSegments " +
+                std::to_string(TraceDescriptor::kMaxSegments));
+        }
         reset(start);
     }
 
@@ -45,6 +58,13 @@ class TraceFillUnit
     /** Note that a misprediction resolved (upgrade-policy hint). */
     void onMispredict() { pending_mispredict_ = true; }
 
+    /**
+     * Back to a pristine fill unit collecting from @p start: the
+     * in-progress (possibly partial) trace is discarded — never
+     * emitted — and the statistics counters restart, so a unit
+     * reused via reset() reports only the traces of the current
+     * run and an interrupted fill cannot leak segments into it.
+     */
     void
     reset(Addr start)
     {
@@ -52,6 +72,8 @@ class TraceFillUnit
         cur_.start = start;
         fill_pc_ = start;
         pending_mispredict_ = false;
+        built_ = 0;
+        lengths_.reset();
     }
 
     std::uint64_t tracesBuilt() const { return built_; }

@@ -12,9 +12,9 @@
 #define SFETCH_TCACHE_TRACE_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "isa/instruction.hh"
+#include "util/inline_vec.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -31,13 +31,22 @@ struct TraceSegment
 /** A complete trace as built by the fill unit. */
 struct TraceDescriptor
 {
+    /**
+     * Hard bound on segments per trace (a segment ends at every
+     * taken branch, so this caps embedded taken branches). The
+     * inline storage makes a TraceDescriptor trivially copyable:
+     * the fill unit's in-progress trace, the cache's ways, and the
+     * predictor training path never touch the heap.
+     */
+    static constexpr unsigned kMaxSegments = 8;
+
     Addr start = kNoAddr;
     std::uint32_t dirBits = 0;   //!< embedded cond directions (bit i)
     std::uint8_t numCond = 0;    //!< number of embedded cond branches
     std::uint32_t totalInsts = 0;
     BranchType endType = BranchType::None;
     Addr next = kNoAddr;         //!< successor fetch address
-    std::vector<TraceSegment> segments;
+    InlineVec<TraceSegment, kMaxSegments> segments;
 
     /** True when the trace never crosses a taken branch. */
     bool sequential() const { return segments.size() <= 1; }

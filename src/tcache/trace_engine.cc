@@ -1,6 +1,8 @@
 #include "tcache/trace_engine.hh"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "sim/engine_registry.hh"
 
@@ -15,15 +17,22 @@ TraceFetchEngine::TraceFetchEngine(const TraceEngineConfig &cfg,
       gshare_(cfg.gshareEntries, cfg.gshareHistoryBits),
       ras_(cfg.rasEntries), fetchAddr_(image.entryAddr())
 {
+    // Runtime check, not an assert: the trace length limit comes
+    // from user configuration, and a trace longer than the inline
+    // emit queue would be silently truncated when latched.
+    if (cfg_.fill.maxInsts > kMaxEmitInsts) {
+        throw std::invalid_argument(
+            "FillUnitConfig.maxInsts " +
+            std::to_string(cfg_.fill.maxInsts) +
+            " exceeds TraceFetchEngine::kMaxEmitInsts " +
+            std::to_string(kMaxEmitInsts));
+    }
     fill_ = std::make_unique<TraceFillUnit>(
         image.entryAddr(), cfg_.fill,
         [this](const TraceDescriptor &t, bool mispredicted) {
             ntp_.commitTrace(t, mispredicted);
             tcache_.insert(t);
         });
-    // Traces are capped at fill.maxInsts instructions; reserving that
-    // up front keeps the latch/drain path allocation-free.
-    emitQueue_.reserve(cfg_.fill.maxInsts);
 }
 
 TraceFetchEngine::TraceTry
@@ -423,11 +432,23 @@ TraceFetchEngine::reset(Addr start)
     fetchAddr_ = start;
     emitQueue_.clear();
     emitPos_ = 0;
-    walk_.active = false;
+    emitToken_ = 0;
+    walk_ = PredWalk{};
     specHist_.clear();
     commitHist_.clear();
     fill_->reset(start);
     reader_.reset();
+    // Engine-owned counters restart with the run, matching the
+    // reader and fill unit: stats() after reset(start) describes
+    // only the current run. Learned predictor state (trace cache,
+    // NTP, gshare, BTB, RAS) persists, exactly like the other
+    // engines' tables.
+    traceHits_ = 0;
+    traceMisses_ = 0;
+    partialHits_ = 0;
+    secondaryCycles_ = 0;
+    instsFromTrace_ = 0;
+    instsFromIcache_ = 0;
 }
 
 StatSet

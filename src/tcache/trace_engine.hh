@@ -25,6 +25,7 @@
 #include "tcache/fill_unit.hh"
 #include "tcache/ntp.hh"
 #include "tcache/trace_cache.hh"
+#include "util/inline_vec.hh"
 
 namespace sfetch
 {
@@ -55,6 +56,13 @@ class TraceFetchEngine : public FetchEngine
   public:
     TraceFetchEngine(const TraceEngineConfig &cfg,
                      const CodeImage &image, MemoryHierarchy *mem);
+
+    /**
+     * Hard bound on instructions per latched trace (the inline emit
+     * queue's capacity). FillUnitConfig.maxInsts must not exceed it;
+     * the constructor enforces this.
+     */
+    static constexpr unsigned kMaxEmitInsts = 64;
 
     void fetchCycle(Cycle now, unsigned max_insts,
                     FetchBundle &out) override;
@@ -111,9 +119,13 @@ class TraceFetchEngine : public FetchEngine
 
     Addr fetchAddr_ = kNoAddr;
 
-    /** Latched trace being drained (pc list) and its token. */
-    std::vector<Addr> emitQueue_;
-    std::size_t emitPos_ = 0;
+    /**
+     * Latched trace being drained (pc list) and its token. Inline
+     * storage: latching a trace is a bounded copy, never a heap
+     * allocation.
+     */
+    InlineVec<Addr, kMaxEmitInsts> emitQueue_;
+    unsigned emitPos_ = 0;
     std::uint64_t emitToken_ = 0;
 
     /** In-progress predicted-trace walk (trace cache miss). */

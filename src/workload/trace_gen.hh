@@ -79,6 +79,13 @@ class TraceGenerator
 };
 
 /**
+ * Salt mixed into the run seed to derive the data-address stream's
+ * seed, shared by the processor (live stream) and the OracleArena
+ * pre-decode so both draw the identical address sequence.
+ */
+constexpr std::uint64_t kDataStreamSeedSalt = 0xda7aULL;
+
+/**
  * Synthetic data-access address stream for the back-end d-cache
  * model. Deterministic given (model, seed): the n-th access is the
  * same regardless of which fetch architecture is being simulated.

@@ -91,6 +91,37 @@ TEST(SweepDriver, RepeatedRunsAreDeterministic)
         EXPECT_EQ(a.at(i).stats, b.at(i).stats);
 }
 
+/**
+ * The second strong guarantee: a sweep replaying the shared
+ * pre-decoded committed path (arena mode, the default) is
+ * bit-identical to one regenerating every point's oracle stream
+ * live. The grid spans every paper engine, two widths and two
+ * workloads, so the arena groups cover multiple engines per decode.
+ */
+TEST(SweepDriver, ArenaSweepMatchesLiveSweepExactly)
+{
+    auto points = smallGrid();
+
+    SweepDriver live(2);
+    live.setQuiet(true);
+    live.setArenaMode(false);
+    ResultSet rl = live.run(points);
+
+    SweepDriver arena(2);
+    arena.setQuiet(true);
+    ASSERT_TRUE(arena.arenaMode()); // the default
+    ResultSet ra = arena.run(points);
+
+    ASSERT_EQ(rl.size(), points.size());
+    ASSERT_EQ(ra.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(rl.at(i).stats, ra.at(i).stats)
+            << "row " << i << " (" << points[i].bench << ", "
+            << points[i].cfg.label() << ", w"
+            << points[i].cfg.width << ") diverged under arena replay";
+    }
+}
+
 TEST(SweepDriver, ForEachWorkloadVisitsEveryBenchOnce)
 {
     SweepDriver driver(4);

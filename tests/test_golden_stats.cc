@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sim/experiment.hh"
 #include "sim/workload_cache.hh"
 
@@ -167,6 +169,84 @@ TEST(GoldenStats, RerunIsBitIdentical)
     SimStats a = runGolden("gzip", "stream", 8, true);
     SimStats b = runGolden("gzip", "stream", 8, true);
     EXPECT_TRUE(a == b);
+}
+
+/**
+ * Arena-backed replay (the committed path pre-decoded once into the
+ * shared OracleArena, every point replaying it from flat memory)
+ * must be bit-identical to live generation for every registered
+ * engine. Pinned on a PR-4 family so the arena path is exercised on
+ * a registry workload, not just the gzip preset; width 4 covers the
+ * non-default line-size geometry too.
+ */
+TEST(GoldenStats, ArenaReplayMatchesLiveForEveryEngine)
+{
+    const PlacedWorkload &work =
+        WorkloadCache::instance().get("phased");
+    for (unsigned width : {8u, 4u}) {
+        for (const std::string &token :
+             EngineRegistry::instance().tokens()) {
+            SimConfig cfg(token);
+            cfg.width = width;
+            cfg.optimizedLayout = true;
+            cfg.insts = 60000;
+            cfg.warmupInsts = 10000;
+            auto arena = work.arena(
+                true, cfg.insts + cfg.warmupInsts +
+                          kFetchAheadMargin);
+            SimStats live = runOn(work, cfg);
+            SimStats replay = runOn(work, cfg, nullptr, arena.get());
+            EXPECT_TRUE(live == replay)
+                << token << " w" << width
+                << ": arena replay diverged from live generation";
+        }
+    }
+}
+
+// An arena decoded from a different layout or workload must be
+// rejected loudly — replaying foreign PCs would otherwise produce
+// plausible but silently wrong stats (parity with the recorded-trace
+// path's bench check).
+TEST(GoldenStats, ArenaFromWrongLayoutOrWorkloadIsRejected)
+{
+    const PlacedWorkload &phased =
+        WorkloadCache::instance().get("phased");
+    const PlacedWorkload &gzip =
+        WorkloadCache::instance().get("gzip");
+    SimConfig cfg("stream");
+    cfg.insts = 1000;
+    cfg.warmupInsts = 0;
+    cfg.optimizedLayout = true;
+    auto base_arena = phased.arena(false, 20'000);
+    EXPECT_THROW(runOn(phased, cfg, nullptr, base_arena.get()),
+                 std::invalid_argument);
+    auto other_workload = gzip.arena(true, 20'000);
+    EXPECT_THROW(runOn(phased, cfg, nullptr, other_workload.get()),
+                 std::invalid_argument);
+}
+
+// The arena path must also hold against the pinned goldens directly:
+// phased x {stream, trace} have recorded rows above.
+TEST(GoldenStats, ArenaReplayMatchesPinnedFamilyGoldens)
+{
+    const PlacedWorkload &work =
+        WorkloadCache::instance().get("phased");
+    auto arena = work.arena(true, 60000 + 10000 + kFetchAheadMargin);
+    for (const FamilyGoldenRow &g : kGoldenFamilies) {
+        if (std::string(g.bench) != "phased")
+            continue;
+        SimConfig cfg(g.arch);
+        cfg.width = 8;
+        cfg.optimizedLayout = true;
+        cfg.insts = 60000;
+        cfg.warmupInsts = 10000;
+        SimStats st = runOn(work, cfg, nullptr, arena.get());
+        GoldenRow as_row;
+        as_row.arch = g.arch;
+        for (int i = 0; i < 10; ++i)
+            as_row.v[i] = g.v[i];
+        expectGolden(as_row, st);
+    }
 }
 
 } // namespace

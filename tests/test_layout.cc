@@ -8,12 +8,15 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 
 #include "isa/cfg_builder.hh"
 #include "layout/code_image.hh"
 #include "layout/layout_opt.hh"
 #include "layout/oracle.hh"
+#include "layout/oracle_arena.hh"
 #include "workload/suite.hh"
+#include "workload/trace_io.hh"
 
 using namespace sfetch;
 
@@ -316,6 +319,85 @@ TEST(Oracle, ReturnUsesLayoutReturnAddress)
     OracleInst stub = oracle.next();
     EXPECT_TRUE(img.inst(stub.pc).isStub());
     EXPECT_EQ(stub.nextPc, img.blockAddr(cont));
+}
+
+// ---- OracleArena ----
+
+/**
+ * The arena is defined as "exactly what the live stream produced":
+ * every field of every instruction (pc, nextPc, class, branch type,
+ * taken, owning block — including kNoBlock stubs) must match the
+ * live generator, and next()/nextInto()/peek() must agree in arena
+ * mode just like in live mode.
+ */
+TEST(OracleArena, ReplayMatchesLiveFieldForField)
+{
+    SyntheticWorkload w = generateWorkload(suiteParams("gzip"));
+    CodeImage img(w.program, baselineOrder(w.program));
+    const std::uint64_t n = 30'000;
+    OracleArena arena(img, w.model, kRefSeed, n);
+    EXPECT_EQ(arena.size(), n);
+    EXPECT_EQ(arena.seed(), kRefSeed);
+    EXPECT_GT(arena.bytes(), 0u);
+    EXPECT_GT(arena.dataCount(), 0u);
+
+    OracleStream live(img, w.model, kRefSeed);
+    OracleStream replay(img, w.model, kRefSeed, nullptr, &arena);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        OracleInst a = live.next();
+        // Exercise peek + nextInto on the arena side.
+        if ((i & 1) == 0)
+            ASSERT_EQ(replay.peek().pc, a.pc);
+        OracleInst b;
+        replay.nextInto(b);
+        ASSERT_EQ(a.pc, b.pc) << "inst " << i;
+        ASSERT_EQ(a.nextPc, b.nextPc) << "inst " << i;
+        ASSERT_EQ(a.cls, b.cls) << "inst " << i;
+        ASSERT_EQ(a.btype, b.btype) << "inst " << i;
+        ASSERT_EQ(a.taken, b.taken) << "inst " << i;
+        ASSERT_EQ(a.block, b.block) << "inst " << i;
+    }
+    EXPECT_EQ(replay.instCount(), n);
+}
+
+TEST(OracleArena, DataAddressesMatchLiveStream)
+{
+    SyntheticWorkload w = generateWorkload(suiteParams("gzip"));
+    CodeImage img(w.program, baselineOrder(w.program));
+    OracleArena arena(img, w.model, kRefSeed, 10'000);
+    DataAddressStream ds(w.model.data(),
+                         kRefSeed ^ kDataStreamSeedSalt);
+    for (std::uint64_t k = 0; k < arena.dataCount(); ++k)
+        ASSERT_EQ(arena.dataAddr(k), ds.next()) << "access " << k;
+}
+
+TEST(OracleArena, ReadingPastTheEndThrows)
+{
+    SyntheticWorkload w = hammockLoop();
+    CodeImage img(w.program, baselineOrder(w.program));
+    OracleArena arena(img, w.model, kRefSeed, 100);
+    OracleInst oi;
+    arena.read(99, oi); // last valid index still has a nextPc
+    EXPECT_THROW(arena.read(100, oi), std::runtime_error);
+    EXPECT_THROW(arena.dataAddr(arena.dataCount()),
+                 std::runtime_error);
+
+    // The stream wrapper surfaces the same exhaustion.
+    OracleStream replay(img, w.model, kRefSeed, nullptr, &arena);
+    for (int i = 0; i < 100; ++i)
+        replay.next();
+    EXPECT_THROW(replay.next(), std::runtime_error);
+}
+
+TEST(OracleArena, ArenaAndRecordedTraceReplayAreMutuallyExclusive)
+{
+    SyntheticWorkload w = hammockLoop();
+    CodeImage img(w.program, baselineOrder(w.program));
+    OracleArena arena(img, w.model, kRefSeed, 100);
+    RecordedTrace trace;
+    EXPECT_THROW(OracleStream(img, w.model, kRefSeed, &trace,
+                              &arena),
+                 std::invalid_argument);
 }
 
 class LayoutOnSuite : public ::testing::TestWithParam<std::string>

@@ -37,7 +37,8 @@ allocsDuring(Processor &proc, InstCount insts)
 }
 
 void
-expectSteadyStateAllocFree(const char *arch)
+expectSteadyStateAllocFree(const char *arch,
+                           const OracleArena *arena = nullptr)
 {
     const PlacedWorkload &work = WorkloadCache::instance().get("gzip");
     SimConfig cfg(arch);
@@ -50,7 +51,7 @@ expectSteadyStateAllocFree(const char *arch)
 
     ProcessorConfig pc;
     Processor proc(pc, engine.get(), image, work.model(), &mem,
-                   kRefSeed);
+                   kRefSeed, nullptr, arena);
 
     // Warm up: predictor tables, commit-side sets, vector capacities.
     proc.run(30000, 10000);
@@ -62,7 +63,8 @@ expectSteadyStateAllocFree(const char *arch)
     std::uint64_t a_long = allocsDuring(proc, 65000);
 
     EXPECT_LE(a_long, a_short + 128)
-        << arch << ": allocation count grows with instruction count "
+        << arch << (arena ? " (arena replay)" : "")
+        << ": allocation count grows with instruction count "
         << "(short run " << a_short << ", long run " << a_long
         << ") - the hot loop allocates";
 }
@@ -80,6 +82,31 @@ TEST(SteadyStateAllocations, SeqEngineHotLoopIsAllocationFree)
 TEST(SteadyStateAllocations, Ev8EngineHotLoopIsAllocationFree)
 {
     expectSteadyStateAllocFree("ev8");
+}
+
+TEST(SteadyStateAllocations, FtbEngineHotLoopIsAllocationFree)
+{
+    expectSteadyStateAllocFree("ftb");
+}
+
+// The trace-cache path used to allocate per trace built (segment
+// vectors in the fill unit's in-progress descriptor and in the cache
+// ways, ~0.7 allocations/cycle): the inline-storage TraceDescriptor
+// and emit queue make it as allocation-free as the stream path.
+TEST(SteadyStateAllocations, TraceEngineHotLoopIsAllocationFree)
+{
+    expectSteadyStateAllocFree("trace");
+}
+
+// Arena-backed replay must not trade the generator's work for heap
+// churn: the pointer-bump oracle and pre-generated data addresses
+// allocate nothing either.
+TEST(SteadyStateAllocations, ArenaBackedReplayIsAllocationFree)
+{
+    const PlacedWorkload &work = WorkloadCache::instance().get("gzip");
+    auto arena = work.arena(true, 200'000);
+    expectSteadyStateAllocFree("stream", arena.get());
+    expectSteadyStateAllocFree("trace", arena.get());
 }
 
 } // namespace
