@@ -13,31 +13,38 @@
  * end-of-run statistics assembly), where the pre-refactor simulator
  * sat at ~3.6 allocations per cycle.
  *
- * Schema v2 (sfetch-throughput-v2) extends the per-point rows in two
- * directions:
- *  - benchmark coverage: the default bench set is one member per
- *    registered workload family (gzip + loops/server/thrash/phased),
- *    so the trajectory covers every workload family, not just gzip;
- *  - an `arena` boolean per row: each (bench, engine) point is
- *    measured twice, once with per-point live oracle generation and
- *    once replaying the shared pre-decoded OracleArena (decode cost
- *    excluded — it is amortized across a sweep, which is the arena's
- *    use case).
- * A `sweep` object reports the multi-point amortization directly:
- * one fixed grid (3 engines x 2 widths on a shared workload) run
- * through SweepDriver with arenas off and on, decode cost included.
+ * Schema v3 (sfetch-throughput-v3) over v2:
+ *  - rows run with the exact instruction-boundary stop, so
+ *    `committed_insts` is exactly --insts on every row (v2 rows
+ *    jittered by the final commit cycle's overshoot, up to width-1,
+ *    making Minsts/s denominators subtly incomparable);
+ *  - each row carries `cov_seconds`, the coefficient of variation
+ *    (stddev/mean) of the rep wall-clocks, so a consumer can tell a
+ *    quiet measurement from a noisy one instead of trusting the
+ *    best-rep point blindly;
+ *  - a `batched` boolean per row records which replay core ran
+ *    (--scalar-replay measures the scalar reference loop);
+ *  - a `gates` object embeds the allocation budgets the binaries
+ *    enforce (util/alloc_gates.hh), so the CI gate reads the same
+ *    numbers the unit test asserts.
+ * From v2: one row per (bench, engine, oracle mode) with the default
+ * bench set covering every registered workload family, and the
+ * `sweep` amortization object (3 engines x 2 widths through
+ * SweepDriver, live vs arena, decode cost included).
  *
  * Methodology: each (benchmark, engine) point is run `--reps` times
  * serially on a cached workload after one untimed warmup run; the
  * best wall-clock rep is reported (the sensible statistic on a noisy
- * machine — the minimum is the run with the least interference).
+ * machine — the minimum is the run with the least interference), and
+ * cov_seconds reports the spread across all reps.
  *
  * Usage: perf_throughput [--insts N] [--warmup N] [--bench name,...]
  *                        [--arch SPEC,...] [--reps N] [--out FILE]
- *                        [--no-sweep]
+ *                        [--no-sweep] [--scalar-replay]
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -47,6 +54,7 @@
 #include "sim/driver.hh"
 #include "sim/experiment.hh"
 #include "sim/workload_cache.hh"
+#include "util/alloc_gates.hh"
 #include "util/alloc_hook.hh"
 #include "util/table.hh"
 
@@ -62,9 +70,12 @@ struct Row
     unsigned width = 0;
     bool optimized = true;
     bool arena = false;
+    bool batched = true;
     std::uint64_t cycles = 0;
     std::uint64_t committed = 0;
     double bestSeconds = 0.0;
+    /** Coefficient of variation (stddev/mean) of the rep times. */
+    double covSeconds = 0.0;
     double allocsPerCycle = 0.0;
 };
 
@@ -107,7 +118,8 @@ nowSeconds()
 
 Row
 measure(const PlacedWorkload &work, const SimConfig &cfg,
-        unsigned reps, const OracleArena *arena)
+        unsigned reps, const OracleArena *arena,
+        const RunTuning &tuning)
 {
     Row row;
     row.bench = work.name();
@@ -115,16 +127,20 @@ measure(const PlacedWorkload &work, const SimConfig &cfg,
     row.width = cfg.width;
     row.optimized = cfg.optimizedLayout;
     row.arena = arena != nullptr;
+    row.batched = tuning.batchedReplay;
 
-    runOn(work, cfg, nullptr, arena); // untimed warmup run
+    runOn(work, cfg, nullptr, arena, tuning); // untimed warmup run
 
     row.bestSeconds = 1e100;
+    std::vector<double> times;
+    times.reserve(reps);
     for (unsigned r = 0; r < reps; ++r) {
         std::uint64_t a0 = allocCount();
         double t0 = nowSeconds();
-        SimStats st = runOn(work, cfg, nullptr, arena);
+        SimStats st = runOn(work, cfg, nullptr, arena, tuning);
         double secs = nowSeconds() - t0;
         std::uint64_t a1 = allocCount();
+        times.push_back(secs);
         row.cycles = st.cycles;
         row.committed = st.committedInsts;
         if (secs < row.bestSeconds) {
@@ -133,6 +149,17 @@ measure(const PlacedWorkload &work, const SimConfig &cfg,
                 st.cycles ? double(a1 - a0) / double(st.cycles) : 0.0;
         }
     }
+
+    // Spread across reps: stddev/mean. 0 for a single rep.
+    double mean = 0.0;
+    for (double t : times)
+        mean += t;
+    mean /= double(times.size());
+    double var = 0.0;
+    for (double t : times)
+        var += (t - mean) * (t - mean);
+    var /= double(times.size());
+    row.covSeconds = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
     return row;
 }
 
@@ -211,27 +238,39 @@ writeJson(const std::string &path, const std::vector<Row> &rows,
                      path.c_str());
         std::exit(1);
     }
-    std::fprintf(f, "{\n  \"schema\": \"sfetch-throughput-v2\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"sfetch-throughput-v3\",\n");
     std::fprintf(f, "  \"insts\": %llu,\n  \"warmup\": %llu,\n",
                  static_cast<unsigned long long>(insts),
                  static_cast<unsigned long long>(warmup));
-    std::fprintf(f, "  \"reps\": %u,\n  \"rows\": [\n", reps);
+    std::fprintf(f, "  \"reps\": %u,\n", reps);
+    // The allocation budgets enforced by tests/test_perf_alloc.cc
+    // and checked by the CI gate, from the one shared header.
+    std::fprintf(f,
+                 "  \"gates\": {\"allocs_per_cycle\": %.4f, "
+                 "\"steady_state_alloc_slack\": %llu},\n",
+                 kAllocsPerCycleGate,
+                 static_cast<unsigned long long>(
+                     kSteadyStateAllocSlack));
+    std::fprintf(f, "  \"rows\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         std::fprintf(
             f,
             "    {\"bench\": \"%s\", \"spec\": \"%s\", "
             "\"width\": %u, \"layout\": \"%s\", \"arena\": %s, "
+            "\"batched\": %s, "
             "\"cycles\": %llu, \"committed_insts\": %llu, "
-            "\"best_seconds\": %.6f, "
+            "\"best_seconds\": %.6f, \"cov_seconds\": %.4f, "
             "\"minsts_per_sec\": %.3f, \"mcycles_per_sec\": %.3f, "
             "\"allocs_per_cycle\": %.4f}%s\n",
             r.bench.c_str(), r.spec.c_str(), r.width,
             r.optimized ? "opt" : "base",
             r.arena ? "true" : "false",
+            r.batched ? "true" : "false",
             static_cast<unsigned long long>(r.cycles),
             static_cast<unsigned long long>(r.committed),
-            r.bestSeconds, r.committed / r.bestSeconds / 1e6,
+            r.bestSeconds, r.covSeconds,
+            r.committed / r.bestSeconds / 1e6,
             r.cycles / r.bestSeconds / 1e6, r.allocsPerCycle,
             i + 1 < rows.size() ? "," : "");
     }
@@ -276,6 +315,11 @@ main(int argc, char **argv)
 
     unsigned reps = 3;
     bool do_sweep = true;
+    RunTuning tuning;
+    // Exact-boundary stop: every row commits exactly --insts, so the
+    // Minsts/s denominators are identical across rows (v2 rows
+    // jittered by the final cycle's overshoot).
+    tuning.exactInstStop = true;
     std::string out = "BENCH_throughput.json";
 
     CliParser cli("perf_throughput",
@@ -296,6 +340,10 @@ main(int argc, char **argv)
     cli.addFlag("--no-sweep",
                 "skip the multi-point sweep amortization measurement",
                 [&] { do_sweep = false; });
+    cli.addFlag("--scalar-replay",
+                "measure the scalar reference loop instead of the "
+                "batched replay core (A/B comparison)",
+                [&] { tuning.batchedReplay = false; });
     cli.parseOrExit(argc, argv);
     opts.benches = resolveBenches(opts.benches);
     if (reps == 0)
@@ -320,8 +368,9 @@ main(int argc, char **argv)
             work.arena(true, opts.insts + warmup + kFetchAheadMargin);
         for (const SimConfig &arch : archs) {
             const SimConfig cfg = opts.stamped(arch);
-            rows.push_back(measure(work, cfg, reps, nullptr));
-            rows.push_back(measure(work, cfg, reps, arena.get()));
+            rows.push_back(measure(work, cfg, reps, nullptr, tuning));
+            rows.push_back(
+                measure(work, cfg, reps, arena.get(), tuning));
         }
     }
 
@@ -336,13 +385,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(opts.insts), reps);
     TablePrinter tp;
     tp.addHeader({"bench", "engine", "oracle", "Minsts/s",
-                  "Mcycles/s", "sim IPC", "allocs/cycle"});
+                  "Mcycles/s", "cov", "sim IPC", "allocs/cycle"});
     for (const Row &r : rows) {
         tp.addRow({r.bench, r.spec, r.arena ? "arena" : "live",
                    TablePrinter::fmt(
                        r.committed / r.bestSeconds / 1e6, 2),
                    TablePrinter::fmt(r.cycles / r.bestSeconds / 1e6,
                                      2),
+                   TablePrinter::fmt(r.covSeconds, 3),
                    TablePrinter::fmt(double(r.committed) /
                                          double(r.cycles)),
                    TablePrinter::fmt(r.allocsPerCycle, 4)});

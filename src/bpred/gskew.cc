@@ -31,6 +31,9 @@ GskewPredictor::GskewPredictor(const GskewConfig &cfg) : cfg_(cfg)
 {
     assert(cfg_.entriesPerBank && !(cfg_.entriesPerBank &
                                     (cfg_.entriesPerBank - 1)));
+    histMask_ = (1ULL << cfg_.historyBits) - 1;
+    shortMask_ = (1ULL << cfg_.shortHistoryBits) - 1;
+    bankMask_ = cfg_.entriesPerBank - 1;
     for (auto &bank : banks_)
         bank.assign(cfg_.entriesPerBank,
                     SatCounter(cfg_.counterBits,
@@ -62,13 +65,33 @@ GskewPredictor::index(unsigned bank, Addr pc, std::uint64_t ghist) const
     return skewHash(bank, x) & (cfg_.entriesPerBank - 1);
 }
 
+void
+GskewPredictor::indices(Addr pc, std::uint64_t ghist,
+                        std::size_t idx[4]) const
+{
+    const std::uint64_t word = pc / kInstBytes;
+    const std::uint64_t shist = ghist & shortMask_;
+    const std::uint64_t fhist = ghist & histMask_;
+    const std::uint64_t x_bim = word;
+    const std::uint64_t x_short = word ^ (shist << 18) ^ shist;
+    const std::uint64_t x_full = word ^ (fhist << 18) ^ fhist;
+    // Four independent multiply-xor hashes: no data dependences, so
+    // the compiler can schedule (or vectorize) them together.
+    idx[BIM] = skewHash(BIM, x_bim) & bankMask_;
+    idx[G0] = skewHash(G0, x_short) & bankMask_;
+    idx[G1] = skewHash(G1, x_full) & bankMask_;
+    idx[META] = skewHash(META, x_short) & bankMask_;
+}
+
 bool
 GskewPredictor::predict(Addr pc, std::uint64_t ghist)
 {
-    bool bim = banks_[BIM][index(BIM, pc, ghist)].taken();
-    bool g0 = banks_[G0][index(G0, pc, ghist)].taken();
-    bool g1 = banks_[G1][index(G1, pc, ghist)].taken();
-    bool meta = banks_[META][index(META, pc, ghist)].taken();
+    std::size_t idx[4];
+    indices(pc, ghist, idx);
+    bool bim = banks_[BIM][idx[BIM]].taken();
+    bool g0 = banks_[G0][idx[G0]].taken();
+    bool g1 = banks_[G1][idx[G1]].taken();
+    bool meta = banks_[META][idx[META]].taken();
 
     bool eskew = (int(bim) + int(g0) + int(g1)) >= 2;
     return meta ? eskew : bim;
@@ -77,10 +100,12 @@ GskewPredictor::predict(Addr pc, std::uint64_t ghist)
 void
 GskewPredictor::update(Addr pc, std::uint64_t ghist, bool taken)
 {
-    std::size_t i_bim = index(BIM, pc, ghist);
-    std::size_t i_g0 = index(G0, pc, ghist);
-    std::size_t i_g1 = index(G1, pc, ghist);
-    std::size_t i_meta = index(META, pc, ghist);
+    std::size_t idx[4];
+    indices(pc, ghist, idx);
+    std::size_t i_bim = idx[BIM];
+    std::size_t i_g0 = idx[G0];
+    std::size_t i_g1 = idx[G1];
+    std::size_t i_meta = idx[META];
 
     bool bim = banks_[BIM][i_bim].taken();
     bool g0 = banks_[G0][i_g0].taken();

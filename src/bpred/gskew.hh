@@ -44,7 +44,21 @@ class GskewPredictor : public DirectionPredictor
     std::size_t index(unsigned bank, Addr pc,
                       std::uint64_t ghist) const;
 
+    /**
+     * All four bank indices in one pass: the shared (pc, history)
+     * preparation is done once and the four independent skew hashes
+     * run as straight-line code, where index()-per-bank re-derived
+     * the masks and inputs four times. Values identical to index().
+     */
+    void indices(Addr pc, std::uint64_t ghist,
+                 std::size_t idx[4]) const;
+
     GskewConfig cfg_;
+    // Hoisted from the per-lookup path: the history masks and the
+    // bank index mask are fixed at construction.
+    std::uint64_t histMask_ = 0;
+    std::uint64_t shortMask_ = 0;
+    std::size_t bankMask_ = 0;
     std::vector<SatCounter> banks_[4];
 };
 

@@ -54,6 +54,11 @@ class PerceptronPredictor : public DirectionPredictor
     std::vector<std::int16_t> weights_;
     std::vector<std::uint32_t> localHist_;
     unsigned rowLen_;
+    // Index masks for the power-of-two table sizes the paper uses
+    // (the modulo fallback only fires for odd configurations).
+    std::size_t pcMask_ = 0;
+    std::size_t localMask_ = 0;
+    bool pow2Tables_ = false;
 };
 
 } // namespace sfetch

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "util/simd.hh"
 #include "util/types.hh"
 
 namespace sfetch
@@ -68,28 +69,31 @@ class Cache
         }
     }
 
-    std::size_t victim = base;
-    std::uint64_t oldest = UINT64_MAX;
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        const std::size_t i = base + w;
-        const Addr t = tags_[i];
-        if (t == kNoAddr) {
-            // Ways fill front-to-back and are only invalidated en
-            // masse by flush(), so the first invalid way ends both
-            // the lookup (the tag cannot be resident beyond it) and
-            // the victim scan.
-            victim = i;
-            break;
-        }
-        if (t == tag) {
-            lastUse_[i] = tick_;
-            mru_[set] = static_cast<std::uint32_t>(w);
-            ++hits_;
-            return true;
-        }
-        if (lastUse_[i] < oldest) {
-            oldest = lastUse_[i];
-            victim = i;
+    // One vector compare over the set's contiguous tag words finds
+    // the first way holding either the probed tag (hit) or the
+    // invalid sentinel. Ways fill front-to-back and are only
+    // invalidated en masse by flush(), so the first invalid way ends
+    // the lookup (the tag cannot be resident beyond it) and is the
+    // allocation victim.
+    const std::size_t w =
+        simd::findEitherU64(&tags_[base], cfg_.assoc, tag, kNoAddr);
+    if (w < cfg_.assoc && tags_[base + w] == tag) {
+        lastUse_[base + w] = tick_;
+        mru_[set] = static_cast<std::uint32_t>(w);
+        ++hits_;
+        return true;
+    }
+
+    std::size_t victim = base + w;
+    if (w == cfg_.assoc) {
+        // Full set, no hit: evict true-LRU.
+        victim = base;
+        std::uint64_t oldest = lastUse_[base];
+        for (unsigned k = 1; k < cfg_.assoc; ++k) {
+            if (lastUse_[base + k] < oldest) {
+                oldest = lastUse_[base + k];
+                victim = base + k;
+            }
         }
     }
 
@@ -248,6 +252,14 @@ class MemoryHierarchy
     prefetchData(Addr addr) const
     {
         l1d_.prefetch(addr);
+        l2_.prefetch(addr);
+    }
+
+    /** Instruction-side analog of prefetchData (host hint only). */
+    void
+    prefetchInst(Addr addr) const
+    {
+        l1i_.prefetch(addr);
         l2_.prefetch(addr);
     }
 

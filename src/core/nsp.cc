@@ -152,11 +152,18 @@ NextStreamPredictor::predict(Addr start)
     ++lookups_;
     ++tick_;
 
-    Entry *e2 = cfg_.pathTableEnabled
-        ? second_.find(secondSet(start, specPath_),
-                       secondTag(start, specPath_), tick_)
-        : nullptr;
-    Entry *e1 = first_.find(firstSet(start), firstTag(start), tick_);
+    // Compute both probe points up front and prefetch their tag
+    // state so the two associative scans overlap their host memory
+    // latencies instead of serializing them.
+    const std::size_t set1 = firstSet(start);
+    first_.prefetchSet(set1);
+    Entry *e2 = nullptr;
+    if (cfg_.pathTableEnabled) {
+        const std::size_t set2 = secondSet(start, specPath_);
+        second_.prefetchSet(set2);
+        e2 = second_.find(set2, secondTag(start, specPath_), tick_);
+    }
+    Entry *e1 = first_.find(set1, firstTag(start), tick_);
 
     StreamPrediction p;
     if (e2) {
@@ -188,6 +195,9 @@ NextStreamPredictor::commitStream(const StreamDescriptor &s,
     const std::uint64_t tag1 = firstTag(s.start);
     const std::size_t set2 = secondSet(s.start, commitPath_);
     const std::uint64_t tag2 = secondTag(s.start, commitPath_);
+    first_.prefetchSet(set1);
+    if (cfg_.pathTableEnabled)
+        second_.prefetchSet(set2);
 
     Entry *e1 = first_.find(set1, tag1, tick_);
     Entry *e2 = cfg_.pathTableEnabled

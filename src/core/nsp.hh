@@ -135,6 +135,21 @@ class NextStreamPredictor
             ways.assign(entries, Entry{});
         }
 
+        /**
+         * Host-side prefetch of a set's probe state, so a caller
+         * that knows it will find() two tables can overlap their
+         * memory latencies. No modelled state is touched.
+         */
+        void
+        prefetchSet(std::size_t set) const
+        {
+#if defined(__GNUC__) || defined(__clang__)
+            const std::size_t base = set * assoc;
+            __builtin_prefetch(&tags[base], 0, 1);
+            __builtin_prefetch(&valid[base], 0, 1);
+#endif
+        }
+
         Entry *find(std::size_t set, std::uint64_t tag,
                     std::uint64_t tick);
         /** Hysteresis-guarded install; returns true if installed. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/engine_registry.hh"
+#include "util/simd.hh"
 
 namespace sfetch
 {
@@ -45,6 +46,7 @@ StreamFetchEngine::predictStep()
         req.token = token;
         req.bounded = false;
         ftq_.push(req);
+        reader_.prefetch(req.start);
         fetchAddr_ = line_end;
         ++seqRequests_;
         return;
@@ -79,6 +81,7 @@ StreamFetchEngine::predictStep()
     req.token = token;
     req.bounded = true;
     ftq_.push(req);
+    reader_.prefetch(req.start);
 
     fetchAddr_ = next;
     ++streamsPredicted_;
@@ -108,58 +111,69 @@ StreamFetchEngine::icacheStep(Cycle now, unsigned max_insts,
     n = std::min<unsigned>(
         n, static_cast<unsigned>(
                (image_->endAddr() - req.start) / kInstBytes));
-    Addr pc = req.start;
-    bool steered = false;
 
-    for (unsigned i = 0; i < n; ++i) {
-        const StaticInst &si = image_->inst(pc);
+    // Batched scan over the image's packed branch-type bytes: one
+    // movemask finds every branch in the run, a second isolates the
+    // unconditional transfers that would steer fetch. The per-inst
+    // fill loop below then carries no decode at all — just the
+    // sequential pc and a token on branch positions.
+    const std::uint8_t *bt = image_->btypes() +
+        (req.start - image_->baseAddr()) / kInstBytes;
+    const std::uint32_t bmask = simd::maskTestU8(bt, n, 0xff);
+    std::uint32_t steer = bmask &
+        ~simd::maskEqU8(
+            bt, n, 0xff,
+            static_cast<std::uint8_t>(BranchType::CondDirect));
+    // An unconditional transfer *terminating* a bounded request is
+    // the predicted stream end, already steered by predictStep; only
+    // one before the end (sequential mode, or a stale aliased entry)
+    // redirects here.
+    if (req.bounded && req.lenInsts == n)
+        steer &= ~(std::uint32_t(1) << (n - 1));
+
+    const unsigned fill = steer ? simd::bottomBit(steer) + 1 : n;
+    Addr pc = req.start;
+    for (unsigned i = 0; i < fill; ++i, pc += kInstBytes) {
         FetchedInst fi;
         fi.pc = pc;
-        if (si.isBranch())
+        if ((bmask >> i) & 1u)
             fi.token = req.token;
         out.push_back(fi);
-        ++instsFetched_;
-        pc += kInstBytes;
-
-        // An unconditional transfer before the end of the request
-        // only happens in sequential mode (or on a stale aliased
-        // entry): steer using the predecoded target.
-        bool is_terminator = req.bounded && (i + 1 == n) &&
-            req.lenInsts == n;
-        if (si.isBranch() && si.btype != BranchType::CondDirect &&
-            !is_terminator) {
-            Addr seq = pc;
-            Addr next = seq;
-            switch (si.btype) {
-              case BranchType::Jump:
-              case BranchType::Call:
-                next = image_->takenTarget(fi.pc);
-                if (si.btype == BranchType::Call)
-                    ras_.push(seq);
-                break;
-              case BranchType::Return: {
-                Addr t = ras_.pop();
-                next = (t != kNoAddr && image_->contains(t)) ? t : seq;
-                break;
-              }
-              default:
-                break; // indirect: no info, keep sequential
-            }
-            // A taken transfer ends the sequential stream: keep the
-            // speculative path register in step with commit.
-            if (seqStart_ != kNoAddr) {
-                nsp_.specPush(seqStart_);
-                seqStart_ = kNoAddr;
-            }
-            ftq_.clear();
-            fetchAddr_ = next;
-            steered = true;
-            break;
-        }
     }
+    instsFetched_ += fill;
 
-    if (steered)
+    if (steer) {
+        // Steer using the predecoded target of the first
+        // unconditional transfer (the last instruction delivered).
+        const Addr bpc = pc - kInstBytes;
+        const Addr seq = pc;
+        Addr next = seq;
+        switch (static_cast<BranchType>(bt[fill - 1])) {
+          case BranchType::Jump:
+            next = image_->takenTarget(bpc);
+            break;
+          case BranchType::Call:
+            next = image_->takenTarget(bpc);
+            ras_.push(seq);
+            break;
+          case BranchType::Return: {
+            Addr t = ras_.pop();
+            next = (t != kNoAddr && image_->contains(t)) ? t : seq;
+            break;
+          }
+          default:
+            break; // indirect: no info, keep sequential
+        }
+        // A taken transfer ends the sequential stream: keep the
+        // speculative path register in step with commit.
+        if (seqStart_ != kNoAddr) {
+            nsp_.specPush(seqStart_);
+            seqStart_ = kNoAddr;
+        }
+        ftq_.clear();
+        fetchAddr_ = next;
         return;
+    }
 
     std::uint32_t done = static_cast<std::uint32_t>(
         (pc - req.start) / kInstBytes);
@@ -167,6 +181,8 @@ StreamFetchEngine::icacheStep(Cycle now, unsigned max_insts,
     req.lenInsts -= std::min(req.lenInsts, done);
     if (req.lenInsts == 0)
         ftq_.pop();
+    else
+        reader_.prefetch(req.start); // next cycle probes this line
 }
 
 void

@@ -250,6 +250,14 @@ class ICacheReader
     }
 
     /**
+     * Host-side prefetch of the tag state a future available(@p pc)
+     * will probe: callers that know next cycle's fetch address hide
+     * the host memory latency of the modelled i-cache lookup. Pure
+     * hint; no modelled state changes.
+     */
+    void prefetch(Addr pc) const { mem_->prefetchInst(pc); }
+
+    /**
      * Back to a pristine reader: clears the in-flight miss *and* the
      * miss counter, so engines reused via reset(start) report only
      * the misses of the current run.

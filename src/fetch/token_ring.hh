@@ -15,21 +15,31 @@
 namespace sfetch
 {
 
-/** Ring buffer mapping tokens to checkpoints of type T. */
+/**
+ * Ring buffer mapping tokens to checkpoints of type T. The capacity
+ * is rounded up to a power of two so the token -> slot mapping is a
+ * mask instead of a 64-bit division on the per-branch hot path;
+ * rounding up only widens the already-generous collision window.
+ */
 template <typename T>
 class TokenRing
 {
   public:
     explicit TokenRing(std::size_t capacity = 4096)
-        : slots_(capacity)
-    {}
+    {
+        std::size_t pow2 = 1;
+        while (pow2 < capacity)
+            pow2 <<= 1;
+        slots_.resize(pow2);
+        mask_ = pow2 - 1;
+    }
 
     /** Allocate the next token and store @p value under it. */
     std::uint64_t
     put(const T &value)
     {
         std::uint64_t token = next_++;
-        Slot &s = slots_[token % slots_.size()];
+        Slot &s = slots_[token & mask_];
         s.token = token;
         s.value = value;
         return token;
@@ -39,7 +49,7 @@ class TokenRing
     const T *
     get(std::uint64_t token) const
     {
-        const Slot &s = slots_[token % slots_.size()];
+        const Slot &s = slots_[token & mask_];
         return (s.token == token) ? &s.value : nullptr;
     }
 
@@ -51,6 +61,7 @@ class TokenRing
     };
 
     std::vector<Slot> slots_;
+    std::uint64_t mask_ = 0;
     std::uint64_t next_ = 1; // token 0 means "no token"
 };
 

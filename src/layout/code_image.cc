@@ -122,6 +122,10 @@ CodeImage::CodeImage(const Program &prog,
         }
     }
     assert(base_ + instsToBytes(insts_.size()) == cur);
+
+    btypes_.resize(insts_.size());
+    for (std::size_t i = 0; i < insts_.size(); ++i)
+        btypes_[i] = static_cast<std::uint8_t>(insts_[i].btype);
 }
 
 std::vector<BlockId>

@@ -83,6 +83,23 @@ class CodeImage
         return insts_[(pc - base_) / kInstBytes];
     }
 
+    /**
+     * Packed branch types, one byte per placed instruction in address
+     * order (`btypes()[(pc - baseAddr()) / kInstBytes]`). A byte of 0
+     * (BranchType::None) means not a branch, so the engines' hot
+     * fetch loops can scan a whole line's worth with the util/simd.hh
+     * byte-mask primitives instead of loading a StaticInst per
+     * instruction.
+     */
+    const std::uint8_t *btypes() const { return btypes_.data(); }
+
+    /** btypes() entry for @p pc. @pre contains(pc). */
+    std::uint8_t
+    btypeAt(Addr pc) const
+    {
+        return btypes_[(pc - base_) / kInstBytes];
+    }
+
     /** Start address of block @p id. */
     Addr
     blockAddr(BlockId id) const
@@ -138,6 +155,8 @@ class CodeImage
     const Program *prog_;
     Addr base_;
     std::vector<StaticInst> insts_;
+    /** insts_[i].btype, packed for SIMD scans (see btypes()). */
+    std::vector<std::uint8_t> btypes_;
     std::vector<Addr> block_addr_;
     std::vector<bool> normal_polarity_;
     std::size_t num_stubs_ = 0;

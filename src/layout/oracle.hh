@@ -115,6 +115,39 @@ class OracleStream
 
     std::uint64_t instCount() const { return count_; }
 
+    // Bulk arena-cursor interface for the batched replay core. The
+    // processor verifies a whole fetch bundle against the arena's
+    // raw pcOffsets() span and then consumes the matched run with
+    // one bulkAdvance() — one bounds check per bundle instead of the
+    // per-instruction check inside nextInto().
+
+    /**
+     * True when the stream can be consumed in bulk straight from the
+     * arena arrays: arena-backed, and no pending peek() lookahead
+     * (a peek holds one already-consumed instruction in look_, which
+     * a raw-array reader would otherwise replay twice).
+     */
+    bool bulkReplayable() const { return arena_ && !haveLook_; }
+
+    /** The backing arena (null for live/trace-replay streams). */
+    const OracleArena *arena() const { return arena_; }
+
+    /** Index into the arena of the next unconsumed instruction. */
+    std::uint64_t arenaPos() const { return arenaPos_; }
+
+    /**
+     * Consume @p n instructions that the caller has already decoded
+     * from the arena's raw spans. The caller has bounds-checked the
+     * run (arenaPos() + @p n <= arena()->size()); only valid while
+     * bulkReplayable().
+     */
+    void
+    bulkAdvance(std::uint64_t n)
+    {
+        count_ += n;
+        arenaPos_ += n;
+    }
+
   private:
     /**
      * The in-block fast path: emit the next non-terminator

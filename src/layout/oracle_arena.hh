@@ -96,6 +96,41 @@ class OracleArena
         readUnchecked(i, out);
     }
 
+    // Raw SoA spans for the batched replay core: the processor's
+    // bulk oracle verify compares a whole fetch bundle against
+    // pcOffsets() with one range compare, then decodes the matched
+    // run straight from meta()/blocks() with the bounds check hoisted
+    // to one test per bundle (via readUnchecked()).
+
+    /** Image base address every pcOffsets() entry is relative to. */
+    Addr base() const { return base_; }
+
+    /** size()+1 u32 byte offsets; entry i+1 is instruction i's nextPc. */
+    const std::uint32_t *pcOffsets() const { return pcOff_.data(); }
+
+    /** size() packed meta bytes: class bits 0-2, branch type bits
+     *  3-5, taken bit 6. */
+    const std::uint8_t *meta() const { return meta_.data(); }
+
+    /** size() owning block ids (kNoBlock for layout stubs). */
+    const BlockId *blocks() const { return block_.data(); }
+
+    /** The pointer-bump read itself (bounds already checked). */
+    void
+    readUnchecked(std::uint64_t i, OracleInst &out) const
+    {
+        out.pc = base_ + pcOff_[i];
+        out.nextPc = base_ + pcOff_[i + 1];
+        const std::uint8_t m = meta_[i];
+        out.cls = static_cast<InstClass>(m & 0x07);
+        out.btype = static_cast<BranchType>((m >> 3) & 0x07);
+        out.taken = (m & 0x40) != 0;
+        out.block = block_[i];
+    }
+
+    /** The replay-past-the-end diagnostic, shared with bulk readers. */
+    [[noreturn]] void throwExhausted(std::uint64_t i) const;
+
     /**
      * Address of the @p k-th data access (the k-th load or store on
      * the committed path, in dispatch order). Reading past the end
@@ -122,20 +157,6 @@ class OracleArena
     }
 
   private:
-    /** The pointer-bump read itself (bounds already checked). */
-    void
-    readUnchecked(std::uint64_t i, OracleInst &out) const
-    {
-        out.pc = base_ + pcOff_[i];
-        out.nextPc = base_ + pcOff_[i + 1];
-        const std::uint8_t m = meta_[i];
-        out.cls = static_cast<InstClass>(m & 0x07);
-        out.btype = static_cast<BranchType>((m >> 3) & 0x07);
-        out.taken = (m & 0x40) != 0;
-        out.block = block_[i];
-    }
-
-    [[noreturn]] void throwExhausted(std::uint64_t i) const;
     [[noreturn]] void throwDataExhausted(std::uint64_t k) const;
 
     const CodeImage *image_ = nullptr;

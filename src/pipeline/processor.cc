@@ -1,7 +1,10 @@
 #include "pipeline/processor.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+
+#include "util/simd.hh"
 
 namespace sfetch
 {
@@ -27,27 +30,46 @@ Processor::Processor(const ProcessorConfig &cfg, FetchEngine *engine,
             " exceeds the supported fetch width " +
             std::to_string(FetchBundle::kCapacity));
     }
+
+    batched_ = cfg_.batchedReplay;
+    // The bundle-at-once oracle verify needs the flat committed-path
+    // arrays; live and trace-replay streams fall back to the scalar
+    // per-instruction compare (commit/dispatch still batch).
+    batchedFetch_ = batched_ && arena_ != nullptr;
+
+    bufRecs_ = std::make_unique<OracleInst[]>(buffer_.slotCapacity());
+    robRecs_ = std::make_unique<OracleInst[]>(rob_.slotCapacity());
+
+    for (auto &l : latByCls_)
+        l = cfg_.latAlu;
+    latByCls_[static_cast<unsigned>(InstClass::IntMul)] = cfg_.latMul;
+    latByCls_[static_cast<unsigned>(InstClass::FpAlu)] = cfg_.latFp;
+    latByCls_[static_cast<unsigned>(InstClass::Store)] = cfg_.latStore;
+    // Branches retire one cycle after they resolve.
+    latByCls_[static_cast<unsigned>(InstClass::Branch)] =
+        cfg_.branchResolveLat + 1;
 }
 
 Cycle
 Processor::execLatency(const OracleInst &rec)
 {
-    switch (rec.cls) {
-      case InstClass::Load:
+    const unsigned cls = static_cast<unsigned>(rec.cls) & 0x07;
+    if (cls == static_cast<unsigned>(InstClass::Load))
         return mem_->accessData(nextDataAddr());
-      case InstClass::Store:
+    if (cls == static_cast<unsigned>(InstClass::Store))
         nextDataAddr(); // stores allocate but retire immediately
-        return cfg_.latStore;
-      case InstClass::IntMul:
-        return cfg_.latMul;
-      case InstClass::FpAlu:
-        return cfg_.latFp;
-      case InstClass::Branch:
-        // Branches retire one cycle after they resolve.
-        return cfg_.branchResolveLat + 1;
-      default:
-        return cfg_.latAlu;
-    }
+    return latByCls_[cls];
+}
+
+Cycle
+Processor::execLatencyMeta(std::uint8_t mb)
+{
+    const unsigned cls = mb & 0x07;
+    if (cls == static_cast<unsigned>(InstClass::Load))
+        return mem_->accessData(nextDataAddr());
+    if (cls == static_cast<unsigned>(InstClass::Store))
+        nextDataAddr(); // stores allocate but retire immediately
+    return latByCls_[cls];
 }
 
 void
@@ -55,6 +77,7 @@ Processor::commitStep(SimStats &st)
 {
     unsigned n = 0;
     while (!rob_.empty() && n < cfg_.width &&
+           totalCommitted_ < stopAt_ &&
            rob_.front().completeAt <= now_) {
         const RobEntry &e = rob_.front();
         ++n;
@@ -64,12 +87,13 @@ Processor::commitStep(SimStats &st)
         if (measuring_)
             ++st.committedInsts;
 
-        if (e.rec.isBranch()) {
+        const OracleInst &rec = robRecs_[rob_.slotOf(0)];
+        if (rec.isBranch()) {
             CommittedBranch cb;
-            cb.pc = e.rec.pc;
-            cb.type = e.rec.btype;
-            cb.taken = e.rec.taken;
-            cb.target = e.rec.nextPc;
+            cb.pc = rec.pc;
+            cb.type = rec.btype;
+            cb.taken = rec.taken;
+            cb.target = rec.nextPc;
             engine_->trainCommit(cb);
             if (measuring_) {
                 ++st.committedBranches;
@@ -79,6 +103,93 @@ Processor::commitStep(SimStats &st)
         }
         rob_.pop_front();
     }
+}
+
+/**
+ * Batched commit: find the ready run at the ROB head first (ready
+ * entries are the common case, so the scan is a short branch-free
+ * walk over at most `width` contiguous entries), then retire it with
+ * one bulk pop and one set of counter updates. Per-branch training
+ * happens in run order, exactly as the scalar loop interleaved it.
+ */
+void
+Processor::commitStepBatched(SimStats &st)
+{
+    const std::size_t lim = std::min<std::size_t>(
+        {static_cast<std::size_t>(cfg_.width), rob_.size(),
+         static_cast<std::size_t>(stopAt_ - totalCommitted_)});
+    std::size_t n = 0;
+    while (n < lim && rob_.at(n).completeAt <= now_)
+        ++n;
+    if (n == 0)
+        return;
+
+    const std::uint64_t a0 = rob_.at(0).arenaIdx;
+    if (a0 != kNoArenaIdx && rob_.at(n - 1).arenaIdx == a0 + n - 1) {
+        // The whole run is consecutive arena positions (the steady
+        // state: arena-ingested entries carry monotonically
+        // increasing indices, and kNoArenaIdx can never equal
+        // a0+n-1). One movemask over the packed meta span finds
+        // every branch; only those entries are touched, with the
+        // committed fields read straight from the SoA arrays —
+        // sequential bytes commit walks a few hundred cycles behind
+        // fetch's verify of the same span.
+        const std::uint8_t *meta = arena_->meta() + a0;
+        const std::uint32_t *offs = arena_->pcOffsets() + a0;
+        const Addr base = arena_->base();
+        std::uint32_t bmask =
+            simd::maskTestU8(meta, static_cast<unsigned>(n), 0x38);
+        while (bmask) {
+            const unsigned j = simd::bottomBit(bmask);
+            bmask &= bmask - 1;
+            const std::uint8_t mb = meta[j];
+            CommittedBranch cb;
+            cb.pc = base + offs[j];
+            cb.type = static_cast<BranchType>((mb >> 3) & 0x07);
+            cb.taken = (mb & 0x40) != 0;
+            cb.target = base + offs[j + 1];
+            engine_->trainCommit(cb);
+            if (measuring_) {
+                ++st.committedBranches;
+                if (cb.type == BranchType::CondDirect)
+                    ++st.committedCondBranches;
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            const RobEntry &e = rob_.at(i);
+            CommittedBranch cb;
+            if (e.arenaIdx != kNoArenaIdx) {
+                const std::uint8_t mb = arena_->meta()[e.arenaIdx];
+                if ((mb & 0x38) == 0)
+                    continue;
+                const std::uint32_t *offs = arena_->pcOffsets();
+                cb.pc = arena_->base() + offs[e.arenaIdx];
+                cb.type = static_cast<BranchType>((mb >> 3) & 0x07);
+                cb.taken = (mb & 0x40) != 0;
+                cb.target = arena_->base() + offs[e.arenaIdx + 1];
+            } else {
+                const OracleInst &rec = robRecs_[rob_.slotOf(i)];
+                if (!rec.isBranch())
+                    continue;
+                cb.pc = rec.pc;
+                cb.type = rec.btype;
+                cb.taken = rec.taken;
+                cb.target = rec.nextPc;
+            }
+            engine_->trainCommit(cb);
+            if (measuring_) {
+                ++st.committedBranches;
+                if (cb.type == BranchType::CondDirect)
+                    ++st.committedCondBranches;
+            }
+        }
+    }
+    lastCommittedSeq_ = rob_.at(n - 1).seqNo;
+    totalCommitted_ += n;
+    if (measuring_)
+        st.committedInsts += n;
+    rob_.pop_front_n(n);
 }
 
 void
@@ -98,15 +209,17 @@ Processor::dispatchStep(SimStats &)
     unsigned n = 0;
     while (!buffer_.empty() && n < cfg_.width && !rob_.full()) {
         const BufEntry &e = buffer_.front();
+        const OracleInst &rec = bufRecs_[buffer_.slotOf(0)];
         ++n;
 
         RobEntry &re = rob_.push_back_slot();
+        robRecs_[rob_.slotOf(rob_.size() - 1)] = rec;
         re.seqNo = e.seqNo;
-        re.rec = e.rec;
-        re.completeAt = now_ + execLatency(e.rec);
+        re.arenaIdx = kNoArenaIdx;
+        re.completeAt = now_ + execLatency(rec);
         re.dispatchedAt = now_;
 
-        if (re.rec.isBranch()) {
+        if (rec.isBranch()) {
             if (diverged_ && !redirectTimeKnown_ &&
                 re.seqNo == faultingSeq_) {
                 redirectAt_ = now_ + cfg_.branchResolveLat;
@@ -116,6 +229,64 @@ Processor::dispatchStep(SimStats &)
         }
         buffer_.pop_front();
     }
+}
+
+/**
+ * Batched dispatch: the admissible run length (width, buffer
+ * occupancy, ROB space) is computed once, the per-entry loop runs
+ * without those checks, and the divergence bookkeeping test is
+ * hoisted — it can only fire while a declared divergence awaits its
+ * faulting branch, which is off the steady-state path.
+ */
+void
+Processor::dispatchStepBatched(SimStats &)
+{
+    if (arena_) {
+        while (dataPrefetched_ < dataPos_ + kDataPrefetchAhead)
+            mem_->prefetchData(
+                arena_->peekDataAddr(dataPrefetched_++));
+    }
+
+    const std::size_t n = std::min<std::size_t>(
+        {static_cast<std::size_t>(cfg_.width), buffer_.size(),
+         static_cast<std::size_t>(cfg_.robSize) - rob_.size()});
+    if (n == 0)
+        return;
+
+    // Once the faulting branch has dispatched (redirectTimeKnown_),
+    // no younger entry can match its seqNo, so the hoisted flag
+    // cannot go stale within the run.
+    const bool await_fault = diverged_ && !redirectTimeKnown_;
+    for (std::size_t i = 0; i < n; ++i) {
+        const BufEntry &e = buffer_.at(i);
+        RobEntry &re = rob_.push_back_slot();
+        re.seqNo = e.seqNo;
+        re.arenaIdx = e.arenaIdx;
+        re.dispatchedAt = now_;
+
+        bool is_branch;
+        if (e.arenaIdx != kNoArenaIdx) {
+            // Arena-indexed entry: latency and the branch test come
+            // from the packed meta byte; the decoded record is never
+            // materialized.
+            const std::uint8_t mb = arena_->meta()[e.arenaIdx];
+            re.completeAt = now_ + execLatencyMeta(mb);
+            is_branch = (mb & 0x38) != 0;
+        } else {
+            const OracleInst &rec = bufRecs_[buffer_.slotOf(i)];
+            robRecs_[rob_.slotOf(rob_.size() - 1)] = rec;
+            re.completeAt = now_ + execLatency(rec);
+            is_branch = rec.isBranch();
+        }
+
+        if (await_fault && !redirectTimeKnown_ && is_branch &&
+            re.seqNo == faultingSeq_) {
+            redirectAt_ = now_ + cfg_.branchResolveLat;
+            redirectTimeKnown_ = true;
+            redirectPending_ = true;
+        }
+    }
+    buffer_.pop_front_n(n);
 }
 
 void
@@ -166,17 +337,42 @@ Processor::fetchStep(SimStats &st)
     if (measuring_ && full_opportunity && !out.empty())
         ++st.fetchCyclesAttempted;
 
-    for (const FetchedInst &fi : out) {
+    if (batchedFetch_ && oracle_.bulkReplayable())
+        verifyBundleBatched(st, full_opportunity);
+    else
+        verifyBundleScalar(st, full_opportunity);
+
+    // Watchdog: an engine that followed a garbage target (bad RAS
+    // value, stale indirect) can run out of the image and go silent
+    // without ever emitting a divergent instruction. Any legitimate
+    // stall (full L2+memory miss) is far shorter than this bound, so
+    // prolonged silence means the last fetched branch went astray.
+    if (!diverged_ && out.empty()) {
+        if (++silentFetchCycles_ > kSilenceBound)
+            declareDivergence(st);
+    } else {
+        silentFetchCycles_ = 0;
+    }
+}
+
+void
+Processor::verifyBundleScalar(SimStats &st, bool full_opportunity)
+{
+    for (const FetchedInst &fi : bundle_) {
         if (!diverged_ && fi.pc == expectedPc_) {
             BufEntry &be = buffer_.push_back_slot();
-            be.pc = fi.pc;
-            be.token = fi.token;
+            OracleInst &rec =
+                bufRecs_[buffer_.slotOf(buffer_.size() - 1)];
             be.seqNo = nextSeq_++;
-            oracle_.nextInto(be.rec);
-            assert(be.rec.pc == fi.pc);
-            expectedPc_ = be.rec.nextPc;
-            if (be.rec.isBranch()) {
-                prev_ = be;
+            be.arenaIdx = kNoArenaIdx;
+            oracle_.nextInto(rec);
+            assert(rec.pc == fi.pc);
+            expectedPc_ = rec.nextPc;
+            if (rec.isBranch()) {
+                prev_.pc = fi.pc;
+                prev_.token = fi.token;
+                prev_.seqNo = be.seqNo;
+                prev_.rec = rec;
                 havePrev_ = true;
                 lastWasBranch_ = true;
             } else {
@@ -196,17 +392,104 @@ Processor::fetchStep(SimStats &st)
         if (measuring_)
             ++st.fetchedWrong;
     }
+}
 
-    // Watchdog: an engine that followed a garbage target (bad RAS
-    // value, stale indirect) can run out of the image and go silent
-    // without ever emitting a divergent instruction. Any legitimate
-    // stall (full L2+memory miss) is far shorter than this bound, so
-    // prolonged silence means the last fetched branch went astray.
-    if (!diverged_ && out.empty()) {
-        if (++silentFetchCycles_ > kSilenceBound)
+/**
+ * Bundle-at-once oracle verify over the arena's SoA spans.
+ *
+ * The scalar loop compares each fetched PC against expectedPc_ and
+ * reads one OracleInst (bounds check included) per instruction. On
+ * the arena the committed path is a flat u32 offset span, so the
+ * whole bundle reduces to one range compare against pcOffsets() —
+ * the matched prefix length *is* the number of correct-path
+ * instructions, and the first mismatch index is the divergence
+ * point. The matched run is then ingested with the bounds check
+ * hoisted (one test per bundle), branch bookkeeping driven by a
+ * movemask over the packed meta bytes rather than a branchy
+ * per-instruction test, and bulk statistics updates.
+ */
+void
+Processor::verifyBundleBatched(SimStats &st, bool full_opportunity)
+{
+    const unsigned n = bundle_.size();
+    if (n == 0)
+        return;
+
+    unsigned m = 0; // correct-path prefix length
+    if (!diverged_) {
+        const OracleArena &ar = *arena_;
+        const Addr base = ar.base();
+        const std::uint64_t pos = oracle_.arenaPos();
+        // pcOffsets() holds size()+1 entries; matching the sentinel
+        // entry at index size() means the committed path ran out
+        // mid-bundle (diagnosed below), so include it in the compare
+        // window — exactly the instructions the scalar loop would
+        // have tried to read.
+        const std::uint64_t entries = ar.size() + 1 - pos;
+        const unsigned lim = static_cast<unsigned>(
+            std::min<std::uint64_t>(n, entries));
+
+        // Fused range compare: each fetched PC against the committed
+        // offset span, widened to the full address — one pass, no
+        // staging buffer, and a wrong-path PC that left the image
+        // simply mismatches (no u32 aliasing to guard against).
+        const std::uint32_t *poffs = ar.pcOffsets() + pos;
+        while (m < lim &&
+               bundle_[m].pc == base + Addr(poffs[m]))
+            ++m;
+        // Matching entry size() is the scalar path's read(size()):
+        // the arena is exhausted, not diverged.
+        if (pos + m > ar.size())
+            ar.throwExhausted(ar.size());
+
+        if (m > 0) {
+            const std::uint32_t *offs = ar.pcOffsets() + pos;
+            const std::uint8_t *meta = ar.meta() + pos;
+            const std::uint64_t seq0 = nextSeq_;
+            // Index-carrying ingest: the entries point back into the
+            // arena's SoA arrays instead of carrying a decoded
+            // OracleInst — dispatch and commit read the packed spans
+            // directly, so the per-instruction decode and the double
+            // record copy (bundle -> buffer -> ROB) vanish from the
+            // replay path.
+            for (unsigned i = 0; i < m; ++i) {
+                BufEntry &be = buffer_.push_back_slot();
+                be.seqNo = seq0 + i;
+                be.arenaIdx = pos + i;
+            }
+            nextSeq_ += m;
+            oracle_.bulkAdvance(m);
+            expectedPc_ = base + offs[m];
+
+            // Branch positions of the whole run in one meta scan:
+            // only the last branch matters for the divergence
+            // checkpoint (the scalar loop overwrote prev_ at each),
+            // so only that one record is materialized.
+            const std::uint32_t bmask =
+                simd::maskTestU8(meta, m, 0x38);
+            if (bmask) {
+                const unsigned j = simd::topBit(bmask);
+                prev_.pc = base + offs[j];
+                prev_.token = bundle_[j].token;
+                prev_.seqNo = seq0 + j;
+                ar.readUnchecked(pos + j, prev_.rec);
+                havePrev_ = true;
+            }
+            lastWasBranch_ = ((bmask >> (m - 1)) & 1u) != 0;
+
+            if (measuring_) {
+                st.fetchedCorrect += m;
+                if (full_opportunity)
+                    st.fetchOppInsts += m;
+            }
+        }
+    }
+
+    if (m < n) {
+        if (!diverged_)
             declareDivergence(st);
-    } else {
-        silentFetchCycles_ = 0;
+        if (measuring_)
+            st.fetchedWrong += n - m;
     }
 }
 
@@ -267,11 +550,21 @@ Processor::run(InstCount insts, InstCount warmup_insts)
     SimStats st;
 
     auto loop = [&](InstCount until_total) {
+        // Exact-boundary stop: cap the final commit cycle at the
+        // remaining count. The capped cycle still executes in full;
+        // trimmed instructions simply commit in the next phase (or
+        // not at all, for the final one).
+        stopAt_ = cfg_.exactInstStop ? until_total : ~InstCount(0);
         Cycle last_progress = now_;
         InstCount last = totalCommitted_;
         while (totalCommitted_ < until_total) {
-            commitStep(st);
-            dispatchStep(st);
+            if (batched_) {
+                commitStepBatched(st);
+                dispatchStepBatched(st);
+            } else {
+                commitStep(st);
+                dispatchStep(st);
+            }
             redirectStep();
             fetchStep(st);
             ++now_;

@@ -50,6 +50,28 @@ struct ProcessorConfig
 
     /** Abort threshold: cycles without commit progress. */
     Cycle deadlockCycles = 200000;
+
+    /**
+     * Batched replay core: process fetch/dispatch/commit in runs
+     * over contiguous memory instead of one instruction per loop
+     * iteration. Bit-identical to the scalar paths by construction
+     * (enforced by the differential sweep in test_workload_diff.cc);
+     * off switches every batch stage back to the scalar reference.
+     */
+    bool batchedReplay = true;
+
+    /**
+     * Stop each run() phase at an exact committed-instruction
+     * boundary by capping the final commit cycle at the remaining
+     * count, instead of letting it overshoot by up to width-1.
+     * committedInsts becomes exactly the budget; because the trimmed
+     * overshoot commits (and trains predictors) a cycle later, the
+     * run is a slightly different — equally valid — simulation, so
+     * the default stays off: goldens pin the historical overshooting
+     * counts. The throughput harness turns it on so committed_insts
+     * — and thus Minsts/s — are exactly comparable across rows.
+     */
+    bool exactInstStop = false;
 };
 
 /** Results of a simulation run. */
@@ -177,14 +199,31 @@ class Processor
     Cycle now() const { return now_; }
 
   private:
+    /**
+     * Sentinel arenaIdx: the entry's committed-path record lives in
+     * the ring's parallel rec side array (live/trace oracle, or the
+     * scalar reference verify). Any other value indexes the arena's
+     * SoA arrays and no record is materialized at all — the batched
+     * pipeline reads the packed meta/offset spans directly instead
+     * of copying a decoded OracleInst through the fetch buffer and
+     * the ROB.
+     */
+    static constexpr std::uint64_t kNoArenaIdx = ~std::uint64_t(0);
+
+    /**
+     * Fetch-buffer entry, 16 bytes. The decoded record for
+     * non-arena entries lives out-of-line in bufRecs_ (indexed by
+     * the ring's raw slot), so the arena replay path streams through
+     * dense 16-byte slots and never touches the cold 32-byte
+     * records.
+     */
     struct BufEntry
     {
-        Addr pc;
-        std::uint64_t token;
         std::uint64_t seqNo;
-        OracleInst rec; //!< committed-path record for this inst
+        std::uint64_t arenaIdx; //!< kNoArenaIdx => rec side array
     };
 
+    /** ROB entry, 32 bytes; records out-of-line in robRecs_. */
     struct RobEntry
     {
         Cycle completeAt;
@@ -194,6 +233,18 @@ class Processor
          * holds consecutive seqNos, making the entry O(1) to find).
          */
         Cycle dispatchedAt;
+        std::uint64_t seqNo;
+        std::uint64_t arenaIdx; //!< kNoArenaIdx => rec side array
+    };
+
+    /**
+     * Checkpoint of the newest correct-path branch fetched, for
+     * divergence attribution (see declareDivergence).
+     */
+    struct PrevBranch
+    {
+        Addr pc;
+        std::uint64_t token;
         std::uint64_t seqNo;
         OracleInst rec;
     };
@@ -212,11 +263,28 @@ class Processor
     }
 
     void commitStep(SimStats &st);
+    void commitStepBatched(SimStats &st);
     void dispatchStep(SimStats &st);
+    void dispatchStepBatched(SimStats &st);
     void redirectStep();
     void fetchStep(SimStats &st);
+    /** Bundle-at-once oracle verify + ingest over the arena spans. */
+    void verifyBundleBatched(SimStats &st, bool full_opportunity);
+    /** Per-instruction verify + ingest (the scalar reference). */
+    void verifyBundleScalar(SimStats &st, bool full_opportunity);
     void declareDivergence(SimStats &st);
     Cycle execLatency(const OracleInst &rec);
+    /** execLatency on a packed arena meta byte (class in bits 0-2). */
+    Cycle execLatencyMeta(std::uint8_t mb);
+
+    /**
+     * Fixed execute latency per InstClass, filled from the config at
+     * construction. Loads are the one class whose latency is not
+     * fixed (d-cache access); stores are fixed but still walk the
+     * oracle's data-address cursor. Both are special-cased before
+     * the table lookup.
+     */
+    Cycle latByCls_[8] = {};
 
     /** Silent-fetch watchdog bound (>> worst-case memory latency). */
     static constexpr Cycle kSilenceBound = 512;
@@ -240,6 +308,14 @@ class Processor
     /** Fetch buffer and ROB: capacities fixed by ProcessorConfig. */
     FixedRing<BufEntry> buffer_;
     FixedRing<RobEntry> rob_;
+    /**
+     * Out-of-line decoded records for non-arena ring entries,
+     * parallel to buffer_/rob_ (indexed by FixedRing::slotOf).
+     * Written only on the live/trace paths; the arena replay never
+     * touches them.
+     */
+    std::unique_ptr<OracleInst[]> bufRecs_;
+    std::unique_ptr<OracleInst[]> robRecs_;
     /** Reused every cycle; never reallocates. */
     FetchBundle bundle_;
 
@@ -260,13 +336,20 @@ class Processor
      */
     bool havePrev_ = false;
     bool lastWasBranch_ = false;
-    BufEntry prev_;
+    PrevBranch prev_;
 
     std::uint64_t lastCommittedSeq_ = 0;
     InstCount totalCommitted_ = 0;
     Cycle silentFetchCycles_ = 0;
 
     bool measuring_ = false;
+
+    /** Batch stages enabled (ProcessorConfig::batchedReplay). */
+    bool batched_ = true;
+    /** Bundle-at-once oracle verify: batched_ and arena-backed. */
+    bool batchedFetch_ = false;
+    /** Commit cap for exactInstStop; no bound when disabled. */
+    InstCount stopAt_ = ~InstCount(0);
 };
 
 } // namespace sfetch

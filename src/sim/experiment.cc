@@ -153,7 +153,8 @@ makeEngine(const RunConfig &cfg, const CodeImage &image,
 
 SimStats
 runOn(const PlacedWorkload &work, const SimConfig &cfg,
-      const RecordedTrace *replay, const OracleArena *arena)
+      const RecordedTrace *replay, const OracleArena *arena,
+      const RunTuning &tuning)
 {
     if (replay && replay->bench != work.name())
         throw std::invalid_argument(
@@ -182,6 +183,8 @@ runOn(const PlacedWorkload &work, const SimConfig &cfg,
 
     ProcessorConfig pc;
     pc.width = cfg.width;
+    pc.batchedReplay = tuning.batchedReplay;
+    pc.exactInstStop = tuning.exactInstStop;
 
     // The replayed trace supplies the control path; its seed keeps
     // the (independent) data-address stream aligned with capture.

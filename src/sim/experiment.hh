@@ -178,6 +178,31 @@ std::unique_ptr<FetchEngine> makeEngine(const RunConfig &cfg,
                                         MemoryHierarchy *mem);
 
 /**
+ * Execution knobs for runOn() that are not part of the modelled
+ * machine configuration.
+ */
+struct RunTuning
+{
+    /**
+     * Run the batched replay core (bulk oracle verify, run-drained
+     * commit/dispatch, SIMD meta scans). Off = the scalar reference
+     * loop. Pure host-side choice: SimStats are bit-identical either
+     * way (proven by the golden and differential suites).
+     */
+    bool batchedReplay = true;
+    /**
+     * Stop committing exactly at the instruction budget instead of
+     * letting the final cycle's full commit overshoot by up to
+     * width-1 instructions. committedInsts becomes exact, making
+     * Minsts/s denominators comparable across rows; the trimmed
+     * instructions commit a cycle later, so this is a (deterministic,
+     * equally valid) variant run, not a bit-identical one. Default
+     * off: the golden stats pin the overshooting counts.
+     */
+    bool exactInstStop = false;
+};
+
+/**
  * Run one experiment on a prepared workload. When @p replay is
  * non-null the committed path comes from the recorded trace instead
  * of live generation (the trace's bench spec must match the
@@ -195,7 +220,8 @@ std::unique_ptr<FetchEngine> makeEngine(const RunConfig &cfg,
  */
 SimStats runOn(const PlacedWorkload &work, const SimConfig &cfg,
                const RecordedTrace *replay = nullptr,
-               const OracleArena *arena = nullptr);
+               const OracleArena *arena = nullptr,
+               const RunTuning &tuning = RunTuning{});
 SimStats runOn(const PlacedWorkload &work, const RunConfig &cfg);
 
 /**

@@ -12,22 +12,22 @@ NextTracePredictor::NextTracePredictor(const NtpConfig &cfg)
     assert(cfg_.secondEntries % cfg_.secondAssoc == 0);
     first_.numSets = cfg_.firstEntries / cfg_.firstAssoc;
     first_.assoc = cfg_.firstAssoc;
-    first_.ways.resize(cfg_.firstEntries);
+    first_.resize(cfg_.firstEntries);
     second_.numSets = cfg_.secondEntries / cfg_.secondAssoc;
     while ((1ULL << secondIndexBits_) < second_.numSets)
         ++secondIndexBits_;
     second_.assoc = cfg_.secondAssoc;
-    second_.ways.resize(cfg_.secondEntries);
+    second_.resize(cfg_.secondEntries);
 }
 
 NextTracePredictor::Entry *
 NextTracePredictor::Table::find(std::size_t set, std::uint64_t tag,
                                 std::uint64_t tick)
 {
-    Entry *base = &ways[set * assoc];
+    const std::size_t base = set * assoc;
     for (unsigned w = 0; w < assoc; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.tag == tag) {
+        if (valid[base + w] && tags[base + w] == tag) {
+            Entry &e = ways[base + w];
             e.lastUse = tick;
             return &e;
         }
@@ -59,28 +59,30 @@ NextTracePredictor::Table::install(std::size_t set, std::uint64_t tag,
                                    const TraceDescriptor &t,
                                    std::uint64_t tick)
 {
-    Entry *base = &ways[set * assoc];
-    Entry *victim = nullptr;
+    const std::size_t base = set * assoc;
+    std::size_t vi = std::size_t(-1);
     for (unsigned w = 0; w < assoc; ++w) {
-        Entry &e = base[w];
-        if (!e.valid) {
-            victim = &e;
+        if (!valid[base + w]) {
+            vi = base + w;
             break;
         }
-        if (!victim || e.counter.value() < victim->counter.value() ||
-            (e.counter.value() == victim->counter.value() &&
-             e.lastUse < victim->lastUse)) {
-            victim = &e;
+        Entry &e = ways[base + w];
+        if (vi == std::size_t(-1) ||
+            e.counter.value() < ways[vi].counter.value() ||
+            (e.counter.value() == ways[vi].counter.value() &&
+             e.lastUse < ways[vi].lastUse)) {
+            vi = base + w;
         }
     }
 
-    if (victim->valid && victim->counter.value() > 0) {
+    Entry *victim = &ways[vi];
+    if (valid[vi] && victim->counter.value() > 0) {
         victim->counter.decrement();
         return false;
     }
 
-    victim->valid = true;
-    victim->tag = tag;
+    valid[vi] = 1;
+    tags[vi] = tag;
     victim->dirBits = t.dirBits;
     victim->numCond = t.numCond;
     victim->totalInsts = t.totalInsts;
@@ -124,9 +126,14 @@ NextTracePredictor::predict(Addr start)
     ++lookups_;
     ++tick_;
 
-    Entry *e2 = second_.find(secondSet(start, specPath_),
-                             secondTag(start, specPath_), tick_);
-    Entry *e1 = first_.find(firstSet(start), firstTag(start), tick_);
+    // Prefetch both probe points so the two associative scans
+    // overlap their host memory latencies.
+    const std::size_t set1 = firstSet(start);
+    const std::size_t set2 = secondSet(start, specPath_);
+    first_.prefetchSet(set1);
+    second_.prefetchSet(set2);
+    Entry *e2 = second_.find(set2, secondTag(start, specPath_), tick_);
+    Entry *e1 = first_.find(set1, firstTag(start), tick_);
 
     TracePrediction p;
     Entry *use = e2 ? e2 : e1;
@@ -155,6 +162,8 @@ NextTracePredictor::commitTrace(const TraceDescriptor &t,
     const std::uint64_t tag1 = firstTag(t.start);
     const std::size_t set2 = secondSet(t.start, commitPath_);
     const std::uint64_t tag2 = secondTag(t.start, commitPath_);
+    first_.prefetchSet(set1);
+    second_.prefetchSet(set2);
 
     Entry *e1 = first_.find(set1, tag1, tick_);
     Entry *e2 = second_.find(set2, tag2, tick_);

@@ -69,7 +69,6 @@ class NextTracePredictor
   private:
     struct Entry
     {
-        std::uint64_t tag = 0;
         std::uint32_t dirBits = 0;
         std::uint8_t numCond = 0;
         std::uint32_t totalInsts = 0;
@@ -77,7 +76,6 @@ class NextTracePredictor
         Addr next = kNoAddr;
         SatCounter counter{2, 0};
         std::uint64_t lastUse = 0;
-        bool valid = false;
 
         bool
         sameData(const TraceDescriptor &t) const
@@ -88,11 +86,41 @@ class NextTracePredictor
         }
     };
 
+    /**
+     * Set-associative table with the tag/valid bits split from the
+     * entry payload: the associative probe walks two dense side
+     * arrays and touches an Entry only on a hit.
+     */
     struct Table
     {
+        std::vector<std::uint64_t> tags;
+        std::vector<std::uint8_t> valid;
         std::vector<Entry> ways;
         std::size_t numSets = 0;
         unsigned assoc = 0;
+
+        void
+        resize(std::size_t entries)
+        {
+            tags.assign(entries, 0);
+            valid.assign(entries, 0);
+            ways.assign(entries, Entry{});
+        }
+
+        /**
+         * Host-side prefetch of a set's probe state, so a caller
+         * that knows it will find() two tables can overlap their
+         * memory latencies. No modelled state is touched.
+         */
+        void
+        prefetchSet(std::size_t set) const
+        {
+#if defined(__GNUC__) || defined(__clang__)
+            const std::size_t base = set * assoc;
+            __builtin_prefetch(&tags[base], 0, 1);
+            __builtin_prefetch(&valid[base], 0, 1);
+#endif
+        }
 
         Entry *find(std::size_t set, std::uint64_t tag,
                     std::uint64_t tick);

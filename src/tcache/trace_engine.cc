@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sim/engine_registry.hh"
+#include "util/simd.hh"
 
 namespace sfetch
 {
@@ -64,6 +65,7 @@ TraceFetchEngine::tryTracePath()
             emitQueue_.clear();
             emitPos_ = 0;
             emitToken_ = token;
+            emitBranchMask_ = 0;
 
             unsigned cond_idx = 0;
             Addr next = kNoAddr;
@@ -74,6 +76,9 @@ TraceFetchEngine::tryTracePath()
                     Addr pc = seg.start + instsToBytes(i);
                     emitQueue_.push_back(pc);
                     const StaticInst &si = image_->inst(pc);
+                    if (si.isBranch())
+                        emitBranchMask_ |= std::uint64_t(1)
+                            << (emitQueue_.size() - 1);
                     if (si.btype == BranchType::Call)
                         ras_.push(pc + kInstBytes);
                     if (si.btype != BranchType::CondDirect)
@@ -131,14 +136,38 @@ TraceFetchEngine::tryTracePath()
     }
     ++traceHits_;
 
-    // Latch the trace for emission.
+    // Latch the trace for emission: a single pass over the image's
+    // packed branch types builds the queue, the emit-token mask, the
+    // speculative direction history, and the in-trace call list
+    // (instead of one queue-building walk plus two StaticInst
+    // re-walks, with a further per-inst lookup at emission).
     emitQueue_.clear();
     emitPos_ = 0;
     emitToken_ = token;
+    std::uint64_t bmask = 0;
+    std::uint64_t call_mask = 0;
+    unsigned cond_idx = 0;
+    unsigned qi = 0;
     for (const TraceSegment &seg : trace->segments) {
-        for (std::uint32_t i = 0; i < seg.lenInsts; ++i)
+        const std::uint8_t *bt = image_->btypes() +
+            (seg.start - image_->baseAddr()) / kInstBytes;
+        for (std::uint32_t i = 0; i < seg.lenInsts; ++i, ++qi) {
             emitQueue_.push_back(seg.start + instsToBytes(i));
+            const auto b = static_cast<BranchType>(bt[i]);
+            if (b == BranchType::None)
+                continue;
+            bmask |= std::uint64_t(1) << qi;
+            if (b == BranchType::CondDirect) {
+                // Speculative direction history for the embedded
+                // conditionals.
+                specHist_.push((trace->dirBits >> cond_idx) & 1);
+                ++cond_idx;
+            } else if (b == BranchType::Call) {
+                call_mask |= std::uint64_t(1) << qi;
+            }
+        }
     }
+    emitBranchMask_ = bmask;
 
     // Successor: predictor-provided, with RAS override for returns.
     Addr next = pred.next;
@@ -152,20 +181,13 @@ TraceFetchEngine::tryTracePath()
     if (next == kNoAddr || !image_->contains(next))
         next = seq_after;
 
-    // Speculative RAS maintenance for calls inside the trace.
-    for (Addr pc : emitQueue_) {
-        const StaticInst &si = image_->inst(pc);
-        if (si.btype == BranchType::Call)
-            ras_.push(pc + kInstBytes);
-    }
-    // Speculative direction history for embedded conditionals.
-    unsigned cond_idx = 0;
-    for (Addr pc : emitQueue_) {
-        const StaticInst &si = image_->inst(pc);
-        if (si.btype == BranchType::CondDirect) {
-            specHist_.push((trace->dirBits >> cond_idx) & 1);
-            ++cond_idx;
-        }
+    // Speculative RAS maintenance for calls inside the trace — after
+    // the end-of-trace return pop, matching the modelled order the
+    // golden stats pin.
+    while (call_mask) {
+        const unsigned j = simd::bottomBit(call_mask);
+        ras_.push(emitQueue_[j] + kInstBytes);
+        call_mask &= call_mask - 1;
     }
 
     ntp_.specPush(trace->id());
@@ -264,17 +286,23 @@ void
 TraceFetchEngine::emitTrace(unsigned max_insts,
                             FetchBundle &out)
 {
-    unsigned n = 0;
-    while (emitPos_ < emitQueue_.size() && n < max_insts) {
-        Addr pc = emitQueue_[emitPos_++];
+    // Branch positions were latched into emitBranchMask_ alongside
+    // the queue, so emission is a straight copy: pc from the queue,
+    // token from the mask, no image lookups.
+    const unsigned left =
+        static_cast<unsigned>(emitQueue_.size()) - emitPos_;
+    const unsigned n = std::min(max_insts, left);
+    const Addr *pcs = emitQueue_.data() + emitPos_;
+    const std::uint64_t bm = emitBranchMask_ >> emitPos_;
+    for (unsigned i = 0; i < n; ++i) {
         FetchedInst fi;
-        fi.pc = pc;
-        if (image_->contains(pc) && image_->inst(pc).isBranch())
+        fi.pc = pcs[i];
+        if ((bm >> i) & 1u)
             fi.token = emitToken_;
         out.push_back(fi);
-        ++instsFromTrace_;
-        ++n;
     }
+    emitPos_ += n;
+    instsFromTrace_ += n;
     if (emitPos_ >= emitQueue_.size()) {
         emitQueue_.clear();
         emitPos_ = 0;

@@ -127,6 +127,13 @@ class TraceFetchEngine : public FetchEngine
     InlineVec<Addr, kMaxEmitInsts> emitQueue_;
     unsigned emitPos_ = 0;
     std::uint64_t emitToken_ = 0;
+    /**
+     * Bit i set => emitQueue_[i] is a branch (gets emitToken_).
+     * Computed when the trace is latched so emission itself does no
+     * image lookups; kMaxEmitInsts <= 64 keeps it one word (checked
+     * in the constructor).
+     */
+    std::uint64_t emitBranchMask_ = 0;
 
     /** In-progress predicted-trace walk (trace cache miss). */
     struct PredWalk

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The repo's allocation-budget gates, shared between the unit test
+ * (tests/test_perf_alloc.cc) and the Release CI throughput gate
+ * (bench/perf_throughput.cpp embeds them in its JSON so the CI
+ * checker reads the same numbers the binaries enforced). One header
+ * keeps the test and the gate from silently drifting apart.
+ */
+
+#ifndef SFETCH_UTIL_ALLOC_GATES_HH
+#define SFETCH_UTIL_ALLOC_GATES_HH
+
+#include <cstdint>
+
+namespace sfetch
+{
+
+/**
+ * Steady-state slack for the alloc test's short-vs-long continuation
+ * comparison: the long run may allocate at most this many more times
+ * than the short run. Covers one-off capacity growth in stats
+ * assembly (both runs pay the same end-of-run cost); a hot loop that
+ * allocated per cycle would exceed it by orders of magnitude.
+ */
+constexpr std::uint64_t kSteadyStateAllocSlack = 128;
+
+/**
+ * CI gate on the throughput bench: allocations per simulated cycle
+ * in the measured region must stay below this. The zero-alloc loop
+ * measures ~1e-5 (end-of-run stats amortized over millions of
+ * cycles); the seed revision was ~3.6.
+ */
+constexpr double kAllocsPerCycleGate = 0.01;
+
+} // namespace sfetch
+
+#endif // SFETCH_UTIL_ALLOC_GATES_HH

@@ -80,19 +80,37 @@ class DolcHistory
         // The path contribution (everything but `current`) only
         // changes on push/clear/restore, while index() runs on every
         // prediction: memoize it instead of re-walking the ring.
+        //
+        // The recompute itself is the predictors' hottest kernel (it
+        // runs once per push), so it is written division-free: the
+        // ring walk steps the position directly instead of deriving
+        // it with at()'s modulo, and the shift schedule wraps with a
+        // conditional subtract (the per-element increment is smaller
+        // than index_bits for every sane DOLC spec, so the loop body
+        // runs at most once per step). The accumulated values are
+        // exactly those of the former `% index_bits` schedule.
         if (!pathCacheValid_ || cachedBits_ != index_bits) {
+            const std::size_t cap = ring_.size();
+            const std::uint64_t older_mask = maskOf(spec_.olderBits);
             std::uint64_t h = 0;
             unsigned shift = 0;
-            // Older elements (all but the newest).
+            // pos steps backward from at(1) (second newest) through
+            // the older elements to the oldest.
+            std::size_t pos = head_; // one past at(0); pre-decremented
+            pos = pos ? pos - 1 : cap - 1;
             for (unsigned i = 1; i < filled_; ++i) {
-                Addr id = at(i);
-                h ^= extract(id, spec_.olderBits) << shift;
-                shift = (shift + spec_.olderBits) % index_bits;
+                pos = pos ? pos - 1 : cap - 1;
+                h ^= ((ring_[pos] / kInstBytes) & older_mask) << shift;
+                shift += spec_.olderBits;
+                while (shift >= index_bits)
+                    shift -= index_bits;
             }
             // Newest element.
             if (filled_ >= 1) {
-                h ^= extract(at(0), spec_.lastBits) << shift;
-                shift = (shift + spec_.lastBits) % index_bits;
+                h ^= extract(newest(), spec_.lastBits) << shift;
+                shift += spec_.lastBits;
+                while (shift >= index_bits)
+                    shift -= index_bits;
             }
             cachedPath_ = h;
             cachedPathShift_ = shift;
@@ -122,9 +140,16 @@ class DolcHistory
     signature(Addr current) const
     {
         if (!sigCacheValid_) {
+            // Same direct backward walk as index(): newest first,
+            // stepping the ring position instead of re-deriving it
+            // with a modulo per element.
+            const std::size_t cap = ring_.size();
+            std::size_t pos = head_;
             std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-            for (unsigned i = 0; i < filled_; ++i)
-                h = (h ^ at(i)) * 0x100000001b3ULL;
+            for (unsigned i = 0; i < filled_; ++i) {
+                pos = pos ? pos - 1 : cap - 1;
+                h = (h ^ ring_[pos]) * 0x100000001b3ULL;
+            }
             cachedSig_ = h;
             sigCacheValid_ = true;
         }
@@ -168,23 +193,41 @@ class DolcHistory
     std::size_t size() const { return filled_; }
 
   private:
-    /** i-th most recent element; at(0) is the newest. */
+    /**
+     * i-th most recent element; at(0) is the newest. head_ points
+     * one past the newest and both operands are < ring_.size(), so a
+     * single conditional subtract replaces the former modulo.
+     */
     Addr
     at(unsigned i) const
     {
-        std::size_t pos =
-            (head_ + ring_.size() - 1 - i) % ring_.size();
+        std::size_t pos = head_ + ring_.size() - 1 - i;
+        if (pos >= ring_.size())
+            pos -= ring_.size();
         return ring_[pos];
+    }
+
+    /** The newest recorded element (at(0) without the general form). */
+    Addr
+    newest() const
+    {
+        return ring_[head_ ? head_ - 1 : ring_.size() - 1];
+    }
+
+    /** Low-order bit mask of width @p bits (saturating at 64). */
+    static std::uint64_t
+    maskOf(unsigned bits)
+    {
+        if (bits == 0)
+            return 0;
+        return (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
     }
 
     /** Take @p bits low-order bits of the word-aligned identifier. */
     static std::uint64_t
     extract(Addr id, unsigned bits)
     {
-        if (bits == 0)
-            return 0;
-        std::uint64_t mask = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
-        return (id / kInstBytes) & mask;
+        return (id / kInstBytes) & maskOf(bits);
     }
 
     void

@@ -100,6 +100,19 @@ class FixedRing
         --size_;
     }
 
+    /**
+     * Drop the @p n front elements at once: the batched commit and
+     * dispatch drains retire whole runs with two index updates
+     * instead of one pop per element.
+     */
+    void
+    pop_front_n(std::size_t n)
+    {
+        assert(n <= size_);
+        head_ = (head_ + n) & mask_;
+        size_ -= n;
+    }
+
     T &
     front()
     {
@@ -144,6 +157,17 @@ class FixedRing
     }
 
     void clear() { head_ = size_ = 0; }
+
+    /**
+     * Raw storage slot of element @p i (front-relative), for keeping
+     * a parallel side array in step with the ring — cold per-element
+     * payloads can live out-of-line so the hot slots stay dense.
+     */
+    std::size_t slotOf(std::size_t i) const { return (head_ + i) & mask_; }
+
+    /** Number of raw storage slots (capacity rounded up to a power
+     * of two) — the size a parallel side array must have. */
+    std::size_t slotCapacity() const { return slots_ ? mask_ + 1 : 0; }
 
   private:
     std::unique_ptr<T[]> slots_;

@@ -87,6 +87,9 @@ class InlineVec
         return data_[n_ - 1];
     }
 
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
     T *begin() { return data_; }
     T *end() { return data_ + n_; }
     const T *begin() const { return data_; }

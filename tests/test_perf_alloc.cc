@@ -20,6 +20,7 @@
 #include "sim/config.hh"
 #include "sim/experiment.hh"
 #include "sim/workload_cache.hh"
+#include "util/alloc_gates.hh"
 #include "util/alloc_hook.hh"
 
 namespace sfetch
@@ -62,7 +63,7 @@ expectSteadyStateAllocFree(const char *arch,
     std::uint64_t a_short = allocsDuring(proc, 20000);
     std::uint64_t a_long = allocsDuring(proc, 65000);
 
-    EXPECT_LE(a_long, a_short + 128)
+    EXPECT_LE(a_long, a_short + kSteadyStateAllocSlack)
         << arch << (arena ? " (arena replay)" : "")
         << ": allocation count grows with instruction count "
         << "(short run " << a_short << ", long run " << a_long

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Differential suite for util/simd.hh: every dispatch-selected
+ * primitive must agree bit for bit with its simd::scalar reference
+ * on exhaustive small inputs (where every lane/tail combination is
+ * covered) and on randomized larger spans. The batched replay core
+ * is only bit-identical if these primitives are, so this suite is
+ * the foundation the pipeline-level diff tests rest on.
+ *
+ * On an SSE2/AVX2 host the two namespaces run genuinely different
+ * code; on other targets the dispatch aliases the scalar loops and
+ * the suite degenerates to a self-check (still worth running: it
+ * pins the scalar semantics the batched core depends on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/simd.hh"
+
+namespace sfetch
+{
+namespace
+{
+
+// Deterministic streams: the suite must fail reproducibly.
+constexpr std::uint64_t kSeed = 0x5feu;
+
+TEST(SimdMatchLenU32, ExhaustiveSmallSpans)
+{
+    // For every length up to two full AVX2 vectors plus tail and
+    // every divergence position (including "no divergence"), the
+    // common-prefix length must match the scalar reference.
+    std::vector<std::uint32_t> a(24), b(24);
+    for (unsigned n = 0; n <= 20; ++n) {
+        for (unsigned div = 0; div <= n; ++div) {
+            for (unsigned i = 0; i < n; ++i) {
+                a[i] = 0x1000 + i * 4;
+                b[i] = (i < div) ? a[i] : a[i] ^ 0x80000000u;
+            }
+            unsigned want =
+                simd::scalar::matchLenU32(a.data(), b.data(), n);
+            ASSERT_EQ(want, div);
+            EXPECT_EQ(simd::matchLenU32(a.data(), b.data(), n), want)
+                << "n=" << n << " div=" << div;
+        }
+    }
+}
+
+TEST(SimdMatchLenU32, RandomizedSpans)
+{
+    std::mt19937_64 rng(kSeed);
+    for (int trial = 0; trial < 500; ++trial) {
+        unsigned n = unsigned(rng() % 64);
+        std::vector<std::uint32_t> a(n), b(n);
+        for (unsigned i = 0; i < n; ++i) {
+            a[i] = std::uint32_t(rng());
+            // Mostly-equal spans exercise deep prefixes; rare flips
+            // land divergences at arbitrary lane positions.
+            b[i] = (rng() % 8) ? a[i] : a[i] + 1 + (rng() & 3);
+        }
+        EXPECT_EQ(simd::matchLenU32(a.data(), b.data(), n),
+                  simd::scalar::matchLenU32(a.data(), b.data(), n))
+            << "trial " << trial;
+    }
+}
+
+TEST(SimdMaskU8, ExhaustiveSmallSpans)
+{
+    // All lengths through one 16-lane vector plus tail, with every
+    // byte taking each of the meta encodings the pipeline packs
+    // (class bits, branch-type bits, taken bit).
+    std::mt19937_64 rng(kSeed);
+    const std::uint8_t bits_cases[] = {0x38, 0x06, 0x40, 0x01, 0xff};
+    for (unsigned n = 0; n <= 18; ++n) {
+        std::vector<std::uint8_t> p(n ? n : 1);
+        for (int fill = 0; fill < 8; ++fill) {
+            for (unsigned i = 0; i < n; ++i)
+                p[i] = std::uint8_t(rng());
+            for (std::uint8_t bits : bits_cases) {
+                EXPECT_EQ(simd::maskTestU8(p.data(), n, bits),
+                          simd::scalar::maskTestU8(p.data(), n, bits))
+                    << "n=" << n << " bits=" << int(bits);
+            }
+            // Selector/equality form over the class field.
+            EXPECT_EQ(simd::maskEqU8(p.data(), n, 0x07, 0x02),
+                      simd::scalar::maskEqU8(p.data(), n, 0x07, 0x02))
+                << "n=" << n;
+            EXPECT_EQ(simd::maskEqU8(p.data(), n, 0x38, 0x00),
+                      simd::scalar::maskEqU8(p.data(), n, 0x38, 0x00))
+                << "n=" << n;
+        }
+    }
+}
+
+TEST(SimdMaskU8, SingleLanePrecision)
+{
+    // Bit i of the mask must correspond to byte i exactly: set one
+    // qualifying byte at each position of a 32-byte span in turn.
+    std::uint8_t p[32];
+    for (unsigned pos = 0; pos < 32; ++pos) {
+        for (unsigned i = 0; i < 32; ++i)
+            p[i] = (i == pos) ? 0x10 : 0x00;
+        std::uint32_t want = 1u << pos;
+        EXPECT_EQ(simd::maskTestU8(p, 32, 0x38), want);
+        EXPECT_EQ(simd::scalar::maskTestU8(p, 32, 0x38), want);
+        EXPECT_EQ(simd::topBit(want), pos);
+    }
+}
+
+TEST(SimdFindU64, ExhaustiveSmallSpans)
+{
+    std::vector<std::uint64_t> p(12);
+    for (unsigned n = 0; n <= 10; ++n) {
+        for (unsigned hit = 0; hit <= n; ++hit) { // n = not found
+            for (unsigned i = 0; i < n; ++i)
+                p[i] = 0x1000'0000ull + i;
+            const std::uint64_t needle = 0xdeadbeefull;
+            if (hit < n)
+                p[hit] = needle;
+            std::size_t want =
+                simd::scalar::findU64(p.data(), n, needle);
+            ASSERT_EQ(want, hit);
+            EXPECT_EQ(simd::findU64(p.data(), n, needle), want)
+                << "n=" << n << " hit=" << hit;
+        }
+    }
+}
+
+TEST(SimdFindEitherU64, FirstOfEitherWins)
+{
+    // The cache scan depends on *first* match semantics across both
+    // needles: place tag and sentinel at every ordered pair of
+    // positions.
+    std::uint64_t p[8];
+    const std::uint64_t tag = 0x1234'5678'9abcull;
+    const std::uint64_t inv = ~0ull;
+    for (unsigned n = 1; n <= 8; ++n) {
+        for (unsigned i = 0; i <= n; ++i) {
+            for (unsigned j = 0; j <= n; ++j) {
+                for (unsigned k = 0; k < n; ++k)
+                    p[k] = 0x777ull + k;
+                if (i < n)
+                    p[i] = tag;
+                if (j < n)
+                    p[j] = inv;
+                std::size_t want =
+                    simd::scalar::findEitherU64(p, n, tag, inv);
+                EXPECT_EQ(simd::findEitherU64(p, n, tag, inv), want)
+                    << "n=" << n << " i=" << i << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST(SimdFindEitherU64, RandomizedSpans)
+{
+    std::mt19937_64 rng(kSeed);
+    for (int trial = 0; trial < 500; ++trial) {
+        unsigned n = 1 + unsigned(rng() % 16);
+        std::vector<std::uint64_t> p(n);
+        for (auto &v : p)
+            v = rng() % 8; // small domain forces frequent matches
+        std::uint64_t a = rng() % 8, b = rng() % 8;
+        EXPECT_EQ(simd::findEitherU64(p.data(), n, a, b),
+                  simd::scalar::findEitherU64(p.data(), n, a, b))
+            << "trial " << trial;
+    }
+}
+
+TEST(SimdDotSelect16, ExhaustivePerceptronWidths)
+{
+    // The perceptron uses n = 40 (global) and n = 14 (local); cover
+    // every width through 48 with saturating-range weights and all-
+    // ones / all-zeros / alternating history patterns.
+    std::mt19937_64 rng(kSeed);
+    const std::uint64_t hist_cases[] = {
+        0ull, ~0ull, 0xAAAA'AAAA'AAAA'AAAAull,
+        0x5555'5555'5555'5555ull,
+    };
+    std::vector<std::int16_t> w(48);
+    for (unsigned n = 0; n <= 48; ++n) {
+        for (int fill = 0; fill < 4; ++fill) {
+            for (auto &x : w)
+                x = std::int16_t(int(rng() % 257) - 128);
+            for (std::uint64_t h : hist_cases) {
+                EXPECT_EQ(simd::dotSelect16(w.data(), h, n),
+                          simd::scalar::dotSelect16(w.data(), h, n))
+                    << "n=" << n;
+            }
+            std::uint64_t h = rng();
+            EXPECT_EQ(simd::dotSelect16(w.data(), h, n),
+                      simd::scalar::dotSelect16(w.data(), h, n))
+                << "n=" << n << " random hist";
+        }
+    }
+}
+
+TEST(SimdDotSelect16, ExtremeWeightsDoNotOverflow)
+{
+    // 48 lanes of int16 extremes stay well inside the i32
+    // accumulator; verify both paths agree at the boundaries.
+    std::vector<std::int16_t> w(48, std::int16_t(32767));
+    EXPECT_EQ(simd::dotSelect16(w.data(), ~0ull, 48),
+              simd::scalar::dotSelect16(w.data(), ~0ull, 48));
+    EXPECT_EQ(simd::dotSelect16(w.data(), 0ull, 48),
+              simd::scalar::dotSelect16(w.data(), 0ull, 48));
+    std::vector<std::int16_t> v(48, std::int16_t(-32768));
+    EXPECT_EQ(simd::dotSelect16(v.data(), ~0ull, 48),
+              simd::scalar::dotSelect16(v.data(), ~0ull, 48));
+    EXPECT_EQ(simd::dotSelect16(v.data(), 0x0f0f'0f0f'0f0full, 48),
+              simd::scalar::dotSelect16(v.data(), 0x0f0f'0f0f'0f0full,
+                                        48));
+}
+
+TEST(SimdTopBit, AllPositions)
+{
+    for (unsigned i = 0; i < 32; ++i) {
+        EXPECT_EQ(simd::topBit(1u << i), i);
+        // With lower bits set the top bit still wins.
+        EXPECT_EQ(simd::topBit((1u << i) | 1u), i);
+    }
+}
+
+} // namespace
+} // namespace sfetch

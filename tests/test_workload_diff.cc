@@ -365,6 +365,87 @@ TEST(WorkloadDiff, ReplayIsBitIdenticalOnEveryFamilyAndEngine)
     }
 }
 
+TEST(WorkloadDiff, BatchedReplayIsBitIdenticalEverywhere)
+{
+    // The batched replay core (bulk oracle verify, run-drained
+    // commit/dispatch, SIMD meta scans) against the scalar reference
+    // loop: every family x every engine x narrow and full pipe
+    // widths, in both live-generation and arena-replay modes. Any
+    // divergence in any SimStats field fails; this is the
+    // pipeline-level guarantee on top of test_simd's primitives.
+    const std::vector<std::string> engines =
+        EngineRegistry::instance().tokens();
+
+    RunTuning scalar_mode;
+    scalar_mode.batchedReplay = false;
+    RunTuning batched_mode;
+    batched_mode.batchedReplay = true;
+
+    for (const std::string &bench : diffBenches()) {
+        const PlacedWorkload &work =
+            WorkloadCache::instance().get(bench);
+        auto arena = work.arena(
+            true, 20'000 + 4'000 + kFetchAheadMargin);
+
+        for (const std::string &arch : engines) {
+            for (unsigned width : {4u, 8u}) {
+                SimConfig cfg = smallCfg(arch);
+                cfg.width = width;
+                SimStats scalar =
+                    runOn(work, cfg, nullptr, nullptr, scalar_mode);
+                SimStats batched =
+                    runOn(work, cfg, nullptr, nullptr, batched_mode);
+                EXPECT_EQ(scalar, batched)
+                    << bench << " x " << arch << " w" << width
+                    << ": batched replay diverged (live oracle)";
+
+                SimStats scalar_ar = runOn(work, cfg, nullptr,
+                                           arena.get(), scalar_mode);
+                SimStats batched_ar = runOn(work, cfg, nullptr,
+                                            arena.get(), batched_mode);
+                EXPECT_EQ(scalar_ar, batched_ar)
+                    << bench << " x " << arch << " w" << width
+                    << ": batched replay diverged (arena)";
+                EXPECT_EQ(scalar, scalar_ar)
+                    << bench << " x " << arch << " w" << width
+                    << ": arena replay diverged from live";
+            }
+        }
+    }
+}
+
+TEST(WorkloadDiff, ExactInstStopCommitsExactlyTheBudget)
+{
+    // exactInstStop caps commit at the instruction budget: where the
+    // default run overshoots by up to width-1 (the whole final
+    // commit cycle retires), the exact stop reports committedInsts
+    // equal to the budget — on every engine, so the bench's Minsts/s
+    // denominators are comparable across rows.
+    RunTuning exact;
+    exact.exactInstStop = true;
+    const PlacedWorkload &work = WorkloadCache::instance().get("gzip");
+
+    for (const std::string &arch :
+         EngineRegistry::instance().tokens()) {
+        SimConfig cfg = smallCfg(arch);
+        SimStats loose = runOn(work, cfg);
+        SimStats tight = runOn(work, cfg, nullptr, nullptr, exact);
+        EXPECT_GE(loose.committedInsts, cfg.insts) << arch;
+        EXPECT_LT(loose.committedInsts, cfg.insts + cfg.width)
+            << arch;
+        EXPECT_EQ(tight.committedInsts, cfg.insts) << arch;
+
+        // The exact stop is a different stopping rule, not a
+        // different simulator: scalar and batched cores must still
+        // agree bit for bit under it.
+        RunTuning exact_scalar = exact;
+        exact_scalar.batchedReplay = false;
+        SimStats tight_scalar =
+            runOn(work, cfg, nullptr, nullptr, exact_scalar);
+        EXPECT_EQ(tight, tight_scalar) << arch;
+    }
+}
+
 TEST(WorkloadDiff, StreamBeatsNextLineOnEveryFamily)
 {
     // The paper's core ordering, demanded of every scenario: a
