@@ -1,5 +1,6 @@
 #include "layout/oracle_arena.hh"
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
@@ -8,6 +9,26 @@
 
 namespace sfetch
 {
+
+namespace
+{
+
+/** Process-wide resident-arena byte counter (see liveBytes()). */
+std::atomic<std::size_t> g_liveArenaBytes{0};
+
+} // namespace
+
+std::size_t
+OracleArena::liveBytes()
+{
+    return g_liveArenaBytes.load(std::memory_order_relaxed);
+}
+
+OracleArena::~OracleArena()
+{
+    g_liveArenaBytes.fetch_sub(registeredBytes_,
+                               std::memory_order_relaxed);
+}
 
 OracleArena::OracleArena(const CodeImage &image,
                          const WorkloadModel &model,
@@ -69,6 +90,10 @@ OracleArena::OracleArena(const CodeImage &image,
         }
         pcOff_[insts] = static_cast<std::uint32_t>(off);
     }
+
+    registeredBytes_ = bytes();
+    g_liveArenaBytes.fetch_add(registeredBytes_,
+                               std::memory_order_relaxed);
 }
 
 std::size_t

@@ -50,6 +50,17 @@
 namespace sfetch
 {
 
+/**
+ * A priori per-instruction estimate of an arena's heap cost, for
+ * admission decisions made *before* any decode: 9 B/inst of control
+ * path (u32 pc offset + meta byte + u32 block id) plus 8 B per
+ * load/store of pre-generated data address; the suite's instruction
+ * mixes run ~30-40% memory operations, so 12 B/inst bounds the real
+ * cost (~11-12 B/inst measured) from above. sfetchd's memory
+ * governor budgets `insts * kArenaBytesPerInstEstimate` per decode.
+ */
+constexpr std::size_t kArenaBytesPerInstEstimate = 12;
+
 /** Immutable pre-decoded committed path (see file comment). */
 class OracleArena
 {
@@ -82,6 +93,20 @@ class OracleArena
 
     /** Approximate heap footprint in bytes. */
     std::size_t bytes() const;
+
+    /**
+     * Process-wide sum of bytes() over every OracleArena currently
+     * alive, whichever cache or caller holds it (maintained by
+     * construction/destruction). This is the ground truth sfetchd's
+     * `stats` verb reports against the memory budget: cache-level
+     * accounting can miss arenas kept alive by outstanding
+     * shared_ptrs after eviction, this counter cannot.
+     */
+    static std::size_t liveBytes();
+
+    ~OracleArena();
+    OracleArena(const OracleArena &) = delete;
+    OracleArena &operator=(const OracleArena &) = delete;
 
     /**
      * Read instruction @p i into @p out (every field assigned): the
@@ -158,6 +183,9 @@ class OracleArena
 
   private:
     [[noreturn]] void throwDataExhausted(std::uint64_t k) const;
+
+    /** bytes() at registration time, subtracted by the destructor. */
+    std::size_t registeredBytes_ = 0;
 
     const CodeImage *image_ = nullptr;
     Addr base_ = 0;

@@ -1,0 +1,58 @@
+#include "serve/client.hh"
+
+#include <stdexcept>
+
+namespace sfetch
+{
+
+ServeClient::ServeClient(const std::string &socket_path)
+    : ch_(connectUnix(socket_path))
+{
+}
+
+JsonValue
+ServeClient::request(const std::string &request_json)
+{
+    return JsonReader(requestRaw(request_json)).parse();
+}
+
+std::string
+ServeClient::requestRaw(const std::string &request_json)
+{
+    if (!ch_.writeLine(request_json))
+        throw std::runtime_error("sfetchd connection lost (write)");
+    std::string reply;
+    if (!ch_.readLine(reply))
+        throw std::runtime_error("sfetchd connection lost (read)");
+    JsonReader(reply).parse(); // validate before handing it on
+    return reply;
+}
+
+bool
+ServeClient::submitStream(const std::string &submit_json,
+                          const LineHandler &onLine)
+{
+    if (!ch_.writeLine(submit_json))
+        throw std::runtime_error("sfetchd connection lost (write)");
+    std::string line;
+    while (true) {
+        if (!ch_.readLine(line))
+            throw std::runtime_error(
+                "sfetchd connection lost mid-stream");
+        JsonValue parsed = JsonReader(line).parse();
+        const bool keep = !onLine || onLine(parsed, line);
+        // A rejection ends the exchange with no further lines; the
+        // summary record is the stream terminator.
+        if (const JsonValue *ok = parsed.find("ok");
+            ok && ok->kind == JsonValue::Kind::Bool && !ok->boolean)
+            return false;
+        if (const JsonValue *done = parsed.find("done");
+            done && done->kind == JsonValue::Kind::Bool &&
+            done->boolean)
+            return true;
+        if (!keep)
+            return false;
+    }
+}
+
+} // namespace sfetch

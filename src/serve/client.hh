@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ServeClient: the thin client side of the sfetchd protocol, shared
+ * by sfetchctl and the end-to-end tests. One instance is one
+ * connection; requests are JSON lines and replies come back parsed.
+ * submitStream() is the streaming verb: it sends a submit, then
+ * delivers the acknowledgement, every framed row, and the summary
+ * through a callback until the job closes.
+ */
+
+#ifndef SFETCH_SERVE_CLIENT_HH
+#define SFETCH_SERVE_CLIENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/jsonio.hh"
+#include "serve/socket_io.hh"
+
+namespace sfetch
+{
+
+class ServeClient
+{
+  public:
+    /** Connect to the daemon at @p socket_path; throws
+     * std::runtime_error when nothing is listening there. */
+    explicit ServeClient(const std::string &socket_path);
+
+    /**
+     * Send @p request_json (one line) and return the parsed reply
+     * line. Throws std::runtime_error when the connection drops or
+     * the reply is not JSON. For non-streaming verbs only — a submit
+     * sent through request() would leave the row stream unread.
+     */
+    JsonValue request(const std::string &request_json);
+
+    /** As request(), but returns the reply's exact text (still
+     * parse-validated). */
+    std::string requestRaw(const std::string &request_json);
+
+    /**
+     * Called for every line a submit streams back: the ack (or
+     * structured rejection), each row frame, and the summary.
+     * @p parsed is the decoded line, @p raw its exact text. Return
+     * false to stop reading early (the daemon notices the dropped
+     * connection and cancels the job).
+     */
+    using LineHandler = std::function<bool(const JsonValue &parsed,
+                                           const std::string &raw)>;
+
+    /**
+     * Send @p submit_json and consume its stream until the summary
+     * record (`"done": true`) or a rejection (`"ok": false`) closes
+     * it. Returns true when the job reached the summary, false on
+     * rejection or early stop. Throws std::runtime_error when the
+     * connection drops mid-stream.
+     */
+    bool submitStream(const std::string &submit_json,
+                      const LineHandler &onLine);
+
+  private:
+    LineChannel ch_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_SERVE_CLIENT_HH

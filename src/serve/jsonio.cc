@@ -1,0 +1,318 @@
+#include "serve/jsonio.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace sfetch
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw std::runtime_error("json: missing key '" + key + "'");
+    return *v;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind != Kind::Number)
+        throw std::runtime_error("json: expected number");
+    return number;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    return static_cast<std::uint64_t>(asNumber());
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind != Kind::Bool)
+        throw std::runtime_error("json: expected bool");
+    return boolean;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind != Kind::String)
+        throw std::runtime_error("json: expected string");
+    return string;
+}
+
+JsonValue
+JsonReader::parse()
+{
+    JsonValue v = value();
+    skipWs();
+    if (pos_ != text_.size())
+        fail("trailing characters");
+    return v;
+}
+
+void
+JsonReader::fail(const std::string &what)
+{
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+}
+
+void
+JsonReader::skipWs()
+{
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+        ++pos_;
+}
+
+char
+JsonReader::peek()
+{
+    skipWs();
+    if (pos_ >= text_.size())
+        fail("unexpected end of input");
+    return text_[pos_];
+}
+
+void
+JsonReader::expect(char c)
+{
+    if (peek() != c)
+        fail(std::string("expected '") + c + "'");
+    ++pos_;
+}
+
+bool
+JsonReader::consumeLiteral(const char *lit)
+{
+    std::size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+        pos_ += len;
+        return true;
+    }
+    return false;
+}
+
+std::string
+JsonReader::parseString()
+{
+    expect('"');
+    std::string out;
+    while (true) {
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        char c = text_[pos_++];
+        if (c == '"')
+            return out;
+        if (c != '\\') {
+            out.push_back(c);
+            continue;
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size())
+                fail("short \\u escape");
+            unsigned code = static_cast<unsigned>(std::strtoul(
+                text_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            // Only Latin-1 escapes are ever emitted by our writers.
+            out.push_back(static_cast<char>(code & 0xff));
+            break;
+          }
+          default: fail("bad escape");
+        }
+    }
+}
+
+JsonValue
+JsonReader::value()
+{
+    char c = peek();
+    JsonValue v;
+    if (c == '{') {
+        ++pos_;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            v.object.emplace_back(std::move(key), value());
+            char n = peek();
+            ++pos_;
+            if (n == '}')
+                return v;
+            if (n != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+    if (c == '[') {
+        ++pos_;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            char n = peek();
+            ++pos_;
+            if (n == ']')
+                return v;
+            if (n != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+    if (c == '"') {
+        v.kind = JsonValue::Kind::String;
+        v.string = parseString();
+        return v;
+    }
+    skipWs();
+    if (consumeLiteral("true")) {
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = true;
+        return v;
+    }
+    if (consumeLiteral("false")) {
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = false;
+        return v;
+    }
+    if (consumeLiteral("null"))
+        return v;
+    char *end = nullptr;
+    double num = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_)
+        fail("unexpected token");
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    v.kind = JsonValue::Kind::Number;
+    v.number = num;
+    return v;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+JsonObjectWriter::key(const std::string &k)
+{
+    if (!first_)
+        out_ += ", ";
+    first_ = false;
+    out_ += jsonQuote(k);
+    out_ += ": ";
+}
+
+JsonObjectWriter &
+JsonObjectWriter::field(const std::string &k, const std::string &value)
+{
+    key(k);
+    out_ += jsonQuote(value);
+    return *this;
+}
+
+JsonObjectWriter &
+JsonObjectWriter::field(const std::string &k, const char *value)
+{
+    return field(k, std::string(value));
+}
+
+JsonObjectWriter &
+JsonObjectWriter::field(const std::string &k, bool value)
+{
+    key(k);
+    out_ += value ? "true" : "false";
+    return *this;
+}
+
+JsonObjectWriter &
+JsonObjectWriter::field(const std::string &k, std::uint64_t value)
+{
+    key(k);
+    out_ += std::to_string(value);
+    return *this;
+}
+
+JsonObjectWriter &
+JsonObjectWriter::field(const std::string &k, double value)
+{
+    key(k);
+    out_ += jsonNumber(value);
+    return *this;
+}
+
+JsonObjectWriter &
+JsonObjectWriter::raw(const std::string &k, const std::string &json)
+{
+    key(k);
+    out_ += json;
+    return *this;
+}
+
+} // namespace sfetch

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Minimal hand-rolled JSON layer shared by the result emitters and
+ * the sfetchd wire protocol. The daemon speaks line-delimited JSON
+ * whose requests are flat objects, and ResultSet already emits JSON
+ * documents, so one small reader + writer pair covers both sides:
+ *
+ *   - JsonValue / JsonReader: a document model sufficient to read
+ *     back anything this codebase emits (and hand-edited variants).
+ *     Formerly private to sim/results.cc; hoisted here so the server
+ *     parses requests with the same code that parses ResultSet JSON.
+ *   - jsonEscape() / jsonQuote(): string encoding.
+ *   - JsonObjectWriter: an append-only flat-object writer for
+ *     protocol replies and row framing (nested values go in as
+ *     pre-rendered raw JSON).
+ */
+
+#ifndef SFETCH_SERVE_JSONIO_HH
+#define SFETCH_SERVE_JSONIO_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sfetch
+{
+
+/** One parsed JSON value (document model, not a streaming reader). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member lookup; throws std::runtime_error when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    double asNumber() const;     //!< throws unless Kind::Number
+    std::uint64_t asU64() const; //!< asNumber() truncated
+    bool asBool() const;         //!< throws unless Kind::Bool
+    const std::string &asString() const; //!< throws unless String
+};
+
+/**
+ * Recursive-descent parser over a complete in-memory document.
+ * Throws std::runtime_error (message includes the byte offset) on
+ * malformed input; trailing non-whitespace is an error.
+ */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : text_(text) {}
+
+    JsonValue parse();
+
+  private:
+    [[noreturn]] void fail(const std::string &what);
+    void skipWs();
+    char peek();
+    void expect(char c);
+    bool consumeLiteral(const char *lit);
+    std::string parseString();
+    JsonValue value();
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Escape a string for inclusion inside JSON quotes. */
+std::string jsonEscape(const std::string &s);
+
+/** The quoted, escaped JSON string literal for @p s. */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * Append-only writer for one flat JSON object, rendered compactly on
+ * a single line (the NDJSON framing unit of the sfetchd protocol).
+ * Values that are themselves objects/arrays are passed pre-rendered
+ * via raw().
+ */
+class JsonObjectWriter
+{
+  public:
+    JsonObjectWriter() : out_("{") {}
+
+    JsonObjectWriter &field(const std::string &key,
+                            const std::string &value);
+    JsonObjectWriter &field(const std::string &key, const char *value);
+    JsonObjectWriter &field(const std::string &key, bool value);
+    JsonObjectWriter &field(const std::string &key,
+                            std::uint64_t value);
+    JsonObjectWriter &field(const std::string &key, double value);
+    /** Insert @p json verbatim (must itself be valid JSON). */
+    JsonObjectWriter &raw(const std::string &key,
+                          const std::string &json);
+
+    /** The finished `{...}` document. */
+    std::string str() const { return out_ + "}"; }
+
+  private:
+    void key(const std::string &k);
+
+    std::string out_;
+    bool first_ = true;
+};
+
+/** Render a double so that parsing recovers the exact bit pattern. */
+std::string jsonNumber(double v);
+
+} // namespace sfetch
+
+#endif // SFETCH_SERVE_JSONIO_HH

@@ -1,0 +1,728 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <tuple>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "layout/oracle_arena.hh"
+#include "serve/jsonio.hh"
+#include "serve/socket_io.hh"
+#include "sim/cli.hh"
+#include "sim/workload_cache.hh"
+#include "workload/workload_registry.hh"
+
+namespace sfetch
+{
+
+namespace
+{
+
+/** Structured protocol error, one line. */
+std::string
+errorReply(const std::string &reason, const std::string &what)
+{
+    JsonObjectWriter w;
+    w.field("ok", false).field("reason", reason).field("error", what);
+    return w.str();
+}
+
+/**
+ * The daemon's copy of the driver's arena-grouping rule: groups of
+ * (canonical bench, layout, run length) with at least two points get
+ * one decoded arena of (run length + fetch-ahead margin) entries, at
+ * kArenaBytesPerInstEstimate bytes each. This is the governor's
+ * admission estimate; the true cost is OracleArena::bytes() after
+ * decode, which the estimate intentionally over-approximates.
+ */
+std::size_t
+estimateArenaBytes(const std::vector<SweepPoint> &points)
+{
+    using Key = std::tuple<std::string, bool, InstCount>;
+    std::map<Key, std::size_t> group_sizes;
+    for (const SweepPoint &p : points)
+        ++group_sizes[Key{canonicalBenchSpec(p.bench),
+                          p.cfg.optimizedLayout,
+                          p.cfg.insts + p.cfg.warmupInsts}];
+    std::size_t est = 0;
+    for (const auto &[key, n] : group_sizes)
+        if (n >= 2)
+            est += static_cast<std::size_t>(std::get<2>(key) +
+                                            kFetchAheadMargin) *
+                   kArenaBytesPerInstEstimate;
+    return est;
+}
+
+} // namespace
+
+/**
+ * One submitted sweep. The connection thread that accepted the
+ * submit is the sole consumer of `out`; the worker running the job
+ * is the sole producer. Everything else about the job is reached
+ * through atomics or is written once before `closed`.
+ */
+struct Server::Job
+{
+    std::uint64_t id = 0;
+    std::vector<SweepPoint> points;
+    std::vector<std::string> benches; //!< unique specs, for pinning
+    std::size_t pointCount = 0; //!< survives the points.clear() below
+    unsigned sweepJobs = 1;
+
+    enum class Arena { Auto, Off, Require };
+    Arena arenaWanted = Arena::Auto;
+    std::size_t estArenaBytes = 0;
+    std::size_t reservedBytes = 0; //!< governor grant, while running
+
+    std::atomic<bool> cancel{false};
+    std::atomic<JobState> state{JobState::Queued};
+    std::atomic<std::uint64_t> pointsDone{0};
+
+    std::mutex mu; //!< out, closed
+    std::condition_variable cv;
+    std::deque<std::string> out;
+    bool closed = false;
+};
+
+Server::Server(ServeConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.workers == 0) {
+        cfg_.workers = std::thread::hardware_concurrency();
+        if (cfg_.workers == 0)
+            cfg_.workers = 1;
+    }
+}
+
+Server::~Server()
+{
+    stop(false);
+}
+
+void
+Server::start()
+{
+    listenFd_ = listenUnix(cfg_.socketPath);
+    running_ = true;
+    for (unsigned w = 0; w < cfg_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    log("listening on " + cfg_.socketPath + " (" +
+        std::to_string(cfg_.workers) + " worker" +
+        (cfg_.workers == 1 ? "" : "s") + ", budget " +
+        std::to_string(cfg_.memBudgetBytes >> 20) + " MiB)");
+}
+
+void
+Server::stop(bool drain)
+{
+    if (!running_.exchange(false))
+        return;
+    draining_ = true;
+    log(drain ? "draining..." : "stopping...");
+    if (!drain) {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &[id, job] : jobs_)
+            job->cancel = true;
+    }
+    // Workers finish the queue (instantly when everything is
+    // cancelled) before they see stopping_ with an empty queue.
+    stopping_ = true;
+    queueCv_.notify_all();
+    govCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+
+    // Streams have all flushed (every job is closed once its worker
+    // returns), so connection threads are back in readLine — wake
+    // them with EOF and collect them.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    acceptThread_.join();
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (const std::shared_ptr<LineChannel> &ch : connections_)
+            ch->shutdownRead();
+    }
+    for (std::thread &t : connThreads_)
+        t.join();
+    connThreads_.clear();
+    connections_.clear();
+    ::unlink(cfg_.socketPath.c_str());
+    log("stopped");
+}
+
+void
+Server::requestShutdown(bool drain)
+{
+    {
+        std::lock_guard<std::mutex> lock(shutdownMu_);
+        if (shutdownRequested_)
+            return;
+        shutdownRequested_ = true;
+        shutdownDrain_ = drain;
+    }
+    shutdownCv_.notify_all();
+}
+
+bool
+Server::waitShutdown()
+{
+    std::unique_lock<std::mutex> lock(shutdownMu_);
+    shutdownCv_.wait(lock, [this] { return shutdownRequested_; });
+    return shutdownDrain_;
+}
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listen fd shut down: server stopping
+        }
+        auto ch = std::make_shared<LineChannel>(fd);
+        std::lock_guard<std::mutex> lock(connMu_);
+        connections_.push_back(ch);
+        connThreads_.emplace_back(
+            [this, ch] { serveConnection(ch); });
+    }
+}
+
+void
+Server::serveConnection(const std::shared_ptr<LineChannel> &ch)
+{
+    std::string line;
+    while (ch->readLine(line))
+        handleRequest(line, *ch);
+}
+
+void
+Server::handleRequest(const std::string &line, LineChannel &ch)
+{
+    JsonValue req;
+    try {
+        req = JsonReader(line).parse();
+    } catch (const std::exception &e) {
+        ch.writeLine(errorReply("bad_json", e.what()));
+        return;
+    }
+    const JsonValue *verb = req.find("verb");
+    if (!verb || verb->kind != JsonValue::Kind::String) {
+        ch.writeLine(
+            errorReply("unknown_verb", "missing string 'verb'"));
+        return;
+    }
+    const std::string &v = verb->string;
+    try {
+        if (v == "submit") {
+            handleSubmit(req, ch);
+        } else if (v == "status") {
+            ch.writeLine(handleStatus(req));
+        } else if (v == "cancel") {
+            ch.writeLine(handleCancel(req));
+        } else if (v == "stats") {
+            ch.writeLine(statsJson());
+        } else if (v == "health") {
+            ServeStats s = stats();
+            JsonObjectWriter w;
+            w.field("ok", true)
+                .field("health", "ok")
+                .field("draining", draining_.load())
+                .field("jobs_queued", s.jobsQueued)
+                .field("jobs_running", s.jobsRunning);
+            ch.writeLine(w.str());
+        } else if (v == "shutdown") {
+            const JsonValue *d = req.find("drain");
+            bool drain = !d || d->kind != JsonValue::Kind::Bool ||
+                         d->boolean;
+            JsonObjectWriter w;
+            w.field("ok", true)
+                .field("shutting_down", true)
+                .field("drain", drain);
+            ch.writeLine(w.str());
+            requestShutdown(drain);
+        } else {
+            ch.writeLine(
+                errorReply("unknown_verb", "unknown verb '" + v + "'"));
+        }
+    } catch (const std::exception &e) {
+        // Anything a handler failed to classify itself.
+        ch.writeLine(errorReply("bad_spec", e.what()));
+    }
+}
+
+void
+Server::handleSubmit(const JsonValue &req, LineChannel &ch)
+{
+    // Field extraction and spec parsing — all failures here are the
+    // client's ("bad_spec"), reported without touching daemon state.
+    std::shared_ptr<Job> job;
+    try {
+        auto text = [&](const char *key,
+                        const char *dflt) -> std::string {
+            const JsonValue *v = req.find(key);
+            if (!v)
+                return dflt;
+            return v->asString();
+        };
+        CliOptions opts;
+        opts.insts = 1'000'000;
+        if (const JsonValue *v = req.find("insts"))
+            opts.insts = static_cast<InstCount>(v->asU64());
+        if (const JsonValue *v = req.find("warmup")) {
+            opts.warmupInsts = static_cast<InstCount>(v->asU64());
+            opts.warmupSet = true;
+        }
+        if (opts.insts == 0)
+            throw std::invalid_argument("insts must be positive");
+
+        std::vector<unsigned> widths;
+        if (const JsonValue *v = req.find("widths")) {
+            if (v->kind == JsonValue::Kind::Array)
+                for (const JsonValue &e : v->array)
+                    widths.push_back(
+                        static_cast<unsigned>(e.asU64()));
+            else
+                widths.push_back(static_cast<unsigned>(v->asU64()));
+        }
+        if (widths.empty())
+            widths.push_back(8);
+        for (unsigned w : widths)
+            if (w == 0)
+                throw std::invalid_argument("width must be positive");
+
+        const std::string layout = text("layout", "opt");
+        if (layout != "opt" && layout != "base")
+            throw std::invalid_argument(
+                "layout must be 'base' or 'opt'");
+        const bool optimized = layout != "base";
+
+        std::vector<std::string> benches =
+            resolveBenches(parseBenchSpecList(text("bench", "gcc")));
+        std::vector<SimConfig> archs =
+            parseArchSpecList(text("arch", "stream"));
+        std::vector<SimConfig> cfgs;
+        for (unsigned w : widths)
+            for (const SimConfig &arch : archs)
+                cfgs.push_back(opts.stamped(arch, w, optimized));
+
+        job = std::make_shared<Job>();
+        job->points = SweepDriver::grid(benches, cfgs);
+        job->pointCount = job->points.size();
+        job->benches = std::move(benches);
+        job->sweepJobs = cfg_.defaultSweepJobs;
+        if (const JsonValue *v = req.find("jobs"))
+            job->sweepJobs = static_cast<unsigned>(v->asU64());
+
+        const std::string arena = text("arena", "auto");
+        if (arena == "auto")
+            job->arenaWanted = Job::Arena::Auto;
+        else if (arena == "off")
+            job->arenaWanted = Job::Arena::Off;
+        else if (arena == "require")
+            job->arenaWanted = Job::Arena::Require;
+        else
+            throw std::invalid_argument(
+                "arena must be 'auto', 'off' or 'require'");
+        job->estArenaBytes = estimateArenaBytes(job->points);
+    } catch (const std::exception &e) {
+        jobsRejected_.fetch_add(1);
+        ch.writeLine(errorReply("bad_spec", e.what()));
+        return;
+    }
+
+    // Admission control.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (draining_) {
+            jobsRejected_.fetch_add(1);
+            ch.writeLine(errorReply("draining",
+                                    "daemon is shutting down"));
+            return;
+        }
+        if (job->pointCount == 0) {
+            jobsRejected_.fetch_add(1);
+            ch.writeLine(
+                errorReply("bad_spec", "submit expands to 0 points"));
+            return;
+        }
+        if (job->pointCount > cfg_.maxPointsPerJob) {
+            jobsRejected_.fetch_add(1);
+            ch.writeLine(errorReply(
+                "max_points_per_job",
+                "submit expands to " +
+                    std::to_string(job->pointCount) +
+                    " points, cap is " +
+                    std::to_string(cfg_.maxPointsPerJob)));
+            return;
+        }
+        std::size_t active = 0;
+        for (const auto &[id, j] : jobs_) {
+            JobState s = j->state.load();
+            if (s == JobState::Queued || s == JobState::Running)
+                ++active;
+        }
+        if (active >= cfg_.maxJobs) {
+            jobsRejected_.fetch_add(1);
+            ch.writeLine(errorReply(
+                "queue_full", std::to_string(active) +
+                                  " jobs active, cap is " +
+                                  std::to_string(cfg_.maxJobs)));
+            return;
+        }
+        if (job->arenaWanted == Job::Arena::Require &&
+            job->estArenaBytes > cfg_.memBudgetBytes) {
+            jobsRejected_.fetch_add(1);
+            ch.writeLine(errorReply(
+                "over_budget",
+                "arena estimate " +
+                    std::to_string(job->estArenaBytes) +
+                    " B exceeds budget " +
+                    std::to_string(cfg_.memBudgetBytes) + " B"));
+            return;
+        }
+        job->id = nextJobId_++;
+        jobs_[job->id] = job;
+        queue_.push_back(job);
+    }
+    jobsSubmitted_.fetch_add(1);
+    queueCv_.notify_one();
+    log("job " + std::to_string(job->id) + ": submitted, " +
+        std::to_string(job->pointCount) + " points, arena est " +
+        std::to_string(job->estArenaBytes >> 20) + " MiB");
+
+    // Acknowledge, then stream until the job closes. `arena` here is
+    // the plan (mode and budget permitting); the per-row framing
+    // carries the governor's actual decision.
+    {
+        JsonObjectWriter w;
+        w.field("ok", true)
+            .field("job", job->id)
+            .field("points",
+                   static_cast<std::uint64_t>(job->pointCount))
+            .field("arena",
+                   job->arenaWanted != Job::Arena::Off &&
+                       job->estArenaBytes > 0 &&
+                       job->estArenaBytes <= cfg_.memBudgetBytes);
+        if (!ch.writeLine(w.str())) {
+            job->cancel = true;
+            return;
+        }
+    }
+    while (true) {
+        std::string line;
+        {
+            std::unique_lock<std::mutex> lock(job->mu);
+            job->cv.wait(lock, [&] {
+                return job->closed || !job->out.empty();
+            });
+            if (job->out.empty())
+                break; // closed and fully drained
+            line = std::move(job->out.front());
+            job->out.pop_front();
+        }
+        if (!ch.writeLine(line)) {
+            // Peer vanished mid-stream: stop burning cycles on rows
+            // nobody will read.
+            job->cancel = true;
+            return;
+        }
+    }
+}
+
+std::string
+Server::handleStatus(const JsonValue &req)
+{
+    std::shared_ptr<Job> job = findJob(req.at("job").asU64());
+    if (!job)
+        return errorReply("unknown_job", "no such job");
+    const char *state = "queued";
+    switch (job->state.load()) {
+    case JobState::Queued: state = "queued"; break;
+    case JobState::Running: state = "running"; break;
+    case JobState::Done: state = "done"; break;
+    case JobState::Cancelled: state = "cancelled"; break;
+    case JobState::Failed: state = "failed"; break;
+    }
+    JsonObjectWriter w;
+    w.field("ok", true)
+        .field("job", job->id)
+        .field("state", state)
+        .field("points_done", job->pointsDone.load())
+        .field("of", static_cast<std::uint64_t>(job->pointCount));
+    return w.str();
+}
+
+std::string
+Server::handleCancel(const JsonValue &req)
+{
+    std::shared_ptr<Job> job = findJob(req.at("job").asU64());
+    if (!job)
+        return errorReply("unknown_job", "no such job");
+    JobState s = job->state.load();
+    const bool live =
+        s == JobState::Queued || s == JobState::Running;
+    if (live)
+        job->cancel = true;
+    JsonObjectWriter w;
+    w.field("ok", true).field("job", job->id).field("cancelled", live);
+    return w.str();
+}
+
+void
+Server::workerLoop()
+{
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            queueCv_.wait(lock, [this] {
+                return stopping_.load() || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_, queue fully drained
+            job = queue_.front();
+            queue_.pop_front();
+            job->state = JobState::Running;
+        }
+        runJob(job);
+    }
+}
+
+bool
+Server::decideArena(const std::shared_ptr<Job> &job)
+{
+    if (job->arenaWanted == Job::Arena::Off ||
+        job->estArenaBytes == 0)
+        return false; // no >=2-point group: nothing to decode anyway
+    const std::size_t budget = cfg_.memBudgetBytes;
+    const std::size_t est = job->estArenaBytes;
+    WorkloadCache &cache = WorkloadCache::instance();
+    std::unique_lock<std::mutex> lock(govMu_);
+    while (true) {
+        // Make room: shrink the cache until (cache-resident) +
+        // (reserved by running jobs) + (this job) fits the budget.
+        const std::size_t reserved = reservedArenaBytes_;
+        cache.evictToBudget(
+            budget > reserved + est ? budget - reserved - est : 0);
+        if (cache.bytesResident() + reserved + est <= budget) {
+            reservedArenaBytes_ += est;
+            job->reservedBytes = est;
+            return true;
+        }
+        if (job->arenaWanted != Job::Arena::Require ||
+            job->cancel.load() || stopping_.load()) {
+            arenaFallbacks_.fetch_add(1);
+            log("job " + std::to_string(job->id) +
+                ": arena fallback (est " + std::to_string(est >> 20) +
+                " MiB would exceed budget)");
+            return false;
+        }
+        // Require within total budget: concurrent reservations are
+        // the only obstruction, so wait for one to release.
+        govCv_.wait_for(lock, std::chrono::milliseconds(100));
+    }
+}
+
+void
+Server::runJob(const std::shared_ptr<Job> &job)
+{
+    if (job->cancel.load()) {
+        finishJob(job, JobState::Cancelled, "", 0.0, false);
+        return;
+    }
+    // Pin every workload for the duration of the run: the driver's
+    // internal get() calls resolve to these same (now unevictable)
+    // entries, so another job's governor can never pull a workload
+    // out from under this sweep.
+    std::vector<std::shared_ptr<const PlacedWorkload>> pins;
+    bool used_arena = false;
+    try {
+        pins.reserve(job->benches.size());
+        for (const std::string &bench : job->benches)
+            pins.push_back(
+                WorkloadCache::instance().getShared(bench));
+
+        used_arena = decideArena(job);
+        SweepDriver driver(job->sweepJobs);
+        driver.setQuiet(true);
+        driver.setArenaMode(used_arena);
+        driver.setStopFlag(&job->cancel);
+        ResultSet rs = driver.run(
+            job->points,
+            [&](const ResultRow &row, std::size_t point,
+                std::size_t of) {
+                job->pointsDone.fetch_add(1);
+                rowsStreamed_.fetch_add(1);
+                JsonObjectWriter w;
+                w.field("job", job->id)
+                    .field("point",
+                           static_cast<std::uint64_t>(point))
+                    .field("of", static_cast<std::uint64_t>(of))
+                    .field("arena", used_arena)
+                    .raw("row", rowJson(row));
+                pushLine(job, w.str());
+            });
+        releaseReservation(job);
+        finishJob(job,
+                  job->cancel.load() ? JobState::Cancelled
+                                     : JobState::Done,
+                  "", rs.wallSeconds(), used_arena);
+    } catch (const std::exception &e) {
+        releaseReservation(job);
+        finishJob(job, JobState::Failed, e.what(), 0.0, used_arena);
+    }
+}
+
+void
+Server::releaseReservation(const std::shared_ptr<Job> &job)
+{
+    if (job->reservedBytes == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(govMu_);
+        reservedArenaBytes_ -= job->reservedBytes;
+        job->reservedBytes = 0;
+    }
+    govCv_.notify_all();
+}
+
+void
+Server::pushLine(const std::shared_ptr<Job> &job, std::string line)
+{
+    {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->out.push_back(std::move(line));
+    }
+    job->cv.notify_all();
+}
+
+void
+Server::finishJob(const std::shared_ptr<Job> &job, JobState state,
+                  const std::string &error, double wall_seconds,
+                  bool used_arena)
+{
+    job->state = state;
+    const char *name = "done";
+    switch (state) {
+    case JobState::Done:
+        jobsServed_.fetch_add(1);
+        break;
+    case JobState::Cancelled:
+        name = "cancelled";
+        jobsCancelled_.fetch_add(1);
+        break;
+    case JobState::Failed:
+        name = "failed";
+        jobsFailed_.fetch_add(1);
+        break;
+    default:
+        break;
+    }
+    JsonObjectWriter w;
+    w.field("job", job->id)
+        .field("done", true)
+        .field("state", name)
+        .field("points_done", job->pointsDone.load())
+        .field("of", static_cast<std::uint64_t>(job->pointCount))
+        .field("arena", used_arena)
+        .field("wall_seconds", wall_seconds);
+    if (!error.empty())
+        w.field("error", error);
+    pushLine(job, w.str());
+    {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->closed = true;
+        // The sweep is over; drop the grid so finished jobs parked
+        // in jobs_ for status queries cost bytes, not megabytes.
+        job->points.clear();
+        job->points.shrink_to_fit();
+    }
+    job->cv.notify_all();
+    log("job " + std::to_string(job->id) + ": " + name + " (" +
+        std::to_string(job->pointsDone.load()) + "/" +
+        std::to_string(job->pointCount) + " points)");
+}
+
+std::shared_ptr<Server::Job>
+Server::findJob(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second;
+}
+
+ServeStats
+Server::stats() const
+{
+    ServeStats s;
+    s.jobsSubmitted = jobsSubmitted_.load();
+    s.jobsServed = jobsServed_.load();
+    s.jobsRejected = jobsRejected_.load();
+    s.jobsCancelled = jobsCancelled_.load();
+    s.jobsFailed = jobsFailed_.load();
+    s.rowsStreamed = rowsStreamed_.load();
+    s.arenaFallbacks = arenaFallbacks_.load();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[id, job] : jobs_) {
+            JobState st = job->state.load();
+            if (st == JobState::Queued)
+                ++s.jobsQueued;
+            else if (st == JobState::Running)
+                ++s.jobsRunning;
+        }
+    }
+    WorkloadCache &cache = WorkloadCache::instance();
+    s.cacheHits = cache.hits();
+    s.cacheMisses = cache.misses();
+    s.cacheEvictions = cache.evictions();
+    s.residentArenaBytes = cache.bytesResident();
+    s.liveArenaBytes = OracleArena::liveBytes();
+    s.memBudgetBytes = cfg_.memBudgetBytes;
+    return s;
+}
+
+std::string
+Server::statsJson() const
+{
+    ServeStats s = stats();
+    JsonObjectWriter w;
+    w.field("ok", true)
+        .field("jobs_submitted", s.jobsSubmitted)
+        .field("jobs_served", s.jobsServed)
+        .field("jobs_rejected", s.jobsRejected)
+        .field("jobs_cancelled", s.jobsCancelled)
+        .field("jobs_failed", s.jobsFailed)
+        .field("jobs_queued", s.jobsQueued)
+        .field("jobs_running", s.jobsRunning)
+        .field("rows_streamed", s.rowsStreamed)
+        .field("arena_fallbacks", s.arenaFallbacks)
+        .field("cache_hits", s.cacheHits)
+        .field("cache_misses", s.cacheMisses)
+        .field("cache_evictions", s.cacheEvictions)
+        .field("resident_arena_bytes",
+               static_cast<std::uint64_t>(s.residentArenaBytes))
+        .field("live_arena_bytes",
+               static_cast<std::uint64_t>(s.liveArenaBytes))
+        .field("mem_budget_bytes",
+               static_cast<std::uint64_t>(s.memBudgetBytes));
+    return w.str();
+}
+
+void
+Server::log(const std::string &msg) const
+{
+    if (!cfg_.quiet)
+        std::fprintf(stderr, "[sfetchd] %s\n", msg.c_str());
+}
+
+} // namespace sfetch

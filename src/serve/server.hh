@@ -1,0 +1,222 @@
+/**
+ * @file
+ * sfetchd's engine room: a resident simulation service wrapping
+ * SweepDriver behind a Unix-domain socket speaking line-delimited
+ * JSON. One-shot bench binaries rebuild workloads and arenas from
+ * scratch on every invocation; the daemon amortizes them across
+ * requests under an explicit memory budget.
+ *
+ * Protocol (one JSON object per line, both directions):
+ *
+ *   {"verb":"submit","bench":"gzip,loops","arch":"stream,ev8",
+ *    "insts":50000,"warmup":10000,"widths":[4,8],"layout":"opt",
+ *    "jobs":1,"arena":"auto"}
+ *     -> {"ok":true,"job":1,"points":8,"arena":true}
+ *     -> one framed row per finished sweep point, as it finishes:
+ *        {"job":1,"point":0,"of":8,"arena":true,"row":{...}}
+ *        where "row" is exactly ResultSet's per-row JSON (rowJson)
+ *     -> a summary terminator:
+ *        {"job":1,"done":true,"state":"done","points_done":8,
+ *         "of":8,"arena":true,"wall_seconds":...}
+ *   {"verb":"status","job":1}   -> state + points_done/of
+ *   {"verb":"cancel","job":1}   -> cancels a queued or running job
+ *   {"verb":"stats"}            -> cumulative counters (see below)
+ *   {"verb":"health"}           -> liveness + queue depth
+ *   {"verb":"shutdown","drain":true} -> ack, then begin shutdown
+ *
+ * Errors are structured and non-fatal to the connection:
+ *   {"ok":false,"reason":"bad_json|unknown_verb|bad_spec|queue_full|
+ *    max_points_per_job|over_budget|unknown_job|draining",
+ *    "error":"<human readable>"}
+ *
+ * Admission control: at most maxJobs jobs queued+running (reject
+ * "queue_full"), at most maxPointsPerJob points per submit (reject
+ * "max_points_per_job"). Memory governor: each submit's arena cost
+ * is pre-estimated from the arena formula (kArenaBytesPerInstEstimate
+ * per instruction, per >=2-point decode group); a job whose estimate
+ * cannot fit even an empty cache is rejected "over_budget" when it
+ * demands arenas ("arena":"require"), and otherwise the governor
+ * first evicts LRU workloads, then falls back to live generation
+ * ("arena":false in the framing) — the budget is never exceeded to
+ * satisfy a decode. Rows are bit-identical either way.
+ *
+ * Ordering: rows stream in completion order, which equals point
+ * order when the job's sweep runs single-threaded ("jobs":1, the
+ * default); the framing always carries the point index.
+ */
+
+#ifndef SFETCH_SERVE_SERVER_HH
+#define SFETCH_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/driver.hh"
+
+namespace sfetch
+{
+
+class LineChannel;
+struct JsonValue;
+
+/** Daemon knobs (the sfetchd command line maps 1:1 onto these). */
+struct ServeConfig
+{
+    std::string socketPath = "/tmp/sfetchd.sock";
+    /** Worker threads = jobs simulating concurrently. 0 picks
+     * hardware_concurrency(). */
+    unsigned workers = 1;
+    /** Admission cap on jobs queued + running. */
+    std::size_t maxJobs = 8;
+    /** Admission cap on sweep points per submit. */
+    std::size_t maxPointsPerJob = 256;
+    /** Memory budget governing cached/decoded arena bytes. */
+    std::size_t memBudgetBytes = std::size_t(256) << 20;
+    /** Default per-job sweep threads when a submit omits "jobs". */
+    unsigned defaultSweepJobs = 1;
+    /** Suppress per-event logging to stderr. */
+    bool quiet = false;
+};
+
+/** One point-in-time copy of the daemon's cumulative counters. */
+struct ServeStats
+{
+    std::uint64_t jobsSubmitted = 0;
+    std::uint64_t jobsServed = 0; //!< ran to completion
+    std::uint64_t jobsRejected = 0;
+    std::uint64_t jobsCancelled = 0;
+    std::uint64_t jobsFailed = 0;
+    std::uint64_t jobsQueued = 0;  //!< current depth
+    std::uint64_t jobsRunning = 0; //!< current depth
+    std::uint64_t rowsStreamed = 0;
+    std::uint64_t arenaFallbacks = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEvictions = 0;
+    std::size_t residentArenaBytes = 0; //!< cache-held arena bytes
+    std::size_t liveArenaBytes = 0;     //!< all live arenas anywhere
+    std::size_t memBudgetBytes = 0;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServeConfig cfg);
+
+    /** stop(drain=false) if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket and spawn the accept loop and worker pool.
+     * Throws std::runtime_error when the socket cannot be bound.
+     * Returns with the daemon ready to accept connections.
+     */
+    void start();
+
+    /**
+     * Shut down: stop admitting, then either finish every queued and
+     * running job first (@p drain true — the SIGTERM path) or cancel
+     * them (@p drain false), close all connections after their
+     * streams flush, join every thread, and remove the socket file.
+     * Idempotent.
+     */
+    void stop(bool drain);
+
+    bool running() const { return running_; }
+
+    /**
+     * Ask the owner loop to shut down (the `shutdown` verb and the
+     * signal thread both land here); waitShutdown() wakes.
+     */
+    void requestShutdown(bool drain);
+
+    /** Block until requestShutdown(); returns its drain flag. */
+    bool waitShutdown();
+
+    const ServeConfig &config() const { return cfg_; }
+
+    ServeStats stats() const;
+
+    /** The `stats` verb's reply (also dumped on SIGUSR1). */
+    std::string statsJson() const;
+
+  private:
+    enum class JobState { Queued, Running, Done, Cancelled, Failed };
+
+    struct Job;
+
+    void acceptLoop();
+    void workerLoop();
+    void serveConnection(const std::shared_ptr<LineChannel> &ch);
+
+    /** Dispatch one request line; submit streams before returning. */
+    void handleRequest(const std::string &line, LineChannel &ch);
+    void handleSubmit(const JsonValue &req, LineChannel &ch);
+    std::string handleStatus(const JsonValue &req);
+    std::string handleCancel(const JsonValue &req);
+
+    void runJob(const std::shared_ptr<Job> &job);
+    /** Governor: evict/reserve/fallback; true = replay from arenas. */
+    bool decideArena(const std::shared_ptr<Job> &job);
+    /** Return a decideArena() reservation to the budget pool. */
+    void releaseReservation(const std::shared_ptr<Job> &job);
+    void pushLine(const std::shared_ptr<Job> &job, std::string line);
+    void finishJob(const std::shared_ptr<Job> &job, JobState state,
+                   const std::string &error, double wall_seconds,
+                   bool used_arena);
+
+    std::shared_ptr<Job> findJob(std::uint64_t id) const;
+    void log(const std::string &msg) const;
+
+    ServeConfig cfg_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopping_{false};
+
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mu_; //!< jobs_, queue_, nextJobId_
+    std::condition_variable queueCv_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+    std::uint64_t nextJobId_ = 1;
+
+    mutable std::mutex connMu_; //!< connections_, connThreads_
+    std::vector<std::shared_ptr<LineChannel>> connections_;
+    std::vector<std::thread> connThreads_;
+
+    std::mutex govMu_; //!< reservedArenaBytes_
+    std::condition_variable govCv_; //!< reservation released
+    std::size_t reservedArenaBytes_ = 0;
+
+    std::mutex shutdownMu_;
+    std::condition_variable shutdownCv_;
+    bool shutdownRequested_ = false;
+    bool shutdownDrain_ = true;
+
+    // Cumulative counters (ServeStats).
+    std::atomic<std::uint64_t> jobsSubmitted_{0};
+    std::atomic<std::uint64_t> jobsServed_{0};
+    std::atomic<std::uint64_t> jobsRejected_{0};
+    std::atomic<std::uint64_t> jobsCancelled_{0};
+    std::atomic<std::uint64_t> jobsFailed_{0};
+    std::atomic<std::uint64_t> rowsStreamed_{0};
+    std::atomic<std::uint64_t> arenaFallbacks_{0};
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_SERVE_SERVER_HH

@@ -1,0 +1,135 @@
+#include "serve/socket_io.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sfetch
+{
+
+namespace
+{
+
+[[noreturn]] void
+failErrno(const std::string &what, const std::string &path)
+{
+    throw std::runtime_error(what + " '" + path +
+                             "': " + std::strerror(errno));
+}
+
+sockaddr_un
+unixAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() + 1 > sizeof(addr.sun_path))
+        throw std::runtime_error("socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, int backlog)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        failErrno("socket", path);
+    sockaddr_un addr = unixAddr(path);
+    // A stale file from a crashed or killed daemon would make bind
+    // fail with EADDRINUSE forever; a live daemon re-creates its
+    // socket on start, so unlinking first is the standard move.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        failErrno("bind", path);
+    }
+    if (::listen(fd, backlog) != 0) {
+        int saved = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        errno = saved;
+        failErrno("listen", path);
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        failErrno("socket", path);
+    sockaddr_un addr = unixAddr(path);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        failErrno("connect", path);
+    }
+    return fd;
+}
+
+LineChannel::~LineChannel()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+LineChannel::readLine(std::string &line)
+{
+    while (true) {
+        std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        if (buf_.size() > kMaxLine)
+            return false;
+        char chunk[4096];
+        ssize_t n;
+        do {
+            n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return false;
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+LineChannel::writeLine(const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        ssize_t n = ::send(fd_, framed.data() + sent,
+                           framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+LineChannel::shutdownRead()
+{
+    ::shutdown(fd_, SHUT_RD);
+}
+
+} // namespace sfetch

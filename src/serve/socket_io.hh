@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unix-domain socket plumbing for the sfetchd protocol: listener and
+ * connector helpers plus LineChannel, a buffered newline-delimited
+ * reader/writer over one connected fd. The protocol unit is a line
+ * of JSON, so this is the only transport surface the server, the
+ * client library, and the tests need.
+ */
+
+#ifndef SFETCH_SERVE_SOCKET_IO_HH
+#define SFETCH_SERVE_SOCKET_IO_HH
+
+#include <string>
+
+namespace sfetch
+{
+
+/**
+ * Bind and listen on a Unix-domain socket at @p path. A stale socket
+ * file from a previous run is unlinked first; any other failure
+ * throws std::runtime_error. Returns the listening fd (caller
+ * closes).
+ */
+int listenUnix(const std::string &path, int backlog = 16);
+
+/** Connect to the Unix socket at @p path; throws std::runtime_error
+ * on failure. Returns the connected fd (caller closes). */
+int connectUnix(const std::string &path);
+
+/**
+ * Newline-delimited IO over one connected socket. Owns the fd.
+ * readLine() blocks; shutdownRead() from another thread wakes it
+ * with EOF so connection threads can be collected on server stop.
+ * Writes use MSG_NOSIGNAL — a vanished peer surfaces as a false
+ * return, never SIGPIPE.
+ */
+class LineChannel
+{
+  public:
+    /** Longest accepted input line; longer input is a dead channel
+     * (a line-oriented protocol peer sending megabytes without a
+     * newline is not speaking the protocol). */
+    static constexpr std::size_t kMaxLine = 1u << 20;
+
+    explicit LineChannel(int fd) : fd_(fd) {}
+    ~LineChannel();
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    /**
+     * Read the next '\n'-terminated line (terminator stripped) into
+     * @p line. False on EOF, error, or an over-long line — the
+     * channel is then finished.
+     */
+    bool readLine(std::string &line);
+
+    /** Write @p line plus '\n'; false when the peer is gone. */
+    bool writeLine(const std::string &line);
+
+    /** Wake a blocked readLine() with EOF; writes stay usable. */
+    void shutdownRead();
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+} // namespace sfetch
+
+#endif // SFETCH_SERVE_SOCKET_IO_HH

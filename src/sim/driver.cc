@@ -123,7 +123,17 @@ SweepDriver::parallelFor(std::size_t n,
 ResultSet
 SweepDriver::run(const std::vector<SweepPoint> &points)
 {
+    return run(points, RowCallback{});
+}
+
+ResultSet
+SweepDriver::run(const std::vector<SweepPoint> &points,
+                 const RowCallback &onRow)
+{
     auto t0 = std::chrono::steady_clock::now();
+    auto stopped = [this] {
+        return stop_ && stop_->load(std::memory_order_relaxed);
+    };
 
     // Phase 1: build each distinct workload exactly once, in
     // parallel. Later runOn() calls then only ever read the cache.
@@ -132,6 +142,8 @@ SweepDriver::run(const std::vector<SweepPoint> &points)
         unique.insert(p.bench);
     std::vector<std::string> names(unique.begin(), unique.end());
     parallelFor(names.size(), [&](std::size_t i) {
+        if (stopped())
+            return;
         WorkloadCache::instance().get(names[i]);
     });
     double prep = secondsSince(t0);
@@ -164,6 +176,8 @@ SweepDriver::run(const std::vector<SweepPoint> &points)
         for (const ArenaKey *key : to_build)
             arenas[*key] = nullptr;
         parallelFor(to_build.size(), [&](std::size_t i) {
+            if (stopped())
+                return;
             const ArenaKey &key = *to_build[i];
             arenas[key] = WorkloadCache::instance()
                               .get(std::get<0>(key))
@@ -177,10 +191,13 @@ SweepDriver::run(const std::vector<SweepPoint> &points)
     // Phase 2: the sweep itself. Rows are written by point index, so
     // the output order (and content) is independent of scheduling.
     std::vector<ResultRow> rows(points.size());
+    std::vector<char> finished(points.size(), 0);
     std::size_t done = 0;
     std::mutex progress_mu;
     const bool progress = !quiet_ && stderrIsTty();
     parallelFor(points.size(), [&](std::size_t i) {
+        if (stopped())
+            return;
         const SweepPoint &p = points[i];
         const PlacedWorkload &work =
             WorkloadCache::instance().get(p.bench);
@@ -194,22 +211,31 @@ SweepDriver::run(const std::vector<SweepPoint> &points)
         row.cfg = p.cfg;
         row.stats = st;
         row.wallSeconds = secondsSince(rt0);
-        if (progress) {
-            // Count and print under one lock so the counter on the
-            // terminal can only move forward.
+        finished[i] = 1;
+        if (onRow || progress) {
+            // Deliver and print under one lock so callbacks are
+            // serialized and the counter on the terminal can only
+            // move forward.
             std::lock_guard<std::mutex> lock(progress_mu);
-            ++done;
-            std::fprintf(stderr, "\r  sweep %zu/%zu", done,
-                         points.size());
-            if (done == points.size())
-                std::fputc('\n', stderr);
-            std::fflush(stderr);
+            if (onRow)
+                onRow(row, i, points.size());
+            if (progress) {
+                ++done;
+                std::fprintf(stderr, "\r  sweep %zu/%zu", done,
+                             points.size());
+                if (done == points.size())
+                    std::fputc('\n', stderr);
+                std::fflush(stderr);
+            }
         }
     });
 
+    // Point order survives any scheduling (and any cancellation):
+    // rows land by index, and unfinished points are simply absent.
     ResultSet rs;
-    for (ResultRow &row : rows)
-        rs.add(std::move(row));
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        if (finished[i])
+            rs.add(std::move(rows[i]));
     lastWall_ = secondsSince(t0);
     rs.setWallSeconds(lastWall_);
     if (!quiet_)

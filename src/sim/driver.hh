@@ -13,6 +13,7 @@
 #ifndef SFETCH_SIM_DRIVER_HH
 #define SFETCH_SIM_DRIVER_HH
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -69,12 +70,46 @@ class SweepDriver
          const std::vector<RunConfig> &cfgs);
 
     /**
+     * Per-row completion callback for the streaming run() overload:
+     * called once per finished sweep point with the completed row,
+     * its point index, and the total point count. Invocations are
+     * serialized under an internal mutex but arrive in *completion*
+     * order (point order when jobs() == 1); the returned ResultSet
+     * keeps point order regardless. The row reference is only valid
+     * for the duration of the call.
+     */
+    using RowCallback = std::function<void(
+        const ResultRow &row, std::size_t point, std::size_t of)>;
+
+    /**
      * Execute all points and return their rows in point order.
      * Workloads are cached; points with the same benchmark share one
      * PlacedWorkload. Reports the sweep wall-clock on stderr (and in
      * ResultSet::wallSeconds) unless quiet.
      */
     ResultSet run(const std::vector<SweepPoint> &points);
+
+    /**
+     * As run(points), additionally delivering each row through
+     * @p onRow the moment its point finishes — long sweeps stream
+     * incremental results (sfetchd's row streaming) instead of going
+     * dark until the last point lands. The callback rows and the
+     * returned rows are the same objects with the same bit-identical
+     * stats; a null callback is equivalent to run(points).
+     */
+    ResultSet run(const std::vector<SweepPoint> &points,
+                  const RowCallback &onRow);
+
+    /**
+     * Cooperative cancellation: when @p stop is non-null, run()
+     * checks it between units of work (workload builds, arena
+     * decodes, sweep points) and skips everything not yet started
+     * once it reads true. Completed points still stream and are
+     * returned — the ResultSet simply ends short (rows keep point
+     * order; cancelled points are absent). The pointed-to flag must
+     * outlive run(). Pass nullptr to clear.
+     */
+    void setStopFlag(const std::atomic<bool> *stop) { stop_ = stop; }
 
     /**
      * Parallel map over cached workloads, for measurements that are
@@ -97,6 +132,7 @@ class SweepDriver
     unsigned jobs_;
     bool quiet_ = false;
     bool arenaMode_ = true;
+    const std::atomic<bool> *stop_ = nullptr;
     double lastWall_ = 0.0;
 };
 

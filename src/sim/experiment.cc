@@ -144,6 +144,25 @@ PlacedWorkload::cachedArena(bool optimized,
     return nullptr;
 }
 
+std::size_t
+PlacedWorkload::arenaBytesResident() const
+{
+    std::lock_guard<std::mutex> lock(arenaMu_);
+    std::size_t bytes = 0;
+    for (const auto &slot : arenas_)
+        if (slot)
+            bytes += slot->bytes();
+    return bytes;
+}
+
+void
+PlacedWorkload::dropArenas() const
+{
+    std::lock_guard<std::mutex> lock(arenaMu_);
+    arenas_[0].reset();
+    arenas_[1].reset();
+}
+
 std::unique_ptr<FetchEngine>
 makeEngine(const RunConfig &cfg, const CodeImage &image,
            MemoryHierarchy *mem)

@@ -160,6 +160,22 @@ class PlacedWorkload
     std::shared_ptr<const OracleArena>
     cachedArena(bool optimized, InstCount total_insts) const;
 
+    /**
+     * Bytes held by this workload's cached per-layout arenas — the
+     * dominant, budgetable share of its footprint (the ~28 MB/arena
+     * formula; program + images are a few hundred KB). Feeds
+     * WorkloadCache::bytesResident() and sfetchd's memory governor.
+     */
+    std::size_t arenaBytesResident() const;
+
+    /**
+     * Drop the cached arena references. Outstanding shared_ptrs
+     * (e.g. a sweep currently replaying) keep their arenas alive and
+     * valid; the memory is reclaimed when the last reference dies,
+     * and later arena() calls decode afresh.
+     */
+    void dropArenas() const;
+
   private:
     std::string name_;
     SyntheticWorkload work_;

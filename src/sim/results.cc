@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "serve/jsonio.hh"
 #include "util/table.hh"
 
 namespace sfetch
@@ -326,275 +327,59 @@ ResultSet::fromCsv(const std::string &text)
 // JSON
 // ---------------------------------------------------------------------
 
-namespace
-{
-
 std::string
-jsonEscape(const std::string &s)
+rowJson(const ResultRow &r)
 {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out.push_back(c);
-            }
-        }
-    }
-    return out;
+    std::ostringstream os;
+    const SimStats &st = r.stats;
+    const SimConfig &c = r.cfg;
+    os << "{\"bench\": \"" << jsonEscape(r.bench) << "\", "
+       << "\"config\": {"
+       << "\"spec\": \"" << jsonEscape(c.specText()) << "\", "
+       << "\"arch\": \"" << jsonEscape(c.arch()) << "\", "
+       << "\"params\": " << c.params().toJson() << ", "
+       << "\"width\": " << c.width << ", "
+       << "\"layout\": \"" << (c.optimizedLayout ? "opt" : "base")
+       << "\", "
+       << "\"insts\": " << u2s(c.insts) << ", "
+       << "\"warmup\": " << u2s(c.warmupInsts) << "}, "
+       << "\"stats\": {"
+       << "\"cycles\": " << u2s(st.cycles) << ", "
+       << "\"committed_insts\": " << u2s(st.committedInsts) << ", "
+       << "\"committed_branches\": " << u2s(st.committedBranches)
+       << ", "
+       << "\"committed_cond_branches\": "
+       << u2s(st.committedCondBranches) << ", "
+       << "\"mispredicts\": " << u2s(st.mispredicts) << ", "
+       << "\"cond_mispredicts\": " << u2s(st.condMispredicts)
+       << ", \"mispredicts_by_type\": [";
+    for (std::size_t t = 0; t < kNumBranchTypes; ++t)
+        os << (t ? ", " : "") << u2s(st.mispredictsByType[t]);
+    os << "], "
+       << "\"fetched_correct\": " << u2s(st.fetchedCorrect) << ", "
+       << "\"fetched_wrong\": " << u2s(st.fetchedWrong) << ", "
+       << "\"fetch_cycles_attempted\": "
+       << u2s(st.fetchCyclesAttempted) << ", "
+       << "\"fetch_opp_insts\": " << u2s(st.fetchOppInsts) << ", "
+       << "\"l1i_miss_rate\": " << d2s(st.l1iMissRate) << ", "
+       << "\"l1d_miss_rate\": " << d2s(st.l1dMissRate) << ", "
+       << "\"ipc\": " << d2s(st.ipc()) << ", "
+       << "\"fetch_ipc\": " << d2s(st.fetchIpc()) << ", "
+       << "\"mispredict_rate\": " << d2s(st.mispredictRate())
+       << ", \"engine\": {";
+    std::size_t k = 0;
+    for (const auto &[name, val] : st.engine.all())
+        os << (k++ ? ", " : "") << "\"" << jsonEscape(name)
+           << "\": " << d2s(val);
+    os << "}}, \"wall_seconds\": " << d2s(r.wallSeconds) << "}";
+    return os.str();
 }
 
-/**
- * Minimal JSON document model, sufficient to read back what
- * ResultSet::toJson() emits (and hand-edited variants thereof).
- */
-struct JsonValue
+std::string
+ResultSet::rowJson(std::size_t i) const
 {
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-
-    const JsonValue &
-    at(const std::string &key) const
-    {
-        const JsonValue *v = find(key);
-        if (!v)
-            throw std::runtime_error("fromJson: missing key '" + key +
-                                     "'");
-        return *v;
-    }
-
-    double
-    asNumber() const
-    {
-        if (kind != Kind::Number)
-            throw std::runtime_error("fromJson: expected number");
-        return number;
-    }
-
-    std::uint64_t
-    asU64() const
-    {
-        return static_cast<std::uint64_t>(asNumber());
-    }
-
-    bool
-    asBool() const
-    {
-        if (kind != Kind::Bool)
-            throw std::runtime_error("fromJson: expected bool");
-        return boolean;
-    }
-
-    const std::string &
-    asString() const
-    {
-        if (kind != Kind::String)
-            throw std::runtime_error("fromJson: expected string");
-        return string;
-    }
-};
-
-class JsonReader
-{
-  public:
-    explicit JsonReader(const std::string &text) : text_(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        skipWs();
-        if (pos_ != text_.size())
-            fail("trailing characters");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &what)
-    {
-        throw std::runtime_error("fromJson: " + what + " at offset " +
-                                 std::to_string(pos_));
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                text_[pos_] == '\n' || text_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            fail("unexpected end of input");
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    bool
-    consumeLiteral(const char *lit)
-    {
-        std::size_t len = std::strlen(lit);
-        if (text_.compare(pos_, len, lit) == 0) {
-            pos_ += len;
-            return true;
-        }
-        return false;
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (true) {
-            if (pos_ >= text_.size())
-                fail("unterminated string");
-            char c = text_[pos_++];
-            if (c == '"')
-                return out;
-            if (c != '\\') {
-                out.push_back(c);
-                continue;
-            }
-            if (pos_ >= text_.size())
-                fail("unterminated escape");
-            char e = text_[pos_++];
-            switch (e) {
-              case '"': out.push_back('"'); break;
-              case '\\': out.push_back('\\'); break;
-              case '/': out.push_back('/'); break;
-              case 'n': out.push_back('\n'); break;
-              case 't': out.push_back('\t'); break;
-              case 'r': out.push_back('\r'); break;
-              case 'b': out.push_back('\b'); break;
-              case 'f': out.push_back('\f'); break;
-              case 'u': {
-                if (pos_ + 4 > text_.size())
-                    fail("short \\u escape");
-                unsigned code = static_cast<unsigned>(std::strtoul(
-                    text_.substr(pos_, 4).c_str(), nullptr, 16));
-                pos_ += 4;
-                // Only Latin-1 escapes are ever emitted by toJson().
-                out.push_back(static_cast<char>(code & 0xff));
-                break;
-              }
-              default: fail("bad escape");
-            }
-        }
-    }
-
-    JsonValue
-    value()
-    {
-        char c = peek();
-        JsonValue v;
-        if (c == '{') {
-            ++pos_;
-            v.kind = JsonValue::Kind::Object;
-            if (peek() == '}') {
-                ++pos_;
-                return v;
-            }
-            while (true) {
-                std::string key = parseString();
-                expect(':');
-                v.object.emplace_back(std::move(key), value());
-                char n = peek();
-                ++pos_;
-                if (n == '}')
-                    return v;
-                if (n != ',')
-                    fail("expected ',' or '}'");
-            }
-        }
-        if (c == '[') {
-            ++pos_;
-            v.kind = JsonValue::Kind::Array;
-            if (peek() == ']') {
-                ++pos_;
-                return v;
-            }
-            while (true) {
-                v.array.push_back(value());
-                char n = peek();
-                ++pos_;
-                if (n == ']')
-                    return v;
-                if (n != ',')
-                    fail("expected ',' or ']'");
-            }
-        }
-        if (c == '"') {
-            v.kind = JsonValue::Kind::String;
-            v.string = parseString();
-            return v;
-        }
-        skipWs();
-        if (consumeLiteral("true")) {
-            v.kind = JsonValue::Kind::Bool;
-            v.boolean = true;
-            return v;
-        }
-        if (consumeLiteral("false")) {
-            v.kind = JsonValue::Kind::Bool;
-            v.boolean = false;
-            return v;
-        }
-        if (consumeLiteral("null"))
-            return v;
-        char *end = nullptr;
-        double num = std::strtod(text_.c_str() + pos_, &end);
-        if (end == text_.c_str() + pos_)
-            fail("unexpected token");
-        pos_ = static_cast<std::size_t>(end - text_.c_str());
-        v.kind = JsonValue::Kind::Number;
-        v.number = num;
-        return v;
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
-
-} // namespace
+    return sfetch::rowJson(rows_.at(i));
+}
 
 std::string
 ResultSet::toJson() const
@@ -602,54 +387,8 @@ ResultSet::toJson() const
     std::ostringstream os;
     os << "{\n  \"wall_seconds\": " << d2s(wallSeconds_)
        << ",\n  \"rows\": [";
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-        const ResultRow &r = rows_[i];
-        const SimStats &st = r.stats;
-        const SimConfig &c = r.cfg;
-        os << (i ? "," : "") << "\n    {\n"
-           << "      \"bench\": \"" << jsonEscape(r.bench) << "\",\n"
-           << "      \"config\": {"
-           << "\"spec\": \"" << jsonEscape(c.specText()) << "\", "
-           << "\"arch\": \"" << jsonEscape(c.arch()) << "\", "
-           << "\"params\": " << c.params().toJson() << ", "
-           << "\"width\": " << c.width << ", "
-           << "\"layout\": \""
-           << (c.optimizedLayout ? "opt" : "base") << "\", "
-           << "\"insts\": " << u2s(c.insts) << ", "
-           << "\"warmup\": " << u2s(c.warmupInsts) << "},\n"
-           << "      \"stats\": {"
-           << "\"cycles\": " << u2s(st.cycles) << ", "
-           << "\"committed_insts\": " << u2s(st.committedInsts)
-           << ", "
-           << "\"committed_branches\": " << u2s(st.committedBranches)
-           << ", "
-           << "\"committed_cond_branches\": "
-           << u2s(st.committedCondBranches) << ", "
-           << "\"mispredicts\": " << u2s(st.mispredicts) << ", "
-           << "\"cond_mispredicts\": " << u2s(st.condMispredicts)
-           << ", \"mispredicts_by_type\": [";
-        for (std::size_t t = 0; t < kNumBranchTypes; ++t)
-            os << (t ? ", " : "") << u2s(st.mispredictsByType[t]);
-        os << "], "
-           << "\"fetched_correct\": " << u2s(st.fetchedCorrect)
-           << ", "
-           << "\"fetched_wrong\": " << u2s(st.fetchedWrong) << ", "
-           << "\"fetch_cycles_attempted\": "
-           << u2s(st.fetchCyclesAttempted) << ", "
-           << "\"fetch_opp_insts\": " << u2s(st.fetchOppInsts) << ", "
-           << "\"l1i_miss_rate\": " << d2s(st.l1iMissRate) << ", "
-           << "\"l1d_miss_rate\": " << d2s(st.l1dMissRate) << ", "
-           << "\"ipc\": " << d2s(st.ipc()) << ", "
-           << "\"fetch_ipc\": " << d2s(st.fetchIpc()) << ", "
-           << "\"mispredict_rate\": " << d2s(st.mispredictRate())
-           << ", \"engine\": {";
-        std::size_t k = 0;
-        for (const auto &[name, val] : st.engine.all())
-            os << (k++ ? ", " : "") << "\"" << jsonEscape(name)
-               << "\": " << d2s(val);
-        os << "}},\n      \"wall_seconds\": " << d2s(r.wallSeconds)
-           << "\n    }";
-    }
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+        os << (i ? "," : "") << "\n    " << rowJson(i);
     os << "\n  ]\n}\n";
     return os.str();
 }

@@ -48,6 +48,15 @@ struct ResultRow
 
 bool operator==(const ResultRow &a, const ResultRow &b);
 
+/**
+ * The single-line JSON object for one row — exactly the element
+ * toJson() places in its "rows" array (sfetchd streams these as they
+ * complete without re-implementing the schema). Concatenating
+ * rowJson() outputs into a `{"wall_seconds": s, "rows": [...]}`
+ * envelope yields a document fromJson() parses identically.
+ */
+std::string rowJson(const ResultRow &row);
+
 /** An ordered collection of runs plus sweep-level metadata. */
 class ResultSet
 {
@@ -90,6 +99,9 @@ class ResultSet
 
     /** A single JSON document; includes engine-internal stats. */
     std::string toJson() const;
+
+    /** sfetch::rowJson() for row @p i (bounds-checked). */
+    std::string rowJson(std::size_t i) const;
 
     /** Parse toCsv() output. Throws std::runtime_error on malformed
      * input. Engine stats are not represented in CSV. */

@@ -12,18 +12,19 @@ WorkloadCache::instance()
     return cache;
 }
 
-WorkloadCache::Slot &
+std::shared_ptr<WorkloadCache::Slot>
 WorkloadCache::slot(const std::string &bench_name)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    std::unique_ptr<Slot> &s = slots_[bench_name];
+    std::shared_ptr<Slot> &s = slots_[bench_name];
     if (!s)
-        s = std::make_unique<Slot>();
-    return *s;
+        s = std::make_shared<Slot>();
+    s->lastUse = ++useClock_;
+    return s;
 }
 
-const PlacedWorkload &
-WorkloadCache::get(const std::string &bench_spec)
+std::shared_ptr<PlacedWorkload>
+WorkloadCache::build(const std::string &bench_spec)
 {
     // Key on the canonical spec (validated here, before any slot is
     // created): without this, `loops:depth=2,trips=8` and
@@ -31,11 +32,28 @@ WorkloadCache::get(const std::string &bench_spec)
     // dropped workload params would let different workloads alias
     // one cache entry.
     const std::string key = canonicalBenchSpec(bench_spec);
-    Slot &s = slot(key);
-    std::call_once(s.once, [&] {
-        s.work = std::make_unique<PlacedWorkload>(key);
+    std::shared_ptr<Slot> s = slot(key);
+    bool missed = false;
+    std::call_once(s->once, [&] {
+        missed = true;
+        s->work = std::make_shared<PlacedWorkload>(key);
     });
-    return *s.work;
+    (missed ? misses_ : hits_).fetch_add(1);
+    // The local shared_ptr<Slot> keeps the slot (and its workload)
+    // alive even if the entry is evicted from the map concurrently.
+    return s->work;
+}
+
+const PlacedWorkload &
+WorkloadCache::get(const std::string &bench_spec)
+{
+    return *build(bench_spec);
+}
+
+std::shared_ptr<const PlacedWorkload>
+WorkloadCache::getShared(const std::string &bench_spec)
+{
+    return build(bench_spec);
 }
 
 bool
@@ -58,10 +76,70 @@ WorkloadCache::size() const
     return n;
 }
 
+std::size_t
+WorkloadCache::bytesResident() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t bytes = 0;
+    for (const auto &[name, s] : slots_)
+        if (s->work)
+            bytes += s->work->arenaBytesResident();
+    return bytes;
+}
+
+std::size_t
+WorkloadCache::evictLru()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto victim = slots_.end();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+        const std::shared_ptr<Slot> &s = it->second;
+        // Only entries the cache solely owns are evictable: an
+        // outstanding getShared() pin (use_count > 1) means a job is
+        // still reading the workload.
+        if (!s->work || s->work.use_count() > 1)
+            continue;
+        if (victim == slots_.end() ||
+            s->lastUse < victim->second->lastUse)
+            victim = it;
+    }
+    if (victim == slots_.end())
+        return 0;
+    const std::size_t bytes =
+        victim->second->work->arenaBytesResident();
+    slots_.erase(victim);
+    evictions_.fetch_add(1);
+    return bytes;
+}
+
+std::size_t
+WorkloadCache::evictToBudget(std::size_t budget_bytes)
+{
+    std::size_t freed = 0;
+    while (bytesResident() > budget_bytes) {
+        // An eviction can free 0 arena bytes (entry never decoded
+        // one), so progress is judged by the eviction counter, not
+        // the byte yield.
+        const std::uint64_t before = evictions_.load();
+        freed += evictLru();
+        if (evictions_.load() == before)
+            break;
+    }
+    return freed;
+}
+
 void
 WorkloadCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
+    // Entries pinned by getShared() survive this clear() through
+    // their external owners, but their arena slots are dropped here
+    // so the decode memory is released as soon as any in-flight
+    // replay finishes (a clear() that left 28 MB arenas parked on
+    // pinned workloads would not actually free anything).
+    for (const auto &[name, s] : slots_)
+        if (s->work)
+            s->work->dropArenas();
     slots_.clear();
 }
 

@@ -3,15 +3,31 @@
  * Process-wide registry of PlacedWorkloads. Building a workload is
  * moderately expensive (synthesis + a profiling run + two placements),
  * and every sweep wants the same eleven suite members, so the cache
- * constructs each exactly once per process and hands out shared
- * read-only references. Safe to use from many threads: concurrent
- * get() calls for the same name block on one build; calls for
- * different names build in parallel.
+ * constructs each exactly once and hands out shared read-only
+ * references. Safe to use from many threads: concurrent get() calls
+ * for the same name block on one build; calls for different names
+ * build in parallel.
+ *
+ * The cache used to be grow-only, which is fine for one-shot bench
+ * binaries but unbounded for a resident daemon sweeping many bench
+ * specs. It now carries byte accounting (the budgetable cost is the
+ * per-layout committed-path arenas — see PlacedWorkload::
+ * arenaBytesResident()) and LRU eviction, which sfetchd's memory
+ * governor drives against its --mem-budget-mb.
+ *
+ * Pinning contract: get() returns a bare reference that eviction can
+ * invalidate, so it remains correct only for callers that never
+ * evict (every one-shot binary). Anything that runs concurrently
+ * with eviction — daemon jobs above all — must pin the workload via
+ * getShared() for as long as it reads it: evictLru() only removes
+ * entries whose sole owner is the cache.
  */
 
 #ifndef SFETCH_SIM_WORKLOAD_CACHE_HH
 #define SFETCH_SIM_WORKLOAD_CACHE_HH
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,11 +52,20 @@ class WorkloadCache
      * canonical ParamSet text — so two specs naming the same
      * parameters in different order or spelling share one build,
      * while specs differing in any workload parameter can never
-     * alias one entry. The reference stays valid (and immutable) for
-     * the cache's lifetime. Throws std::invalid_argument for unknown
-     * names.
+     * alias one entry. The reference stays valid (and immutable)
+     * until the entry is evicted or cleared — see the pinning
+     * contract in the file comment. Throws std::invalid_argument for
+     * unknown names.
      */
     const PlacedWorkload &get(const std::string &bench_spec);
+
+    /**
+     * As get(), but returns an owning handle that pins the workload:
+     * entries with outstanding getShared() references are never
+     * evicted (and stay fully valid even across clear()).
+     */
+    std::shared_ptr<const PlacedWorkload>
+    getShared(const std::string &bench_spec);
 
     /** True when @p bench_spec has already been built. */
     bool contains(const std::string &bench_spec) const;
@@ -48,25 +73,70 @@ class WorkloadCache
     /** Number of workloads built so far. */
     std::size_t size() const;
 
-    /** Drop all cached workloads (testing hook). */
+    /**
+     * Budgetable bytes resident in the cache: the sum of
+     * arenaBytesResident() over every built entry. (Workload
+     * program/image structures are a few hundred KB each and are not
+     * counted; the 28 MB/arena decode memory is what a budget must
+     * govern.)
+     */
+    std::size_t bytesResident() const;
+
+    /**
+     * Evict the least-recently-used entry whose only owner is the
+     * cache (pinned entries are skipped). Returns the arena bytes
+     * released, or 0 when nothing was evictable — including when the
+     * cache is empty. The evicted workload's arenas die with it
+     * unless a sweep still holds their shared_ptrs.
+     */
+    std::size_t evictLru();
+
+    /**
+     * Evict LRU entries until bytesResident() <= @p budget_bytes or
+     * nothing more is evictable. Returns total bytes released.
+     */
+    std::size_t evictToBudget(std::size_t budget_bytes);
+
+    /** Lifetime hit/miss/eviction counters (hits = get/getShared
+     * calls that found the workload already built). */
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t evictions() const { return evictions_.load(); }
+
+    /**
+     * Drop every cache entry *and* every cached arena reference,
+     * including arenas of entries kept alive by outstanding
+     * getShared() pins (those workloads stay usable; their arenas
+     * are re-decoded on next use). Testing hook and the daemon's
+     * memory panic button.
+     */
     void clear();
 
   private:
     /**
      * Per-name slot. The once flag serializes the build; the map
-     * mutex only guards slot creation, so distinct names can build
-     * concurrently.
+     * mutex only guards slot creation/eviction, so distinct names
+     * can build concurrently. Slots are shared_ptr-held: a thread
+     * mid-build keeps its slot alive even if the entry is evicted
+     * under it.
      */
     struct Slot
     {
         std::once_flag once;
-        std::unique_ptr<PlacedWorkload> work;
+        std::shared_ptr<PlacedWorkload> work;
+        std::uint64_t lastUse = 0;
     };
 
-    Slot &slot(const std::string &bench_name);
+    std::shared_ptr<Slot> slot(const std::string &bench_name);
+    std::shared_ptr<PlacedWorkload>
+    build(const std::string &bench_spec);
 
     mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<Slot>> slots_;
+    std::map<std::string, std::shared_ptr<Slot>> slots_;
+    std::uint64_t useClock_ = 0;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 } // namespace sfetch

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "layout/oracle_arena.hh"
+#include "serve/jsonio.hh"
 #include "sim/cli.hh"
 #include "sim/driver.hh"
 #include "sim/workload_cache.hh"
@@ -134,6 +138,93 @@ TEST(SweepDriver, ForEachWorkloadVisitsEveryBenchOnce)
     EXPECT_EQ(seen, benches);
 }
 
+/**
+ * The streaming overload's contract: every row is delivered exactly
+ * once, with its point index, and both the streamed rows and the
+ * returned ResultSet are bit-identical to a plain run(points) — at
+ * one job and at several.
+ */
+TEST(SweepDriver, RowCallbackStreamsEveryRowIdentically)
+{
+    auto points = smallGrid();
+    SweepDriver base(1);
+    base.setQuiet(true);
+    ResultSet expect = base.run(points);
+    ASSERT_EQ(expect.size(), points.size());
+
+    for (unsigned jobs : {1u, 4u}) {
+        SweepDriver driver(jobs);
+        driver.setQuiet(true);
+        std::vector<char> seen(points.size(), 0);
+        std::vector<ResultRow> streamed(points.size());
+        std::size_t calls = 0;
+        ResultSet rs = driver.run(
+            points, [&](const ResultRow &row, std::size_t point,
+                        std::size_t of) {
+                ASSERT_EQ(of, points.size());
+                ASSERT_LT(point, points.size());
+                EXPECT_EQ(seen[point], 0)
+                    << "point " << point << " delivered twice";
+                seen[point] = 1;
+                streamed[point] = row;
+                ++calls;
+            });
+        EXPECT_EQ(calls, points.size()) << "jobs=" << jobs;
+        ASSERT_EQ(rs.size(), points.size()) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            EXPECT_EQ(streamed[i].bench, rs.at(i).bench);
+            EXPECT_EQ(streamed[i].cfg, rs.at(i).cfg);
+            EXPECT_EQ(streamed[i].stats, rs.at(i).stats)
+                << "jobs=" << jobs << " row " << i
+                << ": callback row != returned row";
+            EXPECT_EQ(rs.at(i).stats, expect.at(i).stats)
+                << "jobs=" << jobs << " row " << i
+                << ": streamed run != plain run";
+        }
+    }
+}
+
+TEST(SweepDriver, CallbackArrivesInPointOrderWhenSerial)
+{
+    auto points = smallGrid();
+    SweepDriver driver(1);
+    driver.setQuiet(true);
+    std::vector<std::size_t> order;
+    driver.run(points,
+               [&](const ResultRow &, std::size_t point,
+                   std::size_t) { order.push_back(point); });
+    ASSERT_EQ(order.size(), points.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(SweepDriver, StopFlagCancelsRemainingPoints)
+{
+    auto points = smallGrid();
+    SweepDriver base(1);
+    base.setQuiet(true);
+    ResultSet expect = base.run(points);
+
+    std::atomic<bool> stop{false};
+    SweepDriver driver(1);
+    driver.setQuiet(true);
+    driver.setStopFlag(&stop);
+    std::size_t calls = 0;
+    ResultSet rs = driver.run(
+        points, [&](const ResultRow &, std::size_t, std::size_t) {
+            if (++calls == 3)
+                stop = true;
+        });
+    EXPECT_EQ(calls, 3u);
+    // Completed points survive, in point order, bit-identical to an
+    // uncancelled run; everything after the flag flipped is absent.
+    ASSERT_EQ(rs.size(), 3u);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(rs.at(i).cfg, expect.at(i).cfg);
+        EXPECT_EQ(rs.at(i).stats, expect.at(i).stats);
+    }
+}
+
 TEST(WorkloadCache, ReturnsSameInstance)
 {
     WorkloadCache &cache = WorkloadCache::instance();
@@ -148,6 +239,111 @@ TEST(WorkloadCache, UnknownBenchmarkThrows)
 {
     EXPECT_THROW(WorkloadCache::instance().get("not-a-benchmark"),
                  std::invalid_argument);
+}
+
+TEST(WorkloadCache, ByteAccountingTracksDecodedArenas)
+{
+    WorkloadCache &cache = WorkloadCache::instance();
+    cache.clear();
+    EXPECT_EQ(cache.bytesResident(), 0u);
+    const std::uint64_t ev0 = cache.evictions();
+    EXPECT_EQ(cache.evictLru(), 0u); // empty cache: nothing to evict
+    EXPECT_EQ(cache.evictions(), ev0);
+
+    const PlacedWorkload &gzip = cache.get("gzip");
+    EXPECT_EQ(cache.bytesResident(), 0u); // no arena decoded yet
+    auto arena = gzip.arena(true, 30'000);
+    ASSERT_TRUE(arena);
+    EXPECT_GT(arena->bytes(), 0u);
+    EXPECT_EQ(cache.bytesResident(), arena->bytes());
+    EXPECT_EQ(gzip.arenaBytesResident(), arena->bytes());
+
+    // A second layout's arena adds on top.
+    auto base_arena = gzip.arena(false, 30'000);
+    EXPECT_EQ(cache.bytesResident(),
+              arena->bytes() + base_arena->bytes());
+}
+
+TEST(WorkloadCache, EvictLruDropsOldestAndReturnsItsBytes)
+{
+    WorkloadCache &cache = WorkloadCache::instance();
+    cache.clear();
+    const PlacedWorkload &gzip = cache.get("gzip");
+    auto arena = gzip.arena(true, 30'000);
+    const std::size_t gzip_bytes = arena->bytes();
+    cache.get("vpr"); // more recently used than gzip
+
+    const std::uint64_t ev0 = cache.evictions();
+    EXPECT_EQ(cache.evictLru(), gzip_bytes);
+    EXPECT_EQ(cache.evictions(), ev0 + 1);
+    EXPECT_FALSE(cache.contains("gzip"));
+    EXPECT_TRUE(cache.contains("vpr"));
+    // Our shared_ptr still keeps the decoded arena itself alive.
+    EXPECT_GE(OracleArena::liveBytes(), gzip_bytes);
+
+    // evictToBudget(0) empties everything evictable.
+    cache.evictToBudget(0);
+    EXPECT_EQ(cache.bytesResident(), 0u);
+}
+
+TEST(WorkloadCache, PinnedEntriesAreNotEvicted)
+{
+    WorkloadCache &cache = WorkloadCache::instance();
+    cache.clear();
+    std::shared_ptr<const PlacedWorkload> pin =
+        cache.getShared("gzip");
+    cache.get("vpr");
+
+    // gzip is LRU but pinned, so eviction lands on vpr.
+    cache.evictLru();
+    EXPECT_TRUE(cache.contains("gzip"));
+    EXPECT_FALSE(cache.contains("vpr"));
+
+    // Nothing evictable while the pin is held.
+    const std::uint64_t ev0 = cache.evictions();
+    EXPECT_EQ(cache.evictLru(), 0u);
+    EXPECT_EQ(cache.evictions(), ev0);
+    EXPECT_TRUE(cache.contains("gzip"));
+
+    pin.reset();
+    cache.evictLru();
+    EXPECT_FALSE(cache.contains("gzip"));
+}
+
+TEST(WorkloadCache, ClearDropsArenaRefsEvenOnPinnedEntries)
+{
+    WorkloadCache &cache = WorkloadCache::instance();
+    cache.clear();
+    std::shared_ptr<const PlacedWorkload> pin =
+        cache.getShared("gzip");
+    auto arena = pin->arena(true, 30'000);
+    const std::size_t bytes = arena->bytes();
+    EXPECT_EQ(cache.bytesResident(), bytes);
+    arena.reset(); // the workload's cached slot still holds it
+    EXPECT_GE(OracleArena::liveBytes(), bytes);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.bytesResident(), 0u);
+    // The pinned workload survives clear(), usable as ever — but its
+    // arena memory was released, not parked.
+    EXPECT_EQ(pin->arenaBytesResident(), 0u);
+    EXPECT_EQ(pin->name(), "gzip");
+}
+
+TEST(WorkloadCache, HitAndMissCountersAdvance)
+{
+    WorkloadCache &cache = WorkloadCache::instance();
+    cache.clear();
+    const std::uint64_t h0 = cache.hits();
+    const std::uint64_t m0 = cache.misses();
+    cache.get("gzip");
+    EXPECT_EQ(cache.misses(), m0 + 1);
+    EXPECT_EQ(cache.hits(), h0);
+    cache.get("gzip");
+    cache.getShared("gzip");
+    EXPECT_EQ(cache.misses(), m0 + 1);
+    EXPECT_EQ(cache.hits(), h0 + 2);
 }
 
 TEST(ResultSet, CsvRoundTripsRows)
@@ -199,6 +395,53 @@ TEST(ResultSet, JsonRoundTripsRowsIncludingEngineStats)
         EXPECT_EQ(back.at(i).cfg, rs.at(i).cfg);
         EXPECT_EQ(back.at(i).stats, rs.at(i).stats);
         EXPECT_EQ(back.at(i).wallSeconds, rs.at(i).wallSeconds);
+    }
+}
+
+/**
+ * rowJson() is the daemon's streaming unit; the regression that
+ * matters is that concatenating the per-row documents back into the
+ * envelope reproduces the exact ResultSet JSON semantics.
+ */
+TEST(ResultSet, RowJsonConcatenationParsesIdenticallyToToJson)
+{
+    SweepDriver driver(2);
+    driver.setQuiet(true);
+    RunConfig cfg;
+    cfg.arch = ArchKind::Stream;
+    cfg.width = 8;
+    cfg.insts = 20'000;
+    cfg.warmupInsts = 4'000;
+    RunConfig cfg2 = cfg;
+    cfg2.arch = ArchKind::Ev8;
+    cfg2.width = 4;
+    ResultSet rs =
+        driver.run(SweepDriver::grid({"gzip"}, {cfg, cfg2}));
+    ASSERT_EQ(rs.size(), 2u);
+
+    // The member and the free function agree, and each row is a
+    // single line (an NDJSON frame can embed it verbatim).
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(rs.rowJson(i), rowJson(rs.at(i)));
+        EXPECT_EQ(rs.rowJson(i).find('\n'), std::string::npos);
+    }
+
+    std::string manual = "{\"wall_seconds\": " +
+                         jsonNumber(rs.wallSeconds()) +
+                         ", \"rows\": [";
+    for (std::size_t i = 0; i < rs.size(); ++i)
+        manual += (i ? "," : "") + rs.rowJson(i);
+    manual += "]}";
+
+    ResultSet a = ResultSet::fromJson(manual);
+    ResultSet b = ResultSet::fromJson(rs.toJson());
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.wallSeconds(), b.wallSeconds());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.at(i).bench, b.at(i).bench);
+        EXPECT_EQ(a.at(i).cfg, b.at(i).cfg);
+        EXPECT_EQ(a.at(i).stats, b.at(i).stats);
+        EXPECT_EQ(a.at(i).wallSeconds, b.at(i).wallSeconds);
     }
 }
 

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * End-to-end and protocol tests for the sfetchd serve subsystem: an
+ * in-process Server on a temp socket, real ServeClient connections,
+ * concurrent streaming submits checked bit-identical against the
+ * offline SweepDriver, and the protocol's structured error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "sim/driver.hh"
+#include "sim/workload_cache.hh"
+
+using namespace sfetch;
+
+namespace
+{
+
+/** A fresh socket path per test (sun_path is short; keep it so). */
+std::string
+testSocket(const char *tag)
+{
+    return "/tmp/sfetch-test-" + std::to_string(::getpid()) + "-" +
+           tag + ".sock";
+}
+
+ServeConfig
+testConfig(const char *tag)
+{
+    ServeConfig cfg;
+    cfg.socketPath = testSocket(tag);
+    cfg.workers = 2;
+    cfg.memBudgetBytes = std::size_t(64) << 20;
+    cfg.quiet = true;
+    return cfg;
+}
+
+/** The canonical 6-point submit the e2e tests sweep. */
+constexpr const char *kSubmit6 =
+    "{\"verb\": \"submit\", \"bench\": \"gzip\", "
+    "\"arch\": \"stream,ev8,ftb\", \"widths\": [4, 8], "
+    "\"insts\": 20000, \"warmup\": 4000}";
+
+/** The offline grid matching kSubmit6 (same expansion order: width
+ * outer, arch inner — mirroring the server's submit handler). */
+std::vector<SweepPoint>
+grid6()
+{
+    std::vector<SimConfig> cfgs;
+    for (unsigned width : {4u, 8u})
+        for (const char *arch : {"stream", "ev8", "ftb"}) {
+            SimConfig cfg(arch);
+            cfg.width = width;
+            cfg.optimizedLayout = true;
+            cfg.insts = 20'000;
+            cfg.warmupInsts = 4'000;
+            cfgs.push_back(cfg);
+        }
+    return SweepDriver::grid({"gzip"}, cfgs);
+}
+
+struct Stream
+{
+    JsonValue ack;
+    std::vector<JsonValue> frames; //!< row frames, arrival order
+    JsonValue summary;
+    bool done = false;
+};
+
+/** Submit @p submit_json and collect the whole stream. */
+Stream
+collect(const std::string &socket, const std::string &submit_json)
+{
+    Stream s;
+    ServeClient client(socket);
+    s.done = client.submitStream(
+        submit_json,
+        [&](const JsonValue &parsed, const std::string &) {
+            if (s.ack.kind == JsonValue::Kind::Null) {
+                s.ack = parsed;
+            } else if (const JsonValue *d = parsed.find("done");
+                       d && d->kind == JsonValue::Kind::Bool &&
+                       d->boolean) {
+                s.summary = parsed;
+            } else {
+                s.frames.push_back(parsed);
+            }
+            return true;
+        });
+    return s;
+}
+
+/** The `"row": {...}` payload of a frame line, as raw JSON text. */
+std::string
+rowPayload(const std::string &frame_line)
+{
+    const std::string key = "\"row\": ";
+    std::size_t at = frame_line.find(key);
+    EXPECT_NE(at, std::string::npos) << frame_line;
+    // The row object is the frame's final member.
+    return frame_line.substr(at + key.size(),
+                             frame_line.size() - at - key.size() - 1);
+}
+
+} // namespace
+
+TEST(Serve, ConcurrentSubmitsStreamBitIdenticalToOffline)
+{
+    // Offline reference, same grid, single-threaded.
+    SweepDriver offline(1);
+    offline.setQuiet(true);
+    ResultSet expect = offline.run(grid6());
+    ASSERT_EQ(expect.size(), 6u);
+
+    Server server(testConfig("e2e"));
+    server.start();
+
+    // Two clients submit the same 6-point sweep concurrently; the
+    // daemon runs them on two workers.
+    std::vector<std::string> raw_lines[2];
+    Stream streams[2];
+    std::thread t0([&] {
+        ServeClient client(server.config().socketPath);
+        client.submitStream(
+            kSubmit6,
+            [&](const JsonValue &parsed, const std::string &raw) {
+                raw_lines[0].push_back(raw);
+                if (parsed.find("point"))
+                    streams[0].frames.push_back(parsed);
+                return true;
+            });
+    });
+    std::thread t1([&] {
+        ServeClient client(server.config().socketPath);
+        client.submitStream(
+            kSubmit6,
+            [&](const JsonValue &parsed, const std::string &raw) {
+                raw_lines[1].push_back(raw);
+                if (parsed.find("point"))
+                    streams[1].frames.push_back(parsed);
+                return true;
+            });
+    });
+    t0.join();
+    t1.join();
+
+    for (int c = 0; c < 2; ++c) {
+        // ack + 6 frames + summary
+        ASSERT_EQ(raw_lines[c].size(), 8u) << "client " << c;
+        ASSERT_EQ(streams[c].frames.size(), 6u) << "client " << c;
+
+        // Row-complete and point-ordered (the daemon's default sweep
+        // is single-threaded, so completion order == point order).
+        std::string rows_doc = "{\"wall_seconds\": 0, \"rows\": [";
+        for (std::size_t i = 0; i < streams[c].frames.size(); ++i) {
+            const JsonValue &f = streams[c].frames[i];
+            EXPECT_EQ(f.at("point").asU64(), i) << "client " << c;
+            EXPECT_EQ(f.at("of").asU64(), 6u);
+            EXPECT_TRUE(f.at("arena").asBool())
+                << "6-point group fits a 64 MiB budget";
+            rows_doc += (i ? "," : "") +
+                        rowPayload(raw_lines[c][1 + i]);
+        }
+        rows_doc += "]}";
+
+        // Every streamed row is bit-identical to the offline sweep.
+        ResultSet streamed = ResultSet::fromJson(rows_doc);
+        ASSERT_EQ(streamed.size(), expect.size()) << "client " << c;
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+            EXPECT_EQ(streamed.at(i).bench, expect.at(i).bench);
+            EXPECT_EQ(streamed.at(i).cfg, expect.at(i).cfg)
+                << "client " << c << " row " << i;
+            EXPECT_EQ(streamed.at(i).stats, expect.at(i).stats)
+                << "client " << c << " row " << i
+                << " diverged from the offline driver";
+        }
+
+        // The summary closes the stream in the done state.
+        const JsonValue last =
+            JsonReader(raw_lines[c].back()).parse();
+        EXPECT_TRUE(last.at("done").asBool());
+        EXPECT_EQ(last.at("state").asString(), "done");
+        EXPECT_EQ(last.at("points_done").asU64(), 6u);
+    }
+
+    // The governor held the line: resident arena bytes never exceed
+    // the budget (checked via the same stats the verb reports).
+    ServeStats st = server.stats();
+    EXPECT_EQ(st.jobsSubmitted, 2u);
+    EXPECT_EQ(st.jobsServed, 2u);
+    EXPECT_EQ(st.rowsStreamed, 12u);
+    EXPECT_EQ(st.arenaFallbacks, 0u);
+    EXPECT_LE(st.residentArenaBytes, st.memBudgetBytes);
+
+    server.stop(true);
+}
+
+TEST(Serve, ProtocolErrorsAreStructuredAndNonFatal)
+{
+    Server server(testConfig("proto"));
+    server.start();
+    ServeClient client(server.config().socketPath);
+
+    // Malformed JSON.
+    JsonValue r = client.request("this is not json {");
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_EQ(r.at("reason").asString(), "bad_json");
+
+    // Unknown verb — the connection survived the bad line.
+    r = client.request("{\"verb\": \"frobnicate\"}");
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_EQ(r.at("reason").asString(), "unknown_verb");
+
+    // Missing verb.
+    r = client.request("{\"job\": 1}");
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_EQ(r.at("reason").asString(), "unknown_verb");
+
+    // Bad engine spec on submit.
+    r = client.request("{\"verb\": \"submit\", "
+                       "\"arch\": \"not-an-engine\", "
+                       "\"bench\": \"gzip\"}");
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_EQ(r.at("reason").asString(), "bad_spec");
+
+    // Bad bench spec.
+    r = client.request("{\"verb\": \"submit\", "
+                       "\"bench\": \"not-a-bench\"}");
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_EQ(r.at("reason").asString(), "bad_spec");
+
+    // Unknown job id.
+    r = client.request("{\"verb\": \"status\", \"job\": 999}");
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_EQ(r.at("reason").asString(), "unknown_job");
+
+    // After all that abuse, the connection still serves real work.
+    r = client.request("{\"verb\": \"health\"}");
+    EXPECT_TRUE(r.at("ok").asBool());
+    EXPECT_EQ(r.at("health").asString(), "ok");
+
+    ServeStats st = server.stats();
+    EXPECT_EQ(st.jobsRejected, 2u); // the two bad submits
+    server.stop(true);
+}
+
+TEST(Serve, AdmissionControlRejectsWithReasons)
+{
+    // Points-per-job quota.
+    {
+        ServeConfig cfg = testConfig("admit1");
+        cfg.maxPointsPerJob = 4;
+        Server server(cfg);
+        server.start();
+        ServeClient client(cfg.socketPath);
+        JsonValue r = client.request(kSubmit6); // expands to 6 > 4
+        EXPECT_FALSE(r.at("ok").asBool());
+        EXPECT_EQ(r.at("reason").asString(), "max_points_per_job");
+        server.stop(true);
+    }
+    // Job-count quota.
+    {
+        ServeConfig cfg = testConfig("admit2");
+        cfg.maxJobs = 0;
+        Server server(cfg);
+        server.start();
+        ServeClient client(cfg.socketPath);
+        JsonValue r = client.request(kSubmit6);
+        EXPECT_FALSE(r.at("ok").asBool());
+        EXPECT_EQ(r.at("reason").asString(), "queue_full");
+        server.stop(true);
+    }
+    // Budget: a job that *requires* arenas it can never fit is
+    // rejected at submit, before any simulation runs.
+    {
+        ServeConfig cfg = testConfig("admit3");
+        cfg.memBudgetBytes = std::size_t(1) << 20;
+        Server server(cfg);
+        server.start();
+        ServeClient client(cfg.socketPath);
+        JsonValue r = client.request(
+            "{\"verb\": \"submit\", \"bench\": \"gzip\", "
+            "\"arch\": \"stream,ev8\", \"insts\": 1000000, "
+            "\"arena\": \"require\"}");
+        EXPECT_FALSE(r.at("ok").asBool());
+        EXPECT_EQ(r.at("reason").asString(), "over_budget");
+        EXPECT_EQ(server.stats().jobsRejected, 1u);
+        server.stop(true);
+    }
+}
+
+TEST(Serve, OverBudgetAutoJobFallsBackToLiveGeneration)
+{
+    SweepDriver offline(1);
+    offline.setQuiet(true);
+    ResultSet expect = offline.run(grid6());
+    // The offline reference decoded an arena into the shared cache;
+    // drop it so the "budget 0 stays honest" assertion below sees
+    // only what the daemon itself made resident.
+    WorkloadCache::instance().clear();
+
+    ServeConfig cfg = testConfig("fallback");
+    cfg.memBudgetBytes = 0; // nothing fits: every arena plan fails
+    Server server(cfg);
+    server.start();
+
+    std::vector<std::string> raw;
+    std::vector<JsonValue> frames;
+    {
+        ServeClient client(cfg.socketPath);
+        EXPECT_TRUE(client.submitStream(
+            kSubmit6,
+            [&](const JsonValue &parsed, const std::string &line) {
+                raw.push_back(line);
+                if (parsed.find("point"))
+                    frames.push_back(parsed);
+                return true;
+            }));
+    }
+    ASSERT_EQ(frames.size(), 6u);
+    std::string rows_doc = "{\"wall_seconds\": 0, \"rows\": [";
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        // The frames say so: these rows came from live generation.
+        EXPECT_FALSE(frames[i].at("arena").asBool());
+        rows_doc += (i ? "," : "") + rowPayload(raw[1 + i]);
+    }
+    rows_doc += "]}";
+
+    // Fallback is invisible in the numbers.
+    ResultSet streamed = ResultSet::fromJson(rows_doc);
+    ASSERT_EQ(streamed.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(streamed.at(i).stats, expect.at(i).stats)
+            << "row " << i << " diverged under arena fallback";
+
+    ServeStats st = server.stats();
+    EXPECT_EQ(st.arenaFallbacks, 1u);
+    EXPECT_EQ(st.residentArenaBytes, 0u); // budget 0 stayed honest
+    server.stop(true);
+}
+
+TEST(Serve, StatusCancelStatsAndShutdownVerbs)
+{
+    Server server(testConfig("verbs"));
+    server.start();
+    const std::string &sock = server.config().socketPath;
+
+    Stream s = collect(sock, kSubmit6);
+    ASSERT_TRUE(s.done);
+    const std::uint64_t job = s.ack.at("job").asU64();
+
+    ServeClient client(sock);
+    JsonValue r = client.request(
+        "{\"verb\": \"status\", \"job\": " + std::to_string(job) +
+        "}");
+    EXPECT_TRUE(r.at("ok").asBool());
+    EXPECT_EQ(r.at("state").asString(), "done");
+    EXPECT_EQ(r.at("points_done").asU64(), 6u);
+    EXPECT_EQ(r.at("of").asU64(), 6u);
+
+    // Cancelling a finished job is a polite no-op.
+    r = client.request("{\"verb\": \"cancel\", \"job\": " +
+                       std::to_string(job) + "}");
+    EXPECT_TRUE(r.at("ok").asBool());
+    EXPECT_FALSE(r.at("cancelled").asBool());
+
+    r = client.request("{\"verb\": \"stats\"}");
+    EXPECT_TRUE(r.at("ok").asBool());
+    EXPECT_EQ(r.at("jobs_served").asU64(), 1u);
+    EXPECT_EQ(r.at("rows_streamed").asU64(), 6u);
+    EXPECT_EQ(r.at("mem_budget_bytes").asU64(),
+              server.config().memBudgetBytes);
+
+    // The shutdown verb acks, then the daemon owner drains.
+    r = client.request("{\"verb\": \"shutdown\", \"drain\": true}");
+    EXPECT_TRUE(r.at("ok").asBool());
+    EXPECT_TRUE(server.waitShutdown());
+    server.stop(true);
+
+    // Fully stopped: the socket file is gone and connecting fails.
+    EXPECT_THROW(ServeClient dead(sock), std::runtime_error);
+}
+
+TEST(Serve, DrainingServerRejectsNewSubmits)
+{
+    Server server(testConfig("drain"));
+    server.start();
+    ServeClient client(server.config().socketPath);
+    // Run one job to completion, then stop(drain) — afterwards the
+    // socket is closed, so "draining" rejection needs the window
+    // *during* stop. Instead exercise the reason directly: flip the
+    // drain flag via the shutdown verb's request path and submit
+    // before the owner acts on it.
+    JsonValue r =
+        client.request("{\"verb\": \"shutdown\", \"drain\": true}");
+    EXPECT_TRUE(r.at("ok").asBool());
+    // The server only drains once stop() runs; simulate the race by
+    // stopping on another thread while this submit arrives.
+    std::thread stopper([&] { server.stop(true); });
+    // The submit lands either on a draining server ("draining") or
+    // after the socket closed (connection error) — both are clean.
+    try {
+        ServeClient late(server.config().socketPath);
+        JsonValue reply = late.request(kSubmit6);
+        EXPECT_FALSE(reply.at("ok").asBool());
+        EXPECT_EQ(reply.at("reason").asString(), "draining");
+    } catch (const std::runtime_error &) {
+        // Socket already gone: equally a refusal.
+    }
+    stopper.join();
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * sfetchctl: command-line client for sfetchd.
+ *
+ * Usage:
+ *   sfetchctl [--socket PATH] submit [--arch SPEC[,SPEC...]]
+ *             [--bench SPEC[,SPEC...]|all] [--widths 2,4,8]
+ *             [--layout base|opt] [--insts N] [--warmup N]
+ *             [--jobs N] [--arena auto|off|require]
+ *   sfetchctl [--socket PATH] status JOB
+ *   sfetchctl [--socket PATH] cancel JOB
+ *   sfetchctl [--socket PATH] stats
+ *   sfetchctl [--socket PATH] health
+ *   sfetchctl [--socket PATH] shutdown [--no-drain]
+ *
+ * submit prints every streamed line (ack, row frames, summary) to
+ * stdout as it arrives, so `sfetchctl submit ... | jq` follows a
+ * sweep live. Exit status: 0 on success, 1 when the daemon rejects
+ * or the job fails, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+#include "sim/cli.hh"
+
+using namespace sfetch;
+
+namespace
+{
+
+/** The flat submit request from the parsed command line. */
+std::string
+submitJson(const std::string &arch, const std::string &bench,
+           const std::string &widths, const std::string &layout,
+           std::uint64_t insts, std::uint64_t warmup, bool warmup_set,
+           unsigned jobs, bool jobs_set, const std::string &arena)
+{
+    JsonObjectWriter w;
+    w.field("verb", "submit");
+    if (!arch.empty())
+        w.field("arch", arch);
+    if (!bench.empty())
+        w.field("bench", bench);
+    if (!widths.empty()) {
+        std::string arr = "[";
+        for (unsigned width : CliParser::parseUnsignedList(widths))
+            arr += (arr.size() == 1 ? "" : ",") +
+                   std::to_string(width);
+        w.raw("widths", arr + "]");
+    }
+    if (!layout.empty())
+        w.field("layout", layout);
+    if (insts)
+        w.field("insts", insts);
+    if (warmup_set)
+        w.field("warmup", warmup);
+    if (jobs_set)
+        w.field("jobs", static_cast<std::uint64_t>(jobs));
+    if (!arena.empty())
+        w.field("arena", arena);
+    return w.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = "/tmp/sfetchd.sock";
+    std::string command;
+    std::string job_arg;
+    std::string arch, bench, widths, layout, arena;
+    std::uint64_t insts = 0, warmup = 0;
+    bool warmup_set = false;
+    unsigned jobs = 0;
+    bool jobs_set = false;
+    bool no_drain = false;
+
+    CliParser cli("sfetchctl",
+                  "talk to a running sfetchd (submit streams rows "
+                  "live; see serve/server.hh for the protocol)");
+    cli.addOption("--socket", "PATH",
+                  "daemon socket (default /tmp/sfetchd.sock)",
+                  [&](const std::string &v) { socket_path = v; });
+    cli.addOption("--arch", "SPEC[,SPEC...]",
+                  "engine specs (submit; default stream)",
+                  [&](const std::string &v) { arch = v; });
+    cli.addOption("--bench", "SPEC[,SPEC...]",
+                  "workload specs or 'all' (submit; default gcc)",
+                  [&](const std::string &v) { bench = v; });
+    cli.addOption("--widths", "W[,W...]",
+                  "pipe widths (submit; default 8)",
+                  [&](const std::string &v) { widths = v; });
+    cli.addOption("--layout", "base|opt",
+                  "code layout (submit; default opt)",
+                  [&](const std::string &v) { layout = v; });
+    cli.addOption("--insts", "N",
+                  "measured instructions (submit; default 1000000)",
+                  [&](const std::string &v) {
+                      insts = std::stoull(v);
+                  });
+    cli.addOption("--warmup", "N",
+                  "warmup instructions (submit; default insts/5)",
+                  [&](const std::string &v) {
+                      warmup = std::stoull(v);
+                      warmup_set = true;
+                  });
+    cli.addOption("--jobs", "N",
+                  "sweep threads for this job (submit; daemon "
+                  "default keeps rows in point order)",
+                  [&](const std::string &v) {
+                      jobs = CliParser::parseUnsignedList(v).at(0);
+                      jobs_set = true;
+                  });
+    cli.addOption("--arena", "auto|off|require",
+                  "arena policy (submit; default auto)",
+                  [&](const std::string &v) { arena = v; });
+    cli.addFlag("--no-drain",
+                "shutdown: cancel jobs instead of finishing them",
+                [&] { no_drain = true; });
+    cli.onPositional(
+        "COMMAND [JOB]",
+        "submit | status JOB | cancel JOB | stats | health | "
+        "shutdown",
+        [&](const std::string &v) {
+            if (command.empty())
+                command = v;
+            else
+                job_arg = v;
+        });
+    cli.parseOrExit(argc, argv);
+
+    if (command.empty()) {
+        std::fprintf(stderr, "sfetchctl: no command\n%s",
+                     cli.usage().c_str());
+        return 2;
+    }
+
+    try {
+        ServeClient client(socket_path);
+
+        if (command == "submit") {
+            bool ok_summary = false;
+            const bool done = client.submitStream(
+                submitJson(arch, bench, widths, layout, insts,
+                           warmup, warmup_set, jobs, jobs_set,
+                           arena),
+                [&](const JsonValue &parsed, const std::string &raw) {
+                    std::printf("%s\n", raw.c_str());
+                    std::fflush(stdout);
+                    if (const JsonValue *state =
+                            parsed.find("state"))
+                        ok_summary = state->kind ==
+                                         JsonValue::Kind::String &&
+                                     state->string == "done";
+                    return true;
+                });
+            return done && ok_summary ? 0 : 1;
+        }
+
+        std::string request;
+        if (command == "status" || command == "cancel") {
+            if (job_arg.empty()) {
+                std::fprintf(stderr, "sfetchctl: %s needs a JOB id\n",
+                             command.c_str());
+                return 2;
+            }
+            JsonObjectWriter w;
+            w.field("verb", command)
+                .field("job",
+                       static_cast<std::uint64_t>(
+                           std::stoull(job_arg)));
+            request = w.str();
+        } else if (command == "stats" || command == "health") {
+            JsonObjectWriter w;
+            w.field("verb", command);
+            request = w.str();
+        } else if (command == "shutdown") {
+            JsonObjectWriter w;
+            w.field("verb", "shutdown").field("drain", !no_drain);
+            request = w.str();
+        } else {
+            std::fprintf(stderr, "sfetchctl: unknown command '%s'\n%s",
+                         command.c_str(), cli.usage().c_str());
+            return 2;
+        }
+
+        const std::string reply = client.requestRaw(request);
+        std::printf("%s\n", reply.c_str());
+        const JsonValue parsed = JsonReader(reply).parse();
+        const JsonValue *ok = parsed.find("ok");
+        return ok && ok->kind == JsonValue::Kind::Bool && ok->boolean
+                   ? 0
+                   : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sfetchctl: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * sfetchd: the sfetch simulation daemon. Binds a Unix-domain socket,
+ * speaks the line-delimited JSON protocol documented in
+ * serve/server.hh, and keeps workloads and decoded arenas resident
+ * between requests under --mem-budget-mb.
+ *
+ * Usage:
+ *   sfetchd [--socket PATH] [--workers N] [--max-jobs N]
+ *           [--max-points-per-job N] [--mem-budget-mb N]
+ *           [--sweep-jobs N] [--quiet]
+ *
+ * Lifecycle: SIGTERM (or SIGINT, or a `shutdown` request) drains —
+ * queued and running jobs finish and their streams flush — then the
+ * daemon exits 0. SIGUSR1 dumps the stats JSON to stderr at any time.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "serve/server.hh"
+#include "sim/cli.hh"
+
+using namespace sfetch;
+
+int
+main(int argc, char **argv)
+{
+    ServeConfig cfg;
+
+    CliParser cli("sfetchd",
+                  "serve simulations over a Unix socket with "
+                  "line-delimited JSON");
+    cli.addOption("--socket", "PATH",
+                  "socket path (default /tmp/sfetchd.sock)",
+                  [&](const std::string &v) { cfg.socketPath = v; });
+    cli.addOption("--workers", "N",
+                  "concurrent jobs (default 1, 0 = all cores)",
+                  [&](const std::string &v) {
+                      cfg.workers = CliParser::parseUnsignedList(v).at(0);
+                  });
+    cli.addOption("--max-jobs", "N",
+                  "admission cap on queued+running jobs (default 8)",
+                  [&](const std::string &v) {
+                      cfg.maxJobs = CliParser::parseUnsignedList(v).at(0);
+                  });
+    cli.addOption("--max-points-per-job", "N",
+                  "admission cap on sweep points per submit "
+                  "(default 256)",
+                  [&](const std::string &v) {
+                      cfg.maxPointsPerJob =
+                          CliParser::parseUnsignedList(v).at(0);
+                  });
+    cli.addOption("--mem-budget-mb", "N",
+                  "budget for cached workload arenas in MiB "
+                  "(default 256)",
+                  [&](const std::string &v) {
+                      cfg.memBudgetBytes =
+                          std::size_t(
+                              CliParser::parseUnsignedList(v).at(0))
+                          << 20;
+                  });
+    cli.addOption("--sweep-jobs", "N",
+                  "threads per job's sweep when the submit omits "
+                  "\"jobs\" (default 1: rows stream in point order)",
+                  [&](const std::string &v) {
+                      cfg.defaultSweepJobs =
+                          CliParser::parseUnsignedList(v).at(0);
+                  });
+    cli.addFlag("--quiet", "suppress per-event logging",
+                [&] { cfg.quiet = true; });
+    cli.parseOrExit(argc, argv);
+
+    // Signals are handled synchronously on a dedicated thread: block
+    // them everywhere first (threads inherit the mask), then sigwait.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGTERM);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGUSR1);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    Server server(cfg);
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sfetchd: %s\n", e.what());
+        return 1;
+    }
+
+    // The signal thread never exits on its own — only when main sets
+    // `quit` and pokes it — so the final pthread_kill always targets
+    // a live thread.
+    std::atomic<bool> quit{false};
+    std::thread sig_thread([&] {
+        while (true) {
+            int sig = 0;
+            if (sigwait(&sigs, &sig) != 0)
+                continue;
+            if (quit.load())
+                return;
+            if (sig == SIGUSR1)
+                std::fprintf(stderr, "%s\n",
+                             server.statsJson().c_str());
+            else // SIGTERM/SIGINT: drain and exit.
+                server.requestShutdown(true);
+        }
+    });
+
+    const bool drain = server.waitShutdown();
+    server.stop(drain);
+    quit = true;
+    pthread_kill(sig_thread.native_handle(), SIGUSR1);
+    sig_thread.join();
+    return 0;
+}
