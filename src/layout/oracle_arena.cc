@@ -4,7 +4,10 @@
 #include <stdexcept>
 #include <string>
 
+#include <new>
+
 #include "layout/oracle.hh"
+#include "util/fault_inject.hh"
 #include "workload/trace_gen.hh"
 
 namespace sfetch
@@ -36,6 +39,12 @@ OracleArena::OracleArena(const CodeImage &image,
     : image_(&image), base_(image.baseAddr()), seed_(seed),
       size_(insts)
 {
+    // Injection point standing in for the resize() throw below: a
+    // decode that cannot get its memory must surface as bad_alloc
+    // (which the sweep driver degrades to live generation), never as
+    // a crash or a partial arena.
+    if (SFETCH_FAULT("arena.alloc"))
+        throw std::bad_alloc();
     // Size the control arrays up front and fill by index: the decode
     // is the arena's whole cost, and per-element push_back capacity
     // checks plus lazy first-touch page faults were a third of it.

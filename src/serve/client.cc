@@ -1,12 +1,53 @@
 #include "serve/client.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
+
+#include "util/rng.hh"
 
 namespace sfetch
 {
 
-ServeClient::ServeClient(const std::string &socket_path)
-    : ch_(connectUnix(socket_path))
+namespace
+{
+
+/**
+ * connectUnix with capped exponential backoff. Each retry waits
+ * base * 2^k, clamped to the cap, then jittered to a uniform draw
+ * in [delay/2, delay] so a fleet of retrying clients spreads out
+ * instead of re-colliding in lockstep.
+ */
+int
+connectWithRetry(const std::string &socket_path,
+                 const ServeClient::ConnectRetry &retry)
+{
+    Pcg32 rng(retry.seed, 0xc0ffee);
+    int delay = retry.baseDelayMs;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            return connectUnix(socket_path);
+        } catch (const std::runtime_error &) {
+            if (attempt >= retry.retries)
+                throw;
+        }
+        int wait = delay;
+        if (wait > 1)
+            wait = wait / 2 +
+                   static_cast<int>(rng.nextBounded(
+                       static_cast<std::uint32_t>(wait / 2 + 1)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+        if (delay < retry.maxDelayMs)
+            delay = std::min(retry.maxDelayMs, delay * 2);
+    }
+}
+
+} // namespace
+
+ServeClient::ServeClient(const std::string &socket_path,
+                         const ConnectRetry &retry)
+    : ch_(connectWithRetry(socket_path, retry))
 {
 }
 

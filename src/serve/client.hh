@@ -11,6 +11,7 @@
 #ifndef SFETCH_SERVE_CLIENT_HH
 #define SFETCH_SERVE_CLIENT_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -24,9 +25,31 @@ namespace sfetch
 class ServeClient
 {
   public:
+    /**
+     * Connect retry policy. The constructor attempts the connect
+     * `1 + retries` times, sleeping between attempts with capped
+     * exponential backoff (baseDelayMs, 2x per attempt, never more
+     * than maxDelayMs) plus seeded jitter, so a client racing a
+     * restarting daemon rides out the gap instead of herding onto
+     * the first listen().
+     */
+    struct ConnectRetry
+    {
+        int retries = 0;          //!< extra attempts after the first
+        int baseDelayMs = 50;     //!< backoff for the first retry
+        int maxDelayMs = 2000;    //!< backoff cap
+        std::uint64_t seed = 1;   //!< jitter stream seed
+    };
+
     /** Connect to the daemon at @p socket_path; throws
-     * std::runtime_error when nothing is listening there. */
-    explicit ServeClient(const std::string &socket_path);
+     * std::runtime_error when nothing is listening there after the
+     * retry budget runs out. */
+    explicit ServeClient(const std::string &socket_path)
+        : ServeClient(socket_path, ConnectRetry())
+    {
+    }
+    ServeClient(const std::string &socket_path,
+                const ConnectRetry &retry);
 
     /**
      * Send @p request_json (one line) and return the parsed reply

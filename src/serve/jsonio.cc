@@ -156,11 +156,14 @@ JsonReader::value()
 {
     char c = peek();
     JsonValue v;
+    if ((c == '{' || c == '[') && ++depth_ > kMaxDepth)
+        fail("nesting too deep");
     if (c == '{') {
         ++pos_;
         v.kind = JsonValue::Kind::Object;
         if (peek() == '}') {
             ++pos_;
+            --depth_;
             return v;
         }
         while (true) {
@@ -169,8 +172,10 @@ JsonReader::value()
             v.object.emplace_back(std::move(key), value());
             char n = peek();
             ++pos_;
-            if (n == '}')
+            if (n == '}') {
+                --depth_;
                 return v;
+            }
             if (n != ',')
                 fail("expected ',' or '}'");
         }
@@ -180,14 +185,17 @@ JsonReader::value()
         v.kind = JsonValue::Kind::Array;
         if (peek() == ']') {
             ++pos_;
+            --depth_;
             return v;
         }
         while (true) {
             v.array.push_back(value());
             char n = peek();
             ++pos_;
-            if (n == ']')
+            if (n == ']') {
+                --depth_;
                 return v;
+            }
             if (n != ',')
                 fail("expected ',' or ']'");
         }

@@ -58,6 +58,15 @@ struct JsonValue
 class JsonReader
 {
   public:
+    /**
+     * Deepest accepted container nesting. value() recurses per
+     * level, so without a cap a line of 100k '['s walks the parser
+     * off the thread's stack; anything this codebase emits is a
+     * handful of levels deep. Past the cap the document is malformed
+     * input like any other (std::runtime_error, not a crash).
+     */
+    static constexpr int kMaxDepth = 64;
+
     explicit JsonReader(const std::string &text) : text_(text) {}
 
     JsonValue parse();
@@ -73,6 +82,7 @@ class JsonReader
 
     const std::string &text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 /** Escape a string for inclusion inside JSON quotes. */

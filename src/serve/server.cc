@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "layout/oracle_arena.hh"
+#include "serve/journal.hh"
 #include "serve/jsonio.hh"
 #include "serve/socket_io.hh"
 #include "sim/cli.hh"
@@ -58,13 +59,22 @@ estimateArenaBytes(const std::vector<SweepPoint> &points)
     return est;
 }
 
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 } // namespace
 
 /**
- * One submitted sweep. The connection thread that accepted the
- * submit is the sole consumer of `out`; the worker running the job
- * is the sole producer. Everything else about the job is reached
- * through atomics or is written once before `closed`.
+ * One submitted sweep. A connection thread (the submitter's, or a
+ * token resubmitter's after a crash) is the sole consumer of `out`;
+ * the worker running the job is the sole producer. Everything else
+ * about the job is reached through atomics or is written once before
+ * `closed`.
  */
 struct Server::Job
 {
@@ -74,19 +84,29 @@ struct Server::Job
     std::size_t pointCount = 0; //!< survives the points.clear() below
     unsigned sweepJobs = 1;
 
+    std::string token;    //!< client idempotency token ("" if none)
+    std::string specJson; //!< raw submit request, for the journal
+    std::string clientId; //!< submitter identity (peer credentials)
+
     enum class Arena { Auto, Off, Require };
     Arena arenaWanted = Arena::Auto;
     std::size_t estArenaBytes = 0;
     std::size_t reservedBytes = 0; //!< governor grant, while running
 
     std::atomic<bool> cancel{false};
+    std::atomic<bool> finalized{false}; //!< finishJob ran (once)
     std::atomic<JobState> state{JobState::Queued};
     std::atomic<std::uint64_t> pointsDone{0};
+    std::atomic<std::int64_t> lastProgressMs{0}; //!< watchdog clock
 
-    std::mutex mu; //!< out, closed
+    std::mutex mu; //!< out, closed, everAttached
     std::condition_variable cv;
     std::deque<std::string> out;
     bool closed = false;
+    /** A consumer has (ever) streamed this job. Recovered jobs start
+     * detached: rows buffer in `out` until the original submitter
+     * resubmits its token and attaches. */
+    bool everAttached = true;
 };
 
 Server::Server(ServeConfig cfg) : cfg_(std::move(cfg))
@@ -106,10 +126,21 @@ Server::~Server()
 void
 Server::start()
 {
+    if (!cfg_.stateDir.empty()) {
+        journal_ = std::make_unique<JobJournal>(cfg_.stateDir);
+        const std::size_t n = recoverJobs();
+        if (n > 0 || journal_->torn() > 0)
+            log("journal: re-queued " + std::to_string(n) +
+                " job(s), skipped " +
+                std::to_string(journal_->torn()) +
+                " torn/corrupt line(s)");
+    }
     listenFd_ = listenUnix(cfg_.socketPath);
     running_ = true;
     for (unsigned w = 0; w < cfg_.workers; ++w)
         workers_.emplace_back([this] { workerLoop(); });
+    if (cfg_.pointTimeoutMs > 0)
+        watchdogThread_ = std::thread([this] { watchdogLoop(); });
     acceptThread_ = std::thread([this] { acceptLoop(); });
     log("listening on " + cfg_.socketPath + " (" +
         std::to_string(cfg_.workers) + " worker" +
@@ -137,22 +168,34 @@ Server::stop(bool drain)
     for (std::thread &t : workers_)
         t.join();
     workers_.clear();
+    watchdogCv_.notify_all();
+    if (watchdogThread_.joinable())
+        watchdogThread_.join();
 
     // Streams have all flushed (every job is closed once its worker
     // returns), so connection threads are back in readLine — wake
-    // them with EOF and collect them.
+    // them with EOF, wait for each to retire itself, then collect
+    // the thread handles.
     ::shutdown(listenFd_, SHUT_RDWR);
     ::close(listenFd_);
     acceptThread_.join();
     {
         std::lock_guard<std::mutex> lock(connMu_);
-        for (const std::shared_ptr<LineChannel> &ch : connections_)
+        for (const auto &[id, ch] : conns_)
             ch->shutdownRead();
     }
-    for (std::thread &t : connThreads_)
+    {
+        std::unique_lock<std::mutex> lock(connMu_);
+        connCv_.wait(lock, [this] { return conns_.empty(); });
+    }
+    std::map<std::uint64_t, std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        threads.swap(connThreads_);
+        doneConnIds_.clear();
+    }
+    for (auto &[id, t] : threads)
         t.join();
-    connThreads_.clear();
-    connections_.clear();
     ::unlink(cfg_.socketPath.c_str());
     log("stopped");
 }
@@ -179,6 +222,28 @@ Server::waitShutdown()
 }
 
 void
+Server::reapConnThreads()
+{
+    std::vector<std::thread> dead;
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        std::vector<std::uint64_t> keep;
+        for (std::uint64_t id : doneConnIds_) {
+            auto it = connThreads_.find(id);
+            if (it == connThreads_.end()) {
+                keep.push_back(id); // handle not registered yet
+                continue;
+            }
+            dead.push_back(std::move(it->second));
+            connThreads_.erase(it);
+        }
+        doneConnIds_ = std::move(keep);
+    }
+    for (std::thread &t : dead)
+        t.join();
+}
+
+void
 Server::acceptLoop()
 {
     while (true) {
@@ -188,11 +253,41 @@ Server::acceptLoop()
                 continue;
             return; // listen fd shut down: server stopping
         }
+        // Finished connections retire themselves from conns_ but
+        // cannot join their own thread; collect the handles here so
+        // a long-lived daemon holds resources only for connections
+        // that still exist.
+        reapConnThreads();
         auto ch = std::make_shared<LineChannel>(fd);
+        ch->setReadTimeout(cfg_.idleTimeoutMs);
+        ch->setWriteTimeout(cfg_.writeTimeoutMs);
+        std::uint64_t id = 0;
+        {
+            std::lock_guard<std::mutex> lock(connMu_);
+            if (cfg_.maxConns == 0 ||
+                conns_.size() < cfg_.maxConns) {
+                id = nextConnId_++;
+                conns_[id] = ch;
+            }
+        }
+        if (id == 0) {
+            connsRejected_.fetch_add(1);
+            ch->writeLine(errorReply(
+                "busy", std::to_string(cfg_.maxConns) +
+                            " connections active, cap reached"));
+            continue; // ch closes on scope exit
+        }
+        std::thread th([this, id, ch] {
+            serveConnection(ch);
+            std::lock_guard<std::mutex> lock(connMu_);
+            conns_.erase(id);
+            doneConnIds_.push_back(id);
+            // Notify under the lock: stop() cannot outrun us past
+            // its wait while we still hold connMu_.
+            connCv_.notify_all();
+        });
         std::lock_guard<std::mutex> lock(connMu_);
-        connections_.push_back(ch);
-        connThreads_.emplace_back(
-            [this, ch] { serveConnection(ch); });
+        connThreads_[id] = std::move(th);
     }
 }
 
@@ -200,8 +295,19 @@ void
 Server::serveConnection(const std::shared_ptr<LineChannel> &ch)
 {
     std::string line;
-    while (ch->readLine(line))
+    while (true) {
+        if (!ch->readLine(line)) {
+            if (ch->timedOut()) {
+                connTimeouts_.fetch_add(1);
+                ch->writeLine(errorReply(
+                    "timeout", "idle timeout: no request within " +
+                                   std::to_string(cfg_.idleTimeoutMs) +
+                                   " ms"));
+            }
+            return;
+        }
         handleRequest(line, *ch);
+    }
 }
 
 void
@@ -223,7 +329,7 @@ Server::handleRequest(const std::string &line, LineChannel &ch)
     const std::string &v = verb->string;
     try {
         if (v == "submit") {
-            handleSubmit(req, ch);
+            handleSubmit(req, line, ch);
         } else if (v == "status") {
             ch.writeLine(handleStatus(req));
         } else if (v == "cancel") {
@@ -259,85 +365,179 @@ Server::handleRequest(const std::string &line, LineChannel &ch)
     }
 }
 
-void
-Server::handleSubmit(const JsonValue &req, LineChannel &ch)
+std::shared_ptr<Server::Job>
+Server::makeJob(const JsonValue &req)
 {
+    auto text = [&](const char *key, const char *dflt) -> std::string {
+        const JsonValue *v = req.find(key);
+        if (!v)
+            return dflt;
+        return v->asString();
+    };
+    CliOptions opts;
+    opts.insts = 1'000'000;
+    if (const JsonValue *v = req.find("insts"))
+        opts.insts = static_cast<InstCount>(v->asU64());
+    if (const JsonValue *v = req.find("warmup")) {
+        opts.warmupInsts = static_cast<InstCount>(v->asU64());
+        opts.warmupSet = true;
+    }
+    if (opts.insts == 0)
+        throw std::invalid_argument("insts must be positive");
+
+    std::vector<unsigned> widths;
+    if (const JsonValue *v = req.find("widths")) {
+        if (v->kind == JsonValue::Kind::Array)
+            for (const JsonValue &e : v->array)
+                widths.push_back(static_cast<unsigned>(e.asU64()));
+        else
+            widths.push_back(static_cast<unsigned>(v->asU64()));
+    }
+    if (widths.empty())
+        widths.push_back(8);
+    for (unsigned w : widths)
+        if (w == 0)
+            throw std::invalid_argument("width must be positive");
+
+    const std::string layout = text("layout", "opt");
+    if (layout != "opt" && layout != "base")
+        throw std::invalid_argument("layout must be 'base' or 'opt'");
+    const bool optimized = layout != "base";
+
+    std::vector<std::string> benches =
+        resolveBenches(parseBenchSpecList(text("bench", "gcc")));
+    std::vector<SimConfig> archs =
+        parseArchSpecList(text("arch", "stream"));
+    std::vector<SimConfig> cfgs;
+    for (unsigned w : widths)
+        for (const SimConfig &arch : archs)
+            cfgs.push_back(opts.stamped(arch, w, optimized));
+
+    auto job = std::make_shared<Job>();
+    job->points = SweepDriver::grid(benches, cfgs);
+    job->pointCount = job->points.size();
+    job->benches = std::move(benches);
+    job->sweepJobs = cfg_.defaultSweepJobs;
+    if (const JsonValue *v = req.find("jobs"))
+        job->sweepJobs = static_cast<unsigned>(v->asU64());
+
+    const std::string arena = text("arena", "auto");
+    if (arena == "auto")
+        job->arenaWanted = Job::Arena::Auto;
+    else if (arena == "off")
+        job->arenaWanted = Job::Arena::Off;
+    else if (arena == "require")
+        job->arenaWanted = Job::Arena::Require;
+    else
+        throw std::invalid_argument(
+            "arena must be 'auto', 'off' or 'require'");
+    job->estArenaBytes = estimateArenaBytes(job->points);
+    return job;
+}
+
+namespace
+{
+
+const char *
+jobStateName(int state_ord)
+{
+    switch (state_ord) {
+    case 0: return "queued";
+    case 1: return "running";
+    case 2: return "done";
+    case 3: return "cancelled";
+    case 4: return "failed";
+    case 5: return "stuck";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+void
+Server::handleSubmit(const JsonValue &req, const std::string &line,
+                     LineChannel &ch)
+{
+    // Token idempotency first: a resubmit of a known token must
+    // never create (or be rejected as) a second job. A never-
+    // attached job — recovered from the journal after a crash — is
+    // *attached*: its buffered rows and all future ones stream to
+    // this connection. Anything else is a duplicate: one summary
+    // line, no second run.
+    std::string token;
+    if (const JsonValue *t = req.find("token")) {
+        if (t->kind != JsonValue::Kind::String) {
+            jobsRejected_.fetch_add(1);
+            ch.writeLine(
+                errorReply("bad_spec", "token must be a string"));
+            return;
+        }
+        token = t->string;
+    }
+    if (!token.empty()) {
+        std::shared_ptr<Job> existing;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = tokens_.find(token);
+            if (it != tokens_.end()) {
+                auto jt = jobs_.find(it->second);
+                if (jt != jobs_.end())
+                    existing = jt->second;
+            }
+        }
+        if (existing) {
+            bool attach = false;
+            {
+                std::lock_guard<std::mutex> lock(existing->mu);
+                if (!existing->everAttached) {
+                    existing->everAttached = true;
+                    attach = true;
+                }
+            }
+            if (attach) {
+                log("job " + std::to_string(existing->id) +
+                    ": token '" + token + "' reattached");
+                JsonObjectWriter w;
+                w.field("ok", true)
+                    .field("job", existing->id)
+                    .field("points", static_cast<std::uint64_t>(
+                                         existing->pointCount))
+                    .field("attached", true);
+                if (!ch.writeLine(w.str()) ||
+                    !streamJob(existing, ch))
+                    existing->cancel = true;
+            } else {
+                JsonObjectWriter w;
+                w.field("ok", true)
+                    .field("job", existing->id)
+                    .field("duplicate", true)
+                    .field("state",
+                           jobStateName(static_cast<int>(
+                               existing->state.load())))
+                    .field("points_done",
+                           existing->pointsDone.load())
+                    .field("of", static_cast<std::uint64_t>(
+                                     existing->pointCount))
+                    .field("done", true);
+                ch.writeLine(w.str());
+            }
+            return;
+        }
+    }
+
     // Field extraction and spec parsing — all failures here are the
     // client's ("bad_spec"), reported without touching daemon state.
     std::shared_ptr<Job> job;
     try {
-        auto text = [&](const char *key,
-                        const char *dflt) -> std::string {
-            const JsonValue *v = req.find(key);
-            if (!v)
-                return dflt;
-            return v->asString();
-        };
-        CliOptions opts;
-        opts.insts = 1'000'000;
-        if (const JsonValue *v = req.find("insts"))
-            opts.insts = static_cast<InstCount>(v->asU64());
-        if (const JsonValue *v = req.find("warmup")) {
-            opts.warmupInsts = static_cast<InstCount>(v->asU64());
-            opts.warmupSet = true;
-        }
-        if (opts.insts == 0)
-            throw std::invalid_argument("insts must be positive");
-
-        std::vector<unsigned> widths;
-        if (const JsonValue *v = req.find("widths")) {
-            if (v->kind == JsonValue::Kind::Array)
-                for (const JsonValue &e : v->array)
-                    widths.push_back(
-                        static_cast<unsigned>(e.asU64()));
-            else
-                widths.push_back(static_cast<unsigned>(v->asU64()));
-        }
-        if (widths.empty())
-            widths.push_back(8);
-        for (unsigned w : widths)
-            if (w == 0)
-                throw std::invalid_argument("width must be positive");
-
-        const std::string layout = text("layout", "opt");
-        if (layout != "opt" && layout != "base")
-            throw std::invalid_argument(
-                "layout must be 'base' or 'opt'");
-        const bool optimized = layout != "base";
-
-        std::vector<std::string> benches =
-            resolveBenches(parseBenchSpecList(text("bench", "gcc")));
-        std::vector<SimConfig> archs =
-            parseArchSpecList(text("arch", "stream"));
-        std::vector<SimConfig> cfgs;
-        for (unsigned w : widths)
-            for (const SimConfig &arch : archs)
-                cfgs.push_back(opts.stamped(arch, w, optimized));
-
-        job = std::make_shared<Job>();
-        job->points = SweepDriver::grid(benches, cfgs);
-        job->pointCount = job->points.size();
-        job->benches = std::move(benches);
-        job->sweepJobs = cfg_.defaultSweepJobs;
-        if (const JsonValue *v = req.find("jobs"))
-            job->sweepJobs = static_cast<unsigned>(v->asU64());
-
-        const std::string arena = text("arena", "auto");
-        if (arena == "auto")
-            job->arenaWanted = Job::Arena::Auto;
-        else if (arena == "off")
-            job->arenaWanted = Job::Arena::Off;
-        else if (arena == "require")
-            job->arenaWanted = Job::Arena::Require;
-        else
-            throw std::invalid_argument(
-                "arena must be 'auto', 'off' or 'require'");
-        job->estArenaBytes = estimateArenaBytes(job->points);
+        job = makeJob(req);
     } catch (const std::exception &e) {
         jobsRejected_.fetch_add(1);
         ch.writeLine(errorReply("bad_spec", e.what()));
         return;
     }
+    job->token = token;
+    job->specJson = line;
+    job->clientId = ch.peerId();
 
     // Admission control.
     {
@@ -364,11 +564,15 @@ Server::handleSubmit(const JsonValue &req, LineChannel &ch)
                     std::to_string(cfg_.maxPointsPerJob)));
             return;
         }
-        std::size_t active = 0;
+        std::size_t active = 0, mine = 0;
         for (const auto &[id, j] : jobs_) {
             JobState s = j->state.load();
-            if (s == JobState::Queued || s == JobState::Running)
-                ++active;
+            if (s != JobState::Queued && s != JobState::Running)
+                continue;
+            ++active;
+            if (!job->clientId.empty() &&
+                j->clientId == job->clientId)
+                ++mine;
         }
         if (active >= cfg_.maxJobs) {
             jobsRejected_.fetch_add(1);
@@ -376,6 +580,16 @@ Server::handleSubmit(const JsonValue &req, LineChannel &ch)
                 "queue_full", std::to_string(active) +
                                   " jobs active, cap is " +
                                   std::to_string(cfg_.maxJobs)));
+            return;
+        }
+        if (cfg_.maxJobsPerClient != 0 &&
+            mine >= cfg_.maxJobsPerClient) {
+            jobsRejected_.fetch_add(1);
+            ch.writeLine(errorReply(
+                "over_quota",
+                "client has " + std::to_string(mine) +
+                    " active jobs, per-client cap is " +
+                    std::to_string(cfg_.maxJobsPerClient)));
             return;
         }
         if (job->arenaWanted == Job::Arena::Require &&
@@ -391,8 +605,12 @@ Server::handleSubmit(const JsonValue &req, LineChannel &ch)
         }
         job->id = nextJobId_++;
         jobs_[job->id] = job;
+        if (!job->token.empty())
+            tokens_[job->token] = job->id;
         queue_.push_back(job);
     }
+    if (journal_)
+        journal_->submitted(job->id, job->token, job->specJson);
     jobsSubmitted_.fetch_add(1);
     queueCv_.notify_one();
     log("job " + std::to_string(job->id) + ": submitted, " +
@@ -417,6 +635,16 @@ Server::handleSubmit(const JsonValue &req, LineChannel &ch)
             return;
         }
     }
+    if (!streamJob(job, ch)) {
+        // Peer vanished or stalled past the write deadline: stop
+        // burning cycles on rows nobody will read.
+        job->cancel = true;
+    }
+}
+
+bool
+Server::streamJob(const std::shared_ptr<Job> &job, LineChannel &ch)
+{
     while (true) {
         std::string line;
         {
@@ -425,17 +653,55 @@ Server::handleSubmit(const JsonValue &req, LineChannel &ch)
                 return job->closed || !job->out.empty();
             });
             if (job->out.empty())
-                break; // closed and fully drained
+                return true; // closed and fully drained
             line = std::move(job->out.front());
             job->out.pop_front();
         }
         if (!ch.writeLine(line)) {
-            // Peer vanished mid-stream: stop burning cycles on rows
-            // nobody will read.
-            job->cancel = true;
-            return;
+            if (ch.timedOut())
+                connTimeouts_.fetch_add(1);
+            return false;
         }
     }
+}
+
+std::size_t
+Server::recoverJobs()
+{
+    std::vector<RecoveredJob> prior = journal_->recover();
+    std::vector<RecoveredJob> live;
+    for (const RecoveredJob &rec : prior) {
+        try {
+            JsonValue req = JsonReader(rec.spec).parse();
+            std::shared_ptr<Job> job = makeJob(req);
+            job->token = rec.token;
+            job->specJson = rec.spec;
+            // No consumer yet: buffer every row until the submitter
+            // resubmits its token and attaches.
+            job->everAttached = false;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                job->id = nextJobId_++;
+                jobs_[job->id] = job;
+                if (!job->token.empty())
+                    tokens_[job->token] = job->id;
+                queue_.push_back(job);
+            }
+            RecoveredJob renumbered = rec;
+            renumbered.id = job->id;
+            renumbered.started = false; // re-queued, re-runs whole
+            live.push_back(std::move(renumbered));
+            log("journal: job " + std::to_string(rec.id) +
+                (rec.started ? " (was in flight)" : "") +
+                " re-queued as job " + std::to_string(job->id));
+        } catch (const std::exception &e) {
+            log("journal: dropping unreplayable job " +
+                std::to_string(rec.id) + ": " + e.what());
+        }
+    }
+    journal_->reset(live);
+    jobsRecovered_.fetch_add(live.size());
+    return live.size();
 }
 
 std::string
@@ -444,18 +710,11 @@ Server::handleStatus(const JsonValue &req)
     std::shared_ptr<Job> job = findJob(req.at("job").asU64());
     if (!job)
         return errorReply("unknown_job", "no such job");
-    const char *state = "queued";
-    switch (job->state.load()) {
-    case JobState::Queued: state = "queued"; break;
-    case JobState::Running: state = "running"; break;
-    case JobState::Done: state = "done"; break;
-    case JobState::Cancelled: state = "cancelled"; break;
-    case JobState::Failed: state = "failed"; break;
-    }
     JsonObjectWriter w;
     w.field("ok", true)
         .field("job", job->id)
-        .field("state", state)
+        .field("state",
+               jobStateName(static_cast<int>(job->state.load())))
         .field("points_done", job->pointsDone.load())
         .field("of", static_cast<std::uint64_t>(job->pointCount));
     return w.str();
@@ -491,9 +750,49 @@ Server::workerLoop()
                 return; // stopping_, queue fully drained
             job = queue_.front();
             queue_.pop_front();
+            job->lastProgressMs = nowMs();
             job->state = JobState::Running;
         }
+        if (journal_)
+            journal_->started(job->id);
         runJob(job);
+    }
+}
+
+void
+Server::watchdogLoop()
+{
+    const auto interval = std::chrono::milliseconds(
+        std::max(cfg_.pointTimeoutMs / 4, 1));
+    std::unique_lock<std::mutex> lock(watchdogMu_);
+    while (!stopping_.load()) {
+        watchdogCv_.wait_for(lock, interval);
+        if (stopping_.load())
+            return;
+        std::vector<std::shared_ptr<Job>> overdue;
+        const std::int64_t now = nowMs();
+        {
+            std::lock_guard<std::mutex> jobs_lock(mu_);
+            for (const auto &[id, job] : jobs_)
+                if (job->state.load() == JobState::Running &&
+                    now - job->lastProgressMs.load() >
+                        cfg_.pointTimeoutMs)
+                    overdue.push_back(job);
+        }
+        for (const std::shared_ptr<Job> &job : overdue) {
+            // The worker thread is captive inside the point (the
+            // cooperative stop flag is only checked between points),
+            // so retire the *job*: its admission slot frees now, its
+            // consumer gets a terminal summary now, and the worker's
+            // own finishJob becomes a no-op when the point finally
+            // completes.
+            job->cancel = true;
+            finishJob(job, JobState::Stuck,
+                      "point exceeded --point-timeout (" +
+                          std::to_string(cfg_.pointTimeoutMs) +
+                          " ms)",
+                      0.0, false);
+        }
     }
 }
 
@@ -561,6 +860,7 @@ Server::runJob(const std::shared_ptr<Job> &job)
             [&](const ResultRow &row, std::size_t point,
                 std::size_t of) {
                 job->pointsDone.fetch_add(1);
+                job->lastProgressMs = nowMs();
                 rowsStreamed_.fetch_add(1);
                 JsonObjectWriter w;
                 w.field("job", job->id)
@@ -580,6 +880,14 @@ Server::runJob(const std::shared_ptr<Job> &job)
         releaseReservation(job);
         finishJob(job, JobState::Failed, e.what(), 0.0, used_arena);
     }
+    // The sweep is over (only now is the grid certain to be idle —
+    // a watchdog finalize can land while the driver still runs, so
+    // finishJob itself must not touch `points`); drop it so finished
+    // jobs parked in jobs_ for status queries cost bytes, not
+    // megabytes.
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->points.clear();
+    job->points.shrink_to_fit();
 }
 
 void
@@ -610,6 +918,12 @@ Server::finishJob(const std::shared_ptr<Job> &job, JobState state,
                   const std::string &error, double wall_seconds,
                   bool used_arena)
 {
+    // First finalizer wins: normally the worker, but the watchdog
+    // retires a stuck job while its worker is still captive in the
+    // point, and the worker's eventual call must then change nothing.
+    bool expected = false;
+    if (!job->finalized.compare_exchange_strong(expected, true))
+        return;
     job->state = state;
     const char *name = "done";
     switch (state) {
@@ -624,9 +938,15 @@ Server::finishJob(const std::shared_ptr<Job> &job, JobState state,
         name = "failed";
         jobsFailed_.fetch_add(1);
         break;
+    case JobState::Stuck:
+        name = "stuck";
+        jobsStuck_.fetch_add(1);
+        break;
     default:
         break;
     }
+    if (journal_)
+        journal_->finished(job->id, name);
     JsonObjectWriter w;
     w.field("job", job->id)
         .field("done", true)
@@ -641,10 +961,6 @@ Server::finishJob(const std::shared_ptr<Job> &job, JobState state,
     {
         std::lock_guard<std::mutex> lock(job->mu);
         job->closed = true;
-        // The sweep is over; drop the grid so finished jobs parked
-        // in jobs_ for status queries cost bytes, not megabytes.
-        job->points.clear();
-        job->points.shrink_to_fit();
     }
     job->cv.notify_all();
     log("job " + std::to_string(job->id) + ": " + name + " (" +
@@ -669,8 +985,12 @@ Server::stats() const
     s.jobsRejected = jobsRejected_.load();
     s.jobsCancelled = jobsCancelled_.load();
     s.jobsFailed = jobsFailed_.load();
+    s.jobsStuck = jobsStuck_.load();
+    s.jobsRecovered = jobsRecovered_.load();
     s.rowsStreamed = rowsStreamed_.load();
     s.arenaFallbacks = arenaFallbacks_.load();
+    s.connsRejected = connsRejected_.load();
+    s.connTimeouts = connTimeouts_.load();
     {
         std::lock_guard<std::mutex> lock(mu_);
         for (const auto &[id, job] : jobs_) {
@@ -681,6 +1001,10 @@ Server::stats() const
                 ++s.jobsRunning;
         }
     }
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        s.connsActive = conns_.size();
+    }
     WorkloadCache &cache = WorkloadCache::instance();
     s.cacheHits = cache.hits();
     s.cacheMisses = cache.misses();
@@ -688,6 +1012,7 @@ Server::stats() const
     s.residentArenaBytes = cache.bytesResident();
     s.liveArenaBytes = OracleArena::liveBytes();
     s.memBudgetBytes = cfg_.memBudgetBytes;
+    s.journalDegraded = journal_ && journal_->degraded();
     return s;
 }
 
@@ -702,10 +1027,15 @@ Server::statsJson() const
         .field("jobs_rejected", s.jobsRejected)
         .field("jobs_cancelled", s.jobsCancelled)
         .field("jobs_failed", s.jobsFailed)
+        .field("jobs_stuck", s.jobsStuck)
+        .field("jobs_recovered", s.jobsRecovered)
         .field("jobs_queued", s.jobsQueued)
         .field("jobs_running", s.jobsRunning)
         .field("rows_streamed", s.rowsStreamed)
         .field("arena_fallbacks", s.arenaFallbacks)
+        .field("conns_active", s.connsActive)
+        .field("conns_rejected", s.connsRejected)
+        .field("conn_timeouts", s.connTimeouts)
         .field("cache_hits", s.cacheHits)
         .field("cache_misses", s.cacheMisses)
         .field("cache_evictions", s.cacheEvictions)
@@ -714,7 +1044,8 @@ Server::statsJson() const
         .field("live_arena_bytes",
                static_cast<std::uint64_t>(s.liveArenaBytes))
         .field("mem_budget_bytes",
-               static_cast<std::uint64_t>(s.memBudgetBytes));
+               static_cast<std::uint64_t>(s.memBudgetBytes))
+        .field("journal_degraded", s.journalDegraded);
     return w.str();
 }
 

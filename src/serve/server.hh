@@ -10,7 +10,7 @@
  *
  *   {"verb":"submit","bench":"gzip,loops","arch":"stream,ev8",
  *    "insts":50000,"warmup":10000,"widths":[4,8],"layout":"opt",
- *    "jobs":1,"arena":"auto"}
+ *    "jobs":1,"arena":"auto","token":"nightly-42"}
  *     -> {"ok":true,"job":1,"points":8,"arena":true}
  *     -> one framed row per finished sweep point, as it finishes:
  *        {"job":1,"point":0,"of":8,"arena":true,"row":{...}}
@@ -26,19 +26,32 @@
  *
  * Errors are structured and non-fatal to the connection:
  *   {"ok":false,"reason":"bad_json|unknown_verb|bad_spec|queue_full|
- *    max_points_per_job|over_budget|unknown_job|draining",
- *    "error":"<human readable>"}
+ *    max_points_per_job|over_budget|over_quota|busy|timeout|
+ *    unknown_job|draining", "error":"<human readable>"}
  *
  * Admission control: at most maxJobs jobs queued+running (reject
  * "queue_full"), at most maxPointsPerJob points per submit (reject
- * "max_points_per_job"). Memory governor: each submit's arena cost
- * is pre-estimated from the arena formula (kArenaBytesPerInstEstimate
- * per instruction, per >=2-point decode group); a job whose estimate
- * cannot fit even an empty cache is rejected "over_budget" when it
- * demands arenas ("arena":"require"), and otherwise the governor
- * first evicts LRU workloads, then falls back to live generation
+ * "max_points_per_job"), at most maxJobsPerClient active jobs per
+ * client identity (SO_PEERCRED; reject "over_quota"), at most
+ * maxConns concurrent connections (reject "busy"). Memory governor:
+ * each submit's arena cost is pre-estimated from the arena formula
+ * (kArenaBytesPerInstEstimate per instruction, per >=2-point decode
+ * group); a job whose estimate cannot fit even an empty cache is
+ * rejected "over_budget" when it demands arenas ("arena":"require"),
+ * and otherwise the governor first evicts single-layout arenas (then
+ * whole workloads) LRU-first, then falls back to live generation
  * ("arena":false in the framing) — the budget is never exceeded to
  * satisfy a decode. Rows are bit-identical either way.
+ *
+ * Fault tolerance: with a --state-dir, every submit/start/finish is
+ * journalled (serve/journal.hh) and unfinished jobs are re-queued on
+ * restart; a client that tagged its submit with a "token" can
+ * resubmit the same token after a daemon crash and either *attach*
+ * to the recovered job's stream (every row is buffered for exactly
+ * this purpose) or, if the job already streamed to someone, get a
+ * one-line duplicate summary. Connections carry idle/write deadlines
+ * ("timeout"), and a watchdog retires jobs whose current point
+ * exceeds --point-timeout as "stuck", freeing their admission slot.
  *
  * Ordering: rows stream in completion order, which equals point
  * order when the job's sweep runs single-threaded ("jobs":1, the
@@ -65,6 +78,7 @@ namespace sfetch
 {
 
 class LineChannel;
+class JobJournal;
 struct JsonValue;
 
 /** Daemon knobs (the sfetchd command line maps 1:1 onto these). */
@@ -84,6 +98,20 @@ struct ServeConfig
     unsigned defaultSweepJobs = 1;
     /** Suppress per-event logging to stderr. */
     bool quiet = false;
+
+    /** Journal directory; "" disables persistence. */
+    std::string stateDir;
+    /** Per-request read deadline on connections, ms; 0 = none. */
+    int idleTimeoutMs = 0;
+    /** Per-line write deadline towards consumers, ms; 0 = none. */
+    int writeTimeoutMs = 0;
+    /** Watchdog: a running job whose current point exceeds this is
+     * marked stuck and its admission slot freed; 0 = no watchdog. */
+    int pointTimeoutMs = 0;
+    /** Concurrent connection cap; 0 = unlimited. */
+    std::size_t maxConns = 64;
+    /** Active (queued+running) jobs per client; 0 = unlimited. */
+    std::size_t maxJobsPerClient = 0;
 };
 
 /** One point-in-time copy of the daemon's cumulative counters. */
@@ -94,16 +122,22 @@ struct ServeStats
     std::uint64_t jobsRejected = 0;
     std::uint64_t jobsCancelled = 0;
     std::uint64_t jobsFailed = 0;
+    std::uint64_t jobsStuck = 0;     //!< retired by the watchdog
+    std::uint64_t jobsRecovered = 0; //!< re-queued from the journal
     std::uint64_t jobsQueued = 0;  //!< current depth
     std::uint64_t jobsRunning = 0; //!< current depth
     std::uint64_t rowsStreamed = 0;
     std::uint64_t arenaFallbacks = 0;
+    std::uint64_t connsActive = 0;   //!< current depth
+    std::uint64_t connsRejected = 0; //!< turned away "busy"
+    std::uint64_t connTimeouts = 0;  //!< idle/write deadline hits
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
     std::uint64_t cacheEvictions = 0;
     std::size_t residentArenaBytes = 0; //!< cache-held arena bytes
     std::size_t liveArenaBytes = 0;     //!< all live arenas anywhere
     std::size_t memBudgetBytes = 0;
+    bool journalDegraded = false; //!< persistence lost mid-flight
 };
 
 class Server
@@ -118,9 +152,11 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind the socket and spawn the accept loop and worker pool.
-     * Throws std::runtime_error when the socket cannot be bound.
-     * Returns with the daemon ready to accept connections.
+     * Bind the socket, replay the journal (re-queueing any jobs a
+     * previous daemon left unfinished), and spawn the accept loop
+     * and worker pool. Throws std::runtime_error when the socket or
+     * the state dir cannot be set up. Returns with the daemon ready
+     * to accept connections.
      */
     void start();
 
@@ -152,19 +188,40 @@ class Server
     std::string statsJson() const;
 
   private:
-    enum class JobState { Queued, Running, Done, Cancelled, Failed };
+    enum class JobState
+    {
+        Queued,
+        Running,
+        Done,
+        Cancelled,
+        Failed,
+        Stuck
+    };
 
     struct Job;
 
     void acceptLoop();
     void workerLoop();
+    void watchdogLoop();
     void serveConnection(const std::shared_ptr<LineChannel> &ch);
+    /** Join connection threads whose serveConnection has returned. */
+    void reapConnThreads();
 
     /** Dispatch one request line; submit streams before returning. */
     void handleRequest(const std::string &line, LineChannel &ch);
-    void handleSubmit(const JsonValue &req, LineChannel &ch);
+    void handleSubmit(const JsonValue &req, const std::string &line,
+                      LineChannel &ch);
     std::string handleStatus(const JsonValue &req);
     std::string handleCancel(const JsonValue &req);
+
+    /** Parse a submit request into an un-admitted Job; throws on any
+     * spec problem (shared by live submits and journal recovery). */
+    std::shared_ptr<Job> makeJob(const JsonValue &req);
+    /** Replay the journal into the queue; returns re-queued count. */
+    std::size_t recoverJobs();
+    /** Drain @p job's out deque to @p ch until closed; false when
+     * the consumer vanished or timed out mid-stream. */
+    bool streamJob(const std::shared_ptr<Job> &job, LineChannel &ch);
 
     void runJob(const std::shared_ptr<Job> &job);
     /** Governor: evict/reserve/fallback; true = replay from arenas. */
@@ -172,6 +229,8 @@ class Server
     /** Return a decideArena() reservation to the budget pool. */
     void releaseReservation(const std::shared_ptr<Job> &job);
     void pushLine(const std::shared_ptr<Job> &job, std::string line);
+    /** Finalize once (first caller wins — worker vs watchdog): set
+     * the terminal state, counters, journal record, summary line. */
     void finishJob(const std::shared_ptr<Job> &job, JobState state,
                    const std::string &error, double wall_seconds,
                    bool used_arena);
@@ -186,17 +245,24 @@ class Server
 
     int listenFd_ = -1;
     std::thread acceptThread_;
+    std::thread watchdogThread_;
     std::vector<std::thread> workers_;
 
-    mutable std::mutex mu_; //!< jobs_, queue_, nextJobId_
+    std::unique_ptr<JobJournal> journal_;
+
+    mutable std::mutex mu_; //!< jobs_, queue_, tokens_, nextJobId_
     std::condition_variable queueCv_;
     std::deque<std::shared_ptr<Job>> queue_;
     std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+    std::map<std::string, std::uint64_t> tokens_; //!< token -> job id
     std::uint64_t nextJobId_ = 1;
 
-    mutable std::mutex connMu_; //!< connections_, connThreads_
-    std::vector<std::shared_ptr<LineChannel>> connections_;
-    std::vector<std::thread> connThreads_;
+    mutable std::mutex connMu_; //!< conns_, connThreads_, done ids
+    std::condition_variable connCv_; //!< a connection retired
+    std::map<std::uint64_t, std::shared_ptr<LineChannel>> conns_;
+    std::map<std::uint64_t, std::thread> connThreads_;
+    std::vector<std::uint64_t> doneConnIds_;
+    std::uint64_t nextConnId_ = 1;
 
     std::mutex govMu_; //!< reservedArenaBytes_
     std::condition_variable govCv_; //!< reservation released
@@ -207,14 +273,21 @@ class Server
     bool shutdownRequested_ = false;
     bool shutdownDrain_ = true;
 
+    std::mutex watchdogMu_;
+    std::condition_variable watchdogCv_;
+
     // Cumulative counters (ServeStats).
     std::atomic<std::uint64_t> jobsSubmitted_{0};
     std::atomic<std::uint64_t> jobsServed_{0};
     std::atomic<std::uint64_t> jobsRejected_{0};
     std::atomic<std::uint64_t> jobsCancelled_{0};
     std::atomic<std::uint64_t> jobsFailed_{0};
+    std::atomic<std::uint64_t> jobsStuck_{0};
+    std::atomic<std::uint64_t> jobsRecovered_{0};
     std::atomic<std::uint64_t> rowsStreamed_{0};
     std::atomic<std::uint64_t> arenaFallbacks_{0};
+    std::atomic<std::uint64_t> connsRejected_{0};
+    std::atomic<std::uint64_t> connTimeouts_{0};
 };
 
 } // namespace sfetch

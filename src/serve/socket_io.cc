@@ -1,12 +1,17 @@
 #include "serve/socket_io.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "util/fault_inject.hh"
 
 namespace sfetch
 {
@@ -32,6 +37,14 @@ unixAddr(const std::string &path)
     return addr;
 }
 
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 } // namespace
 
 int
@@ -41,10 +54,20 @@ listenUnix(const std::string &path, int backlog)
     if (fd < 0)
         failErrno("socket", path);
     sockaddr_un addr = unixAddr(path);
-    // A stale file from a crashed or killed daemon would make bind
-    // fail with EADDRINUSE forever; a live daemon re-creates its
-    // socket on start, so unlinking first is the standard move.
-    ::unlink(path.c_str());
+    // A stale socket file from a crashed or killed daemon would make
+    // bind fail with EADDRINUSE forever, so remove it — but only when
+    // it really is a socket. A typo'd --socket pointing at a regular
+    // file must error out, never delete the file.
+    struct stat st;
+    if (::lstat(path.c_str(), &st) == 0) {
+        if (!S_ISSOCK(st.st_mode)) {
+            ::close(fd);
+            throw std::runtime_error(
+                "socket path '" + path +
+                "' exists and is not a socket; refusing to replace it");
+        }
+        ::unlink(path.c_str());
+    }
     if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
                sizeof(addr)) != 0) {
         int saved = errno;
@@ -65,6 +88,10 @@ listenUnix(const std::string &path, int backlog)
 int
 connectUnix(const std::string &path)
 {
+    if (SFETCH_FAULT("socket.connect")) {
+        errno = ECONNREFUSED;
+        failErrno("connect", path);
+    }
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
         failErrno("socket", path);
@@ -86,8 +113,41 @@ LineChannel::~LineChannel()
 }
 
 bool
+LineChannel::waitReady(short events, int deadline_ms)
+{
+    const std::int64_t deadline =
+        deadline_ms > 0 ? nowMs() + deadline_ms : 0;
+    while (true) {
+        int wait = -1;
+        if (deadline_ms > 0) {
+            const std::int64_t left = deadline - nowMs();
+            if (left <= 0) {
+                timedOut_ = true;
+                return false;
+            }
+            wait = static_cast<int>(left);
+        }
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = events;
+        const int rc = ::poll(&pfd, 1, wait);
+        if (rc > 0)
+            return true;
+        if (rc == 0) {
+            timedOut_ = true;
+            return false;
+        }
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+bool
 LineChannel::readLine(std::string &line)
 {
+    timedOut_ = false;
+    const std::int64_t deadline =
+        readTimeoutMs_ > 0 ? nowMs() + readTimeoutMs_ : 0;
     while (true) {
         std::size_t nl = buf_.find('\n');
         if (nl != std::string::npos) {
@@ -97,6 +157,17 @@ LineChannel::readLine(std::string &line)
         }
         if (buf_.size() > kMaxLine)
             return false;
+        if (SFETCH_FAULT("socket.recv"))
+            return false;
+        if (readTimeoutMs_ > 0) {
+            const std::int64_t left = deadline - nowMs();
+            if (left <= 0 ||
+                !waitReady(POLLIN, static_cast<int>(left))) {
+                if (left <= 0)
+                    timedOut_ = true;
+                return false;
+            }
+        }
         char chunk[4096];
         ssize_t n;
         do {
@@ -111,14 +182,32 @@ LineChannel::readLine(std::string &line)
 bool
 LineChannel::writeLine(const std::string &line)
 {
+    timedOut_ = false;
+    if (SFETCH_FAULT("socket.send"))
+        return false;
     std::string framed = line;
     framed.push_back('\n');
+    const std::int64_t deadline =
+        writeTimeoutMs_ > 0 ? nowMs() + writeTimeoutMs_ : 0;
     std::size_t sent = 0;
     while (sent < framed.size()) {
+        const int flags = MSG_NOSIGNAL |
+                          (writeTimeoutMs_ > 0 ? MSG_DONTWAIT : 0);
         ssize_t n = ::send(fd_, framed.data() + sent,
-                           framed.size() - sent, MSG_NOSIGNAL);
+                           framed.size() - sent, flags);
         if (n < 0 && errno == EINTR)
             continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+            writeTimeoutMs_ > 0) {
+            const std::int64_t left = deadline - nowMs();
+            if (left <= 0 ||
+                !waitReady(POLLOUT, static_cast<int>(left))) {
+                if (left <= 0)
+                    timedOut_ = true;
+                return false;
+            }
+            continue;
+        }
         if (n <= 0)
             return false;
         sent += static_cast<std::size_t>(n);
@@ -130,6 +219,19 @@ void
 LineChannel::shutdownRead()
 {
     ::shutdown(fd_, SHUT_RD);
+}
+
+std::string
+LineChannel::peerId() const
+{
+#ifdef SO_PEERCRED
+    ucred cred{};
+    socklen_t len = sizeof(cred);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_PEERCRED, &cred, &len) == 0)
+        return std::to_string(cred.uid) + "." +
+               std::to_string(cred.pid);
+#endif
+    return {};
 }
 
 } // namespace sfetch

@@ -5,6 +5,13 @@
  * reader/writer over one connected fd. The protocol unit is a line
  * of JSON, so this is the only transport surface the server, the
  * client library, and the tests need.
+ *
+ * Deadlines: a LineChannel can carry per-call read and write
+ * timeouts (poll()-based), so a stalled or dead peer surfaces as a
+ * failed call with timedOut() set instead of wedging the calling
+ * thread forever. sfetchd maps these onto --idle-timeout (time
+ * between client requests) and --write-timeout (time to accept one
+ * streamed line).
  */
 
 #ifndef SFETCH_SERVE_SOCKET_IO_HH
@@ -16,10 +23,11 @@ namespace sfetch
 {
 
 /**
- * Bind and listen on a Unix-domain socket at @p path. A stale socket
- * file from a previous run is unlinked first; any other failure
- * throws std::runtime_error. Returns the listening fd (caller
- * closes).
+ * Bind and listen on a Unix-domain socket at @p path. A stale
+ * *socket* file from a previous run is unlinked first; any existing
+ * non-socket file at the path is an error (a typo'd --socket must
+ * never delete a real file). Other failures throw
+ * std::runtime_error. Returns the listening fd (caller closes).
  */
 int listenUnix(const std::string &path, int backlog = 16);
 
@@ -29,10 +37,10 @@ int connectUnix(const std::string &path);
 
 /**
  * Newline-delimited IO over one connected socket. Owns the fd.
- * readLine() blocks; shutdownRead() from another thread wakes it
- * with EOF so connection threads can be collected on server stop.
- * Writes use MSG_NOSIGNAL — a vanished peer surfaces as a false
- * return, never SIGPIPE.
+ * readLine() blocks (up to the read deadline, when one is set);
+ * shutdownRead() from another thread wakes it with EOF so connection
+ * threads can be collected on server stop. Writes use MSG_NOSIGNAL —
+ * a vanished peer surfaces as a false return, never SIGPIPE.
  */
 class LineChannel
 {
@@ -49,22 +57,52 @@ class LineChannel
     LineChannel &operator=(const LineChannel &) = delete;
 
     /**
+     * Deadline for one readLine() call, milliseconds; <= 0 blocks
+     * forever (the default). On expiry readLine() returns false with
+     * timedOut() set.
+     */
+    void setReadTimeout(int ms) { readTimeoutMs_ = ms; }
+
+    /** Deadline for one writeLine() call; <= 0 blocks forever. */
+    void setWriteTimeout(int ms) { writeTimeoutMs_ = ms; }
+
+    /**
      * Read the next '\n'-terminated line (terminator stripped) into
-     * @p line. False on EOF, error, or an over-long line — the
-     * channel is then finished.
+     * @p line. False on EOF, error, deadline expiry, or an over-long
+     * line — the channel is then finished (except for a pure
+     * timeout, after which the peer may still be written to).
      */
     bool readLine(std::string &line);
 
-    /** Write @p line plus '\n'; false when the peer is gone. */
+    /** Write @p line plus '\n'; false when the peer is gone or the
+     * write deadline expired. */
     bool writeLine(const std::string &line);
+
+    /** True when the most recent failed readLine()/writeLine() fell
+     * to its deadline rather than EOF or a socket error. */
+    bool timedOut() const { return timedOut_; }
 
     /** Wake a blocked readLine() with EOF; writes stay usable. */
     void shutdownRead();
 
+    /**
+     * Stable identity of the peer process ("uid.pid" from
+     * SO_PEERCRED), for per-client accounting. Empty when the
+     * platform or socket cannot say.
+     */
+    std::string peerId() const;
+
     int fd() const { return fd_; }
 
   private:
+    /** poll() for @p events within @p deadline_ms (<=0 = forever).
+     * True when ready; false with timedOut_ set on expiry. */
+    bool waitReady(short events, int deadline_ms);
+
     int fd_;
+    int readTimeoutMs_ = 0;
+    int writeTimeoutMs_ = 0;
+    bool timedOut_ = false;
     std::string buf_;
 };
 

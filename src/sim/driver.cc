@@ -7,6 +7,7 @@
 #include <exception>
 #include <map>
 #include <mutex>
+#include <new>
 #include <set>
 #include <thread>
 #include <tuple>
@@ -179,11 +180,18 @@ SweepDriver::run(const std::vector<SweepPoint> &points,
             if (stopped())
                 return;
             const ArenaKey &key = *to_build[i];
-            arenas[key] = WorkloadCache::instance()
-                              .get(std::get<0>(key))
-                              .arena(std::get<1>(key),
-                                     std::get<2>(key) +
-                                         kFetchAheadMargin);
+            try {
+                arenas[key] = WorkloadCache::instance()
+                                  .get(std::get<0>(key))
+                                  .arena(std::get<1>(key),
+                                         std::get<2>(key) +
+                                             kFetchAheadMargin);
+            } catch (const std::bad_alloc &) {
+                // Decode memory was not to be had: leave the slot
+                // null and this group's points run on live
+                // generation instead — slower, bit-identical rows.
+                arenas[key] = nullptr;
+            }
         });
     }
     double decode = secondsSince(t0) - prep;

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "layout/layout_opt.hh"
@@ -115,6 +116,19 @@ PlacedWorkload::PlacedWorkload(const std::string &bench_spec)
         work_.program, optimizedOrder(work_.program, *profile_));
 }
 
+namespace
+{
+
+/** Process-wide LRU clock for per-layout arena stamps. */
+std::uint64_t
+nextArenaUseStamp()
+{
+    static std::atomic<std::uint64_t> clock{0};
+    return ++clock;
+}
+
+} // namespace
+
 std::shared_ptr<const OracleArena>
 PlacedWorkload::arena(bool optimized, InstCount total_insts) const
 {
@@ -129,6 +143,7 @@ PlacedWorkload::arena(bool optimized, InstCount total_insts) const
         slot = std::make_shared<OracleArena>(
             image(optimized), model(), kRefSeed, total_insts);
     }
+    arenaUse_[optimized ? 1 : 0] = nextArenaUseStamp();
     return slot;
 }
 
@@ -139,8 +154,10 @@ PlacedWorkload::cachedArena(bool optimized,
     std::lock_guard<std::mutex> lock(arenaMu_);
     const std::shared_ptr<const OracleArena> &slot =
         arenas_[optimized ? 1 : 0];
-    if (slot && slot->size() >= total_insts)
+    if (slot && slot->size() >= total_insts) {
+        arenaUse_[optimized ? 1 : 0] = nextArenaUseStamp();
         return slot;
+    }
     return nullptr;
 }
 
@@ -161,6 +178,38 @@ PlacedWorkload::dropArenas() const
     std::lock_guard<std::mutex> lock(arenaMu_);
     arenas_[0].reset();
     arenas_[1].reset();
+    arenaUse_[0] = arenaUse_[1] = 0;
+}
+
+std::size_t
+PlacedWorkload::arenaBytes(bool optimized) const
+{
+    std::lock_guard<std::mutex> lock(arenaMu_);
+    const auto &slot = arenas_[optimized ? 1 : 0];
+    return slot ? slot->bytes() : 0;
+}
+
+std::uint64_t
+PlacedWorkload::arenaLastUse(bool optimized) const
+{
+    std::lock_guard<std::mutex> lock(arenaMu_);
+    return arenaUse_[optimized ? 1 : 0];
+}
+
+std::size_t
+PlacedWorkload::evictArena(bool optimized) const
+{
+    std::lock_guard<std::mutex> lock(arenaMu_);
+    std::shared_ptr<const OracleArena> &slot =
+        arenas_[optimized ? 1 : 0];
+    // use_count == 1 means this slot is the arena's only owner; a
+    // replay in flight holds its own shared_ptr and is left alone.
+    if (!slot || slot.use_count() > 1)
+        return 0;
+    const std::size_t bytes = slot->bytes();
+    slot.reset();
+    arenaUse_[optimized ? 1 : 0] = 0;
+    return bytes;
 }
 
 std::unique_ptr<FetchEngine>

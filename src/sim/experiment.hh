@@ -16,6 +16,7 @@
 #ifndef SFETCH_SIM_EXPERIMENT_HH
 #define SFETCH_SIM_EXPERIMENT_HH
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -176,6 +177,26 @@ class PlacedWorkload
      */
     void dropArenas() const;
 
+    /** Bytes of one layout's cached arena (0 when not decoded). */
+    std::size_t arenaBytes(bool optimized) const;
+
+    /**
+     * Process-wide LRU stamp of the layout's cached arena: when it
+     * was last decoded or handed out by arena()/cachedArena(). 0 when
+     * not decoded. Drives arena-granular eviction
+     * (WorkloadCache::evictArenaLru()).
+     */
+    std::uint64_t arenaLastUse(bool optimized) const;
+
+    /**
+     * Drop one layout's cached arena iff this cache slot is its only
+     * owner — an arena some replay still holds is left alone.
+     * Returns the bytes released (0 when absent or in use). The
+     * other layout's arena is untouched: this is the governor's
+     * surgical alternative to evicting a whole workload.
+     */
+    std::size_t evictArena(bool optimized) const;
+
   private:
     std::string name_;
     SyntheticWorkload work_;
@@ -186,6 +207,7 @@ class PlacedWorkload
     /** Lazily-built per-layout committed-path arenas ([0]=base). */
     mutable std::mutex arenaMu_;
     mutable std::shared_ptr<const OracleArena> arenas_[2];
+    mutable std::uint64_t arenaUse_[2] = {0, 0}; //!< LRU stamps
 };
 
 /** Build the fetch engine for a legacy run (registry-backed). */

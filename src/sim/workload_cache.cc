@@ -1,5 +1,7 @@
 #include "sim/workload_cache.hh"
 
+#include <algorithm>
+
 #include "workload/workload_registry.hh"
 
 namespace sfetch
@@ -113,13 +115,63 @@ WorkloadCache::evictLru()
 }
 
 std::size_t
+WorkloadCache::evictArenaLru()
+{
+    // Snapshot candidates under the map lock, oldest first; the
+    // per-workload evictArena() re-checks ownership under its own
+    // lock, so a replay grabbing the arena between snapshot and
+    // eviction just makes that candidate yield 0 and we move on.
+    struct Candidate
+    {
+        std::uint64_t lastUse;
+        std::shared_ptr<PlacedWorkload> work;
+        bool optimized;
+    };
+    std::vector<Candidate> candidates;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[name, s] : slots_) {
+            if (!s->work)
+                continue;
+            for (bool optimized : {false, true})
+                if (s->work->arenaBytes(optimized) > 0)
+                    candidates.push_back(
+                        {s->work->arenaLastUse(optimized), s->work,
+                         optimized});
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.lastUse < b.lastUse;
+              });
+    for (const Candidate &c : candidates) {
+        const std::size_t bytes = c.work->evictArena(c.optimized);
+        if (bytes > 0) {
+            evictions_.fetch_add(1);
+            return bytes;
+        }
+    }
+    return 0;
+}
+
+std::size_t
 WorkloadCache::evictToBudget(std::size_t budget_bytes)
 {
     std::size_t freed = 0;
+    // Arena-granular first: shedding one layout's decode often
+    // suffices and keeps the workload (and its sibling arena) warm.
     while (bytesResident() > budget_bytes) {
-        // An eviction can free 0 arena bytes (entry never decoded
-        // one), so progress is judged by the eviction counter, not
-        // the byte yield.
+        const std::size_t got = evictArenaLru();
+        if (got == 0)
+            break;
+        freed += got;
+    }
+    while (bytesResident() > budget_bytes) {
+        // Whole-entry fallback: reached when the remaining arenas
+        // are externally held (evictArena refuses those, but
+        // dropping the entry releases the cache's reference all the
+        // same). An eviction can free 0 bytes, so progress is judged
+        // by the eviction counter, not the byte yield.
         const std::uint64_t before = evictions_.load();
         freed += evictLru();
         if (evictions_.load() == before)

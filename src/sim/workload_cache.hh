@@ -92,8 +92,19 @@ class WorkloadCache
     std::size_t evictLru();
 
     /**
-     * Evict LRU entries until bytesResident() <= @p budget_bytes or
-     * nothing more is evictable. Returns total bytes released.
+     * Evict the globally least-recently-used *single-layout arena*
+     * whose only owner is the cache, leaving its workload (and the
+     * sibling layout's arena) resident. Returns the bytes released,
+     * or 0 when no arena is evictable. Finer-grained than evictLru():
+     * a sweep that alternates layouts on one workload sheds half its
+     * footprint instead of losing the whole build.
+     */
+    std::size_t evictArenaLru();
+
+    /**
+     * Evict until bytesResident() <= @p budget_bytes or nothing more
+     * is evictable: first single arenas (evictArenaLru), then whole
+     * LRU entries. Returns total bytes released.
      */
     std::size_t evictToBudget(std::size_t budget_bytes);
 

@@ -331,6 +331,84 @@ TEST(WorkloadCache, ClearDropsArenaRefsEvenOnPinnedEntries)
     EXPECT_EQ(pin->name(), "gzip");
 }
 
+TEST(WorkloadCache, EvictArenaLruShedsOneLayoutNotTheWorkload)
+{
+    WorkloadCache &cache = WorkloadCache::instance();
+    cache.clear();
+    const PlacedWorkload &gzip = cache.get("gzip");
+    auto base_arena = gzip.arena(false, 30'000); // older stamp
+    auto opt_arena = gzip.arena(true, 30'000);   // newer stamp
+    const std::size_t base_bytes = base_arena->bytes();
+    const std::size_t opt_bytes = opt_arena->bytes();
+    base_arena.reset(); // the cache is now each arena's sole owner
+    opt_arena.reset();
+
+    // LRU order: the base-layout arena goes first, the workload (and
+    // the optimized arena) stay resident.
+    const std::uint64_t ev0 = cache.evictions();
+    EXPECT_EQ(cache.evictArenaLru(), base_bytes);
+    EXPECT_EQ(cache.evictions(), ev0 + 1);
+    EXPECT_TRUE(cache.contains("gzip"));
+    EXPECT_EQ(gzip.arenaBytes(false), 0u);
+    EXPECT_EQ(gzip.arenaBytes(true), opt_bytes);
+    EXPECT_EQ(cache.bytesResident(), opt_bytes);
+
+    EXPECT_EQ(cache.evictArenaLru(), opt_bytes);
+    EXPECT_EQ(cache.evictArenaLru(), 0u); // nothing left to shed
+    EXPECT_TRUE(cache.contains("gzip"));
+    EXPECT_EQ(cache.bytesResident(), 0u);
+
+    // An evicted arena is simply re-decoded on next use.
+    auto again = gzip.arena(true, 30'000);
+    ASSERT_TRUE(again);
+    EXPECT_EQ(cache.bytesResident(), again->bytes());
+}
+
+TEST(WorkloadCache, ArenaEvictionSkipsArenasHeldByReplays)
+{
+    WorkloadCache &cache = WorkloadCache::instance();
+    cache.clear();
+    const PlacedWorkload &gzip = cache.get("gzip");
+    auto held = gzip.arena(true, 30'000); // a replay in flight
+    const std::size_t bytes = held->bytes();
+
+    EXPECT_EQ(cache.evictArenaLru(), 0u)
+        << "an externally held arena must never be shed";
+    EXPECT_EQ(cache.bytesResident(), bytes);
+
+    held.reset();
+    EXPECT_EQ(cache.evictArenaLru(), bytes);
+    EXPECT_EQ(cache.bytesResident(), 0u);
+}
+
+TEST(WorkloadCache, EvictToBudgetShedsArenasBeforeWholeEntries)
+{
+    WorkloadCache &cache = WorkloadCache::instance();
+    cache.clear();
+    const PlacedWorkload &gzip = cache.get("gzip");
+    auto base_arena = gzip.arena(false, 30'000);
+    auto opt_arena = gzip.arena(true, 30'000);
+    const std::size_t base_bytes = base_arena->bytes();
+    const std::size_t opt_bytes = opt_arena->bytes();
+    base_arena.reset();
+    opt_arena.reset();
+
+    // A budget that fits one arena sheds only the older one; the
+    // workload itself (an expensive build) survives.
+    EXPECT_EQ(cache.evictToBudget(opt_bytes), base_bytes);
+    EXPECT_TRUE(cache.contains("gzip"));
+    EXPECT_EQ(cache.bytesResident(), opt_bytes);
+
+    // When the remaining arena is pinned by a replay, the granular
+    // path yields nothing and evictToBudget falls back to dropping
+    // the whole entry (the cache's reference, not the replay's).
+    auto held = gzip.arena(true, 30'000);
+    cache.evictToBudget(0);
+    EXPECT_FALSE(cache.contains("gzip"));
+    EXPECT_EQ(cache.bytesResident(), 0u);
+    EXPECT_GE(OracleArena::liveBytes(), held->bytes());
+}
+
 TEST(WorkloadCache, HitAndMissCountersAdvance)
 {
     WorkloadCache &cache = WorkloadCache::instance();

@@ -3,10 +3,12 @@
  * sfetchctl: command-line client for sfetchd.
  *
  * Usage:
- *   sfetchctl [--socket PATH] submit [--arch SPEC[,SPEC...]]
+ *   sfetchctl [--socket PATH] [--retries N] submit
+ *             [--arch SPEC[,SPEC...]]
  *             [--bench SPEC[,SPEC...]|all] [--widths 2,4,8]
  *             [--layout base|opt] [--insts N] [--warmup N]
  *             [--jobs N] [--arena auto|off|require]
+ *             [--token TOKEN]
  *   sfetchctl [--socket PATH] status JOB
  *   sfetchctl [--socket PATH] cancel JOB
  *   sfetchctl [--socket PATH] stats
@@ -17,6 +19,13 @@
  * stdout as it arrives, so `sfetchctl submit ... | jq` follows a
  * sweep live. Exit status: 0 on success, 1 when the daemon rejects
  * or the job fails, 2 on usage errors.
+ *
+ * --token makes a submit idempotent against a journalled daemon
+ * (--state-dir): resubmitting the same token after a crash either
+ * attaches to the recovered job and streams its rows, or — if the
+ * rows were already delivered — returns a one-line duplicate reply.
+ * --retries N retries a refused connection with capped exponential
+ * backoff, covering the daemon's restart window.
  */
 
 #include <cstdio>
@@ -36,7 +45,8 @@ std::string
 submitJson(const std::string &arch, const std::string &bench,
            const std::string &widths, const std::string &layout,
            std::uint64_t insts, std::uint64_t warmup, bool warmup_set,
-           unsigned jobs, bool jobs_set, const std::string &arena)
+           unsigned jobs, bool jobs_set, const std::string &arena,
+           const std::string &token)
 {
     JsonObjectWriter w;
     w.field("verb", "submit");
@@ -61,6 +71,8 @@ submitJson(const std::string &arch, const std::string &bench,
         w.field("jobs", static_cast<std::uint64_t>(jobs));
     if (!arena.empty())
         w.field("arena", arena);
+    if (!token.empty())
+        w.field("token", token);
     return w.str();
 }
 
@@ -72,12 +84,13 @@ main(int argc, char **argv)
     std::string socket_path = "/tmp/sfetchd.sock";
     std::string command;
     std::string job_arg;
-    std::string arch, bench, widths, layout, arena;
+    std::string arch, bench, widths, layout, arena, token;
     std::uint64_t insts = 0, warmup = 0;
     bool warmup_set = false;
     unsigned jobs = 0;
     bool jobs_set = false;
     bool no_drain = false;
+    ServeClient::ConnectRetry retry;
 
     CliParser cli("sfetchctl",
                   "talk to a running sfetchd (submit streams rows "
@@ -118,6 +131,17 @@ main(int argc, char **argv)
     cli.addOption("--arena", "auto|off|require",
                   "arena policy (submit; default auto)",
                   [&](const std::string &v) { arena = v; });
+    cli.addOption("--token", "TOKEN",
+                  "idempotency token (submit; resubmits attach to or "
+                  "deduplicate the journalled job)",
+                  [&](const std::string &v) { token = v; });
+    cli.addOption("--retries", "N",
+                  "retry a refused connect N times with backoff "
+                  "(default 0)",
+                  [&](const std::string &v) {
+                      retry.retries = static_cast<int>(
+                          CliParser::parseUnsignedList(v).at(0));
+                  });
     cli.addFlag("--no-drain",
                 "shutdown: cancel jobs instead of finishing them",
                 [&] { no_drain = true; });
@@ -140,14 +164,14 @@ main(int argc, char **argv)
     }
 
     try {
-        ServeClient client(socket_path);
+        ServeClient client(socket_path, retry);
 
         if (command == "submit") {
             bool ok_summary = false;
             const bool done = client.submitStream(
                 submitJson(arch, bench, widths, layout, insts,
                            warmup, warmup_set, jobs, jobs_set,
-                           arena),
+                           arena, token),
                 [&](const JsonValue &parsed, const std::string &raw) {
                     std::printf("%s\n", raw.c_str());
                     std::fflush(stdout);

@@ -9,10 +9,15 @@
  *   sfetchd [--socket PATH] [--workers N] [--max-jobs N]
  *           [--max-points-per-job N] [--mem-budget-mb N]
  *           [--sweep-jobs N] [--quiet]
+ *           [--state-dir DIR] [--idle-timeout MS]
+ *           [--write-timeout MS] [--point-timeout MS]
+ *           [--max-conns N] [--max-jobs-per-client N]
  *
  * Lifecycle: SIGTERM (or SIGINT, or a `shutdown` request) drains —
  * queued and running jobs finish and their streams flush — then the
  * daemon exits 0. SIGUSR1 dumps the stats JSON to stderr at any time.
+ * With --state-dir, a crash (kill -9, OOM) loses nothing: unfinished
+ * jobs are journalled and re-queued on the next start.
  */
 
 #include <atomic>
@@ -71,6 +76,45 @@ main(int argc, char **argv)
                   });
     cli.addFlag("--quiet", "suppress per-event logging",
                 [&] { cfg.quiet = true; });
+    cli.addOption("--state-dir", "DIR",
+                  "journal jobs here and re-queue unfinished ones on "
+                  "restart (default: no persistence)",
+                  [&](const std::string &v) { cfg.stateDir = v; });
+    cli.addOption("--idle-timeout", "MS",
+                  "close connections idle between requests for this "
+                  "long (default 0 = never)",
+                  [&](const std::string &v) {
+                      cfg.idleTimeoutMs = static_cast<int>(
+                          CliParser::parseUnsignedList(v).at(0));
+                  });
+    cli.addOption("--write-timeout", "MS",
+                  "give up on a consumer that accepts no line for "
+                  "this long (default 0 = never)",
+                  [&](const std::string &v) {
+                      cfg.writeTimeoutMs = static_cast<int>(
+                          CliParser::parseUnsignedList(v).at(0));
+                  });
+    cli.addOption("--point-timeout", "MS",
+                  "watchdog: mark a job stuck and free its slot when "
+                  "one sweep point exceeds this (default 0 = off)",
+                  [&](const std::string &v) {
+                      cfg.pointTimeoutMs = static_cast<int>(
+                          CliParser::parseUnsignedList(v).at(0));
+                  });
+    cli.addOption("--max-conns", "N",
+                  "concurrent connection cap, excess get a 'busy' "
+                  "error (default 64, 0 = unlimited)",
+                  [&](const std::string &v) {
+                      cfg.maxConns =
+                          CliParser::parseUnsignedList(v).at(0);
+                  });
+    cli.addOption("--max-jobs-per-client", "N",
+                  "active-job quota per client process, excess get "
+                  "'over_quota' (default 0 = unlimited)",
+                  [&](const std::string &v) {
+                      cfg.maxJobsPerClient =
+                          CliParser::parseUnsignedList(v).at(0);
+                  });
     cli.parseOrExit(argc, argv);
 
     // Signals are handled synchronously on a dedicated thread: block
