@@ -14,20 +14,21 @@ namespace
 {
 
 /**
- * connectUnix with capped exponential backoff. Each retry waits
+ * connectSocket with capped exponential backoff. Each retry waits
  * base * 2^k, clamped to the cap, then jittered to a uniform draw
  * in [delay/2, delay] so a fleet of retrying clients spreads out
  * instead of re-colliding in lockstep.
  */
 int
-connectWithRetry(const std::string &socket_path,
+connectWithRetry(const std::string &address,
                  const ServeClient::ConnectRetry &retry)
 {
+    const SocketAddr addr = parseSocketAddr(address);
     Pcg32 rng(retry.seed, 0xc0ffee);
     int delay = retry.baseDelayMs;
     for (int attempt = 0;; ++attempt) {
         try {
-            return connectUnix(socket_path);
+            return connectSocket(addr);
         } catch (const std::runtime_error &) {
             if (attempt >= retry.retries)
                 throw;
@@ -45,9 +46,9 @@ connectWithRetry(const std::string &socket_path,
 
 } // namespace
 
-ServeClient::ServeClient(const std::string &socket_path,
+ServeClient::ServeClient(const std::string &address,
                          const ConnectRetry &retry)
-    : ch_(connectWithRetry(socket_path, retry))
+    : ch_(connectWithRetry(address, retry))
 {
 }
 

@@ -41,15 +41,27 @@ class ServeClient
         std::uint64_t seed = 1;   //!< jitter stream seed
     };
 
-    /** Connect to the daemon at @p socket_path; throws
-     * std::runtime_error when nothing is listening there after the
-     * retry budget runs out. */
-    explicit ServeClient(const std::string &socket_path)
-        : ServeClient(socket_path, ConnectRetry())
+    /**
+     * Connect to the daemon at @p address — `unix:PATH`,
+     * `tcp:HOST:PORT`, or a bare Unix socket path (see
+     * parseSocketAddr). Throws std::invalid_argument on a malformed
+     * address and std::runtime_error when nothing is listening there
+     * after the retry budget runs out.
+     */
+    explicit ServeClient(const std::string &address)
+        : ServeClient(address, ConnectRetry())
     {
     }
-    ServeClient(const std::string &socket_path,
-                const ConnectRetry &retry);
+    ServeClient(const std::string &address, const ConnectRetry &retry);
+
+    /**
+     * Deadline for each reply/stream line read, milliseconds (<= 0 =
+     * wait forever, the default). With a deadline set, a stalled or
+     * dead daemon surfaces as the usual "connection lost" error
+     * instead of blocking the caller indefinitely — the front
+     * daemon's worker streams rely on this.
+     */
+    void setReadTimeout(int ms) { ch_.setReadTimeout(ms); }
 
     /**
      * Send @p request_json (one line) and return the parsed reply

@@ -51,6 +51,33 @@ renderStarted(std::uint64_t id)
         .str();
 }
 
+std::string
+renderShard(std::uint64_t id, const ShardRecord &s)
+{
+    return JsonObjectWriter()
+        .field("rec", "shard")
+        .field("job", id)
+        .field("gen", static_cast<std::uint64_t>(s.gen))
+        .field("shard", static_cast<std::uint64_t>(s.shard))
+        .field("worker", s.worker)
+        .field("token", s.token)
+        .str();
+}
+
+/** Insert @p s into @p shards, replacing an existing (gen, shard)
+ * entry — a re-dispatch supersedes the original assignment. */
+void
+upsertShard(std::vector<ShardRecord> &shards, ShardRecord s)
+{
+    for (ShardRecord &have : shards) {
+        if (have.gen == s.gen && have.shard == s.shard) {
+            have = std::move(s);
+            return;
+        }
+    }
+    shards.push_back(std::move(s));
+}
+
 /** write(2) all of @p text to @p fd, riding out EINTR/short writes. */
 bool
 writeAll(int fd, const std::string &text)
@@ -120,6 +147,18 @@ JobJournal::recover()
                 auto it = open.find(id);
                 if (it != open.end())
                     it->second.started = true;
+            } else if (kind == "shard") {
+                auto it = open.find(id);
+                if (it != open.end()) {
+                    ShardRecord s;
+                    s.gen = static_cast<unsigned>(
+                        rec.at("gen").asU64());
+                    s.shard = static_cast<unsigned>(
+                        rec.at("shard").asU64());
+                    s.worker = rec.at("worker").asString();
+                    s.token = rec.at("token").asString();
+                    upsertShard(it->second.shards, std::move(s));
+                }
             } else if (kind == "finished") {
                 open.erase(id);
             } else {
@@ -156,6 +195,10 @@ JobJournal::rewriteLog()
             text += renderStarted(id);
             text += '\n';
         }
+        for (const ShardRecord &s : entry.shards) {
+            text += renderShard(id, s);
+            text += '\n';
+        }
     }
     bool ok = writeAll(tfd, text) && ::fdatasync(tfd) == 0;
     ::close(tfd);
@@ -177,7 +220,7 @@ JobJournal::reset(const std::vector<RecoveredJob> &live)
     std::lock_guard<std::mutex> lock(mu_);
     live_.clear();
     for (const RecoveredJob &job : live)
-        live_[job.id] = Live{job.token, job.spec, false};
+        live_[job.id] = Live{job.token, job.spec, false, job.shards};
     if (!rewriteLog())
         degraded_ = true;
 }
@@ -216,7 +259,7 @@ JobJournal::submitted(std::uint64_t id, const std::string &token,
                       const std::string &spec_json)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    live_[id] = Live{token, spec_json, false};
+    live_[id] = Live{token, spec_json, false, {}};
     appendLine(renderSubmitted(id, token, spec_json));
 }
 
@@ -228,6 +271,18 @@ JobJournal::started(std::uint64_t id)
     if (it != live_.end())
         it->second.started = true;
     appendLine(renderStarted(id));
+}
+
+void
+JobJournal::shard(std::uint64_t id, unsigned gen, unsigned shard_idx,
+                  const std::string &worker, const std::string &token)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ShardRecord s{gen, shard_idx, worker, token};
+    auto it = live_.find(id);
+    if (it != live_.end())
+        upsertShard(it->second.shards, s);
+    appendLine(renderShard(id, s));
 }
 
 void

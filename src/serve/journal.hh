@@ -6,7 +6,14 @@
  *
  *     {"rec": "submitted", "job": 3, "token": "t-3", "spec": {...}}
  *     {"rec": "started",   "job": 3}
+ *     {"rec": "shard",     "job": 3, "gen": 0, "shard": 1,
+ *      "worker": "tcp:h:9", "token": "sfo.t-3.g0.s1"}
  *     {"rec": "finished",  "job": 3, "state": "done"}
+ *
+ * `shard` records exist only on a multi-node front daemon: they pin
+ * down which worker received which slice of a fanned-out job under
+ * which idempotency token, so a restarted front daemon re-attaches
+ * to still-running worker jobs instead of re-simulating them.
  *
  * Each append is one write(2) followed by fdatasync, so after a
  * kill -9 the log is a prefix of the true history plus at most one
@@ -41,6 +48,20 @@
 namespace sfetch
 {
 
+/**
+ * One shard dispatch of a fanned-out job (multi-node front daemon):
+ * which worker got which generation/shard, under which idempotency
+ * token. Recovered so a restarted front daemon can re-attach to
+ * still-running worker jobs instead of recomputing them.
+ */
+struct ShardRecord
+{
+    unsigned gen = 0;    //!< fan-out generation (0 = first dispatch)
+    unsigned shard = 0;  //!< shard index within the generation
+    std::string worker;  //!< worker address the shard went to
+    std::string token;   //!< idempotency token used on the worker
+};
+
 /** One not-yet-finished job reconstructed from the log. */
 struct RecoveredJob
 {
@@ -48,6 +69,7 @@ struct RecoveredJob
     std::string token;     //!< client idempotency token ("" if none)
     std::string spec;      //!< original submit request, verbatim JSON
     bool started = false;  //!< was in flight (not just queued) at crash
+    std::vector<ShardRecord> shards; //!< fan-out dispatches, if any
 };
 
 class JobJournal
@@ -88,6 +110,11 @@ class JobJournal
     /** Journal that a worker picked the job up. */
     void started(std::uint64_t id);
 
+    /** Journal a shard dispatch of job @p id to @p worker. Re-
+     * dispatches of the same (gen, shard) overwrite on recovery. */
+    void shard(std::uint64_t id, unsigned gen, unsigned shard_idx,
+               const std::string &worker, const std::string &token);
+
     /** Journal a terminal state: "done", "failed", "cancelled" or
      * "stuck". The job will not be recovered after this. */
     void finished(std::uint64_t id, const std::string &state);
@@ -106,6 +133,7 @@ class JobJournal
         std::string token;
         std::string spec;
         bool started = false;
+        std::vector<ShardRecord> shards;
     };
 
     /** Append one NDJSON line + fdatasync; flips degraded_ on any

@@ -1,5 +1,6 @@
 #include "serve/jsonio.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -36,7 +37,14 @@ JsonValue::asNumber() const
 std::uint64_t
 JsonValue::asU64() const
 {
-    return static_cast<std::uint64_t>(asNumber());
+    const double d = asNumber();
+    // Truncating the cast would turn -5 into a huge count and 3.7
+    // into 3; both are caller bugs the protocol must reject, not
+    // round.
+    if (!(d >= 0.0) || d != std::floor(d) ||
+        d >= 18446744073709551616.0)
+        throw std::runtime_error("json: expected unsigned integer");
+    return static_cast<std::uint64_t>(d);
 }
 
 bool
@@ -262,6 +270,11 @@ jsonQuote(const std::string &s)
 std::string
 jsonNumber(double v)
 {
+    // JSON has no NaN/Infinity; "%.17g" would print "nan"/"inf" and
+    // corrupt every NDJSON consumer downstream. null is the only
+    // representable stand-in.
+    if (!std::isfinite(v))
+        return "null";
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;

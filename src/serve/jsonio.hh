@@ -45,7 +45,9 @@ struct JsonValue
     const JsonValue &at(const std::string &key) const;
 
     double asNumber() const;     //!< throws unless Kind::Number
-    std::uint64_t asU64() const; //!< asNumber() truncated
+    /** asNumber() checked to be a non-negative integer that fits in
+     * 64 bits; throws on negative, fractional, or oversized input. */
+    std::uint64_t asU64() const;
     bool asBool() const;         //!< throws unless Kind::Bool
     const std::string &asString() const; //!< throws unless String
 };
@@ -123,7 +125,8 @@ class JsonObjectWriter
     bool first_ = true;
 };
 
-/** Render a double so that parsing recovers the exact bit pattern. */
+/** Render a double so that parsing recovers the exact bit pattern.
+ * Non-finite values (which JSON cannot represent) render as "null". */
 std::string jsonNumber(double v);
 
 } // namespace sfetch

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "layout/oracle_arena.hh"
+#include "serve/client.hh"
 #include "serve/journal.hh"
 #include "serve/jsonio.hh"
 #include "serve/socket_io.hh"
@@ -107,6 +108,10 @@ struct Server::Job
      * detached: rows buffer in `out` until the original submitter
      * resubmits its token and attaches. */
     bool everAttached = true;
+
+    /** Journalled shard dispatches from a front daemon's previous
+     * life, for token reuse on recovery (runJobSharded). */
+    std::vector<ShardRecord> priorShards;
 };
 
 Server::Server(ServeConfig cfg) : cfg_(std::move(cfg))
@@ -135,17 +140,27 @@ Server::start()
                 std::to_string(journal_->torn()) +
                 " torn/corrupt line(s)");
     }
-    listenFd_ = listenUnix(cfg_.socketPath);
+    const SocketAddr addr = parseSocketAddr(cfg_.socketPath);
+    listenFd_ = listenSocket(addr);
+    boundAddress_ = boundAddr(listenFd_, addr).text();
     running_ = true;
     for (unsigned w = 0; w < cfg_.workers; ++w)
         workers_.emplace_back([this] { workerLoop(); });
     if (cfg_.pointTimeoutMs > 0)
         watchdogThread_ = std::thread([this] { watchdogLoop(); });
     acceptThread_ = std::thread([this] { acceptLoop(); });
-    log("listening on " + cfg_.socketPath + " (" +
+    log("listening on " + boundAddress_ + " (" +
         std::to_string(cfg_.workers) + " worker" +
         (cfg_.workers == 1 ? "" : "s") + ", budget " +
         std::to_string(cfg_.memBudgetBytes >> 20) + " MiB)");
+    if (!cfg_.workerAddrs.empty()) {
+        std::string list;
+        for (const std::string &w : cfg_.workerAddrs)
+            list += (list.empty() ? "" : ", ") + w;
+        log("front mode: fanning sweeps out across " +
+            std::to_string(cfg_.workerAddrs.size()) + " worker(s): " +
+            list);
+    }
 }
 
 void
@@ -196,7 +211,9 @@ Server::stop(bool drain)
     }
     for (auto &[id, t] : threads)
         t.join();
-    ::unlink(cfg_.socketPath.c_str());
+    const SocketAddr addr = parseSocketAddr(cfg_.socketPath);
+    if (addr.kind == SocketAddr::Kind::Unix)
+        ::unlink(addr.path.c_str());
     log("stopped");
 }
 
@@ -374,49 +391,91 @@ Server::makeJob(const JsonValue &req)
             return dflt;
         return v->asString();
     };
-    CliOptions opts;
-    opts.insts = 1'000'000;
-    if (const JsonValue *v = req.find("insts"))
-        opts.insts = static_cast<InstCount>(v->asU64());
-    if (const JsonValue *v = req.find("warmup")) {
-        opts.warmupInsts = static_cast<InstCount>(v->asU64());
-        opts.warmupSet = true;
-    }
-    if (opts.insts == 0)
-        throw std::invalid_argument("insts must be positive");
-
-    std::vector<unsigned> widths;
-    if (const JsonValue *v = req.find("widths")) {
-        if (v->kind == JsonValue::Kind::Array)
-            for (const JsonValue &e : v->array)
-                widths.push_back(static_cast<unsigned>(e.asU64()));
-        else
-            widths.push_back(static_cast<unsigned>(v->asU64()));
-    }
-    if (widths.empty())
-        widths.push_back(8);
-    for (unsigned w : widths)
-        if (w == 0)
-            throw std::invalid_argument("width must be positive");
-
-    const std::string layout = text("layout", "opt");
-    if (layout != "opt" && layout != "base")
-        throw std::invalid_argument("layout must be 'base' or 'opt'");
-    const bool optimized = layout != "base";
-
-    std::vector<std::string> benches =
-        resolveBenches(parseBenchSpecList(text("bench", "gcc")));
-    std::vector<SimConfig> archs =
-        parseArchSpecList(text("arch", "stream"));
-    std::vector<SimConfig> cfgs;
-    for (unsigned w : widths)
-        for (const SimConfig &arch : archs)
-            cfgs.push_back(opts.stamped(arch, w, optimized));
-
     auto job = std::make_shared<Job>();
-    job->points = SweepDriver::grid(benches, cfgs);
+
+    if (const JsonValue *pv = req.find("points")) {
+        // Explicit form: the point list is given outright, one
+        // object per sweep point. This is how a front daemon ships
+        // shard subsets — an arbitrary subset of a grid is not
+        // expressible in the grid form — but any client may use it.
+        for (const char *excluded :
+             {"bench", "arch", "widths", "layout", "insts", "warmup"})
+            if (req.find(excluded))
+                throw std::invalid_argument(
+                    "'points' is the explicit form; it excludes '" +
+                    std::string(excluded) + "'");
+        if (pv->kind != JsonValue::Kind::Array || pv->array.empty())
+            throw std::invalid_argument(
+                "points must be a non-empty array");
+        for (const JsonValue &e : pv->array) {
+            SweepPoint p;
+            p.bench = canonicalBenchSpec(e.at("bench").asString());
+            p.cfg = SimConfig::fromSpec(e.at("spec").asString());
+            const std::string &layout = e.at("layout").asString();
+            if (layout != "opt" && layout != "base")
+                throw std::invalid_argument(
+                    "layout must be 'base' or 'opt'");
+            p.cfg.width =
+                static_cast<unsigned>(e.at("width").asU64());
+            p.cfg.optimizedLayout = layout != "base";
+            p.cfg.insts =
+                static_cast<InstCount>(e.at("insts").asU64());
+            p.cfg.warmupInsts =
+                static_cast<InstCount>(e.at("warmup").asU64());
+            if (p.cfg.width == 0 || p.cfg.insts == 0)
+                throw std::invalid_argument(
+                    "width and insts must be positive");
+            if (std::find(job->benches.begin(), job->benches.end(),
+                          p.bench) == job->benches.end())
+                job->benches.push_back(p.bench);
+            job->points.push_back(std::move(p));
+        }
+    } else {
+        CliOptions opts;
+        opts.insts = 1'000'000;
+        if (const JsonValue *v = req.find("insts"))
+            opts.insts = static_cast<InstCount>(v->asU64());
+        if (const JsonValue *v = req.find("warmup")) {
+            opts.warmupInsts = static_cast<InstCount>(v->asU64());
+            opts.warmupSet = true;
+        }
+        if (opts.insts == 0)
+            throw std::invalid_argument("insts must be positive");
+
+        std::vector<unsigned> widths;
+        if (const JsonValue *v = req.find("widths")) {
+            if (v->kind == JsonValue::Kind::Array)
+                for (const JsonValue &e : v->array)
+                    widths.push_back(
+                        static_cast<unsigned>(e.asU64()));
+            else
+                widths.push_back(static_cast<unsigned>(v->asU64()));
+        }
+        if (widths.empty())
+            widths.push_back(8);
+        for (unsigned w : widths)
+            if (w == 0)
+                throw std::invalid_argument("width must be positive");
+
+        const std::string layout = text("layout", "opt");
+        if (layout != "opt" && layout != "base")
+            throw std::invalid_argument(
+                "layout must be 'base' or 'opt'");
+        const bool optimized = layout != "base";
+
+        std::vector<std::string> benches =
+            resolveBenches(parseBenchSpecList(text("bench", "gcc")));
+        std::vector<SimConfig> archs =
+            parseArchSpecList(text("arch", "stream"));
+        std::vector<SimConfig> cfgs;
+        for (unsigned w : widths)
+            for (const SimConfig &arch : archs)
+                cfgs.push_back(opts.stamped(arch, w, optimized));
+
+        job->points = SweepDriver::grid(benches, cfgs);
+        job->benches = std::move(benches);
+    }
     job->pointCount = job->points.size();
-    job->benches = std::move(benches);
     job->sweepJobs = cfg_.defaultSweepJobs;
     if (const JsonValue *v = req.find("jobs"))
         job->sweepJobs = static_cast<unsigned>(v->asU64());
@@ -676,6 +735,7 @@ Server::recoverJobs()
             std::shared_ptr<Job> job = makeJob(req);
             job->token = rec.token;
             job->specJson = rec.spec;
+            job->priorShards = rec.shards;
             // No consumer yet: buffer every row until the submitter
             // resubmits its token and attaches.
             job->everAttached = false;
@@ -838,6 +898,15 @@ Server::runJob(const std::shared_ptr<Job> &job)
         finishJob(job, JobState::Cancelled, "", 0.0, false);
         return;
     }
+    if (!cfg_.workerAddrs.empty()) {
+        // Front daemon: nothing is simulated here — the job fans
+        // out across the worker fleet instead.
+        runJobSharded(job);
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->points.clear();
+        job->points.shrink_to_fit();
+        return;
+    }
     // Pin every workload for the duration of the run: the driver's
     // internal get() calls resolve to these same (now unevictable)
     // entries, so another job's governor can never pull a workload
@@ -888,6 +957,370 @@ Server::runJob(const std::shared_ptr<Job> &job)
     std::lock_guard<std::mutex> lock(job->mu);
     job->points.clear();
     job->points.shrink_to_fit();
+}
+
+namespace
+{
+
+/**
+ * The raw `"row": {...}` payload of a worker row frame. The framing
+ * always writes "row" last (the same invariant journal recovery
+ * leans on for "spec"), so the payload is the tail of the line minus
+ * the frame's own closing brace. Returning the worker's bytes
+ * verbatim — never re-rendered — is what makes the merged stream
+ * bit-identical to a local run.
+ */
+std::string
+rowPayloadOf(const std::string &frame)
+{
+    static constexpr char kKey[] = "\"row\": ";
+    const std::size_t at = frame.find(kKey);
+    if (at == std::string::npos)
+        return {};
+    std::string payload = frame.substr(at + sizeof(kKey) - 1);
+    if (payload.empty() || payload.back() != '}')
+        return {};
+    payload.pop_back();
+    return payload;
+}
+
+const char *
+arenaModeName(int arena_wanted_ord)
+{
+    switch (arena_wanted_ord) {
+    case 1: return "off";
+    case 2: return "require";
+    }
+    return "auto";
+}
+
+/** The shard's submit request: the explicit `"points"` form over the
+ * chosen subset, run single-threaded so the worker streams rows in
+ * shard order. */
+std::string
+shardSubmitJson(const std::vector<SweepPoint> &points,
+                const std::vector<std::size_t> &indices,
+                const std::string &token, const char *arena_mode)
+{
+    std::string pts = "[";
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        const SweepPoint &p = points[indices[k]];
+        JsonObjectWriter pw;
+        pw.field("bench", p.bench)
+            .field("spec", p.cfg.specText())
+            .field("width", static_cast<std::uint64_t>(p.cfg.width))
+            .field("layout", p.cfg.optimizedLayout ? "opt" : "base")
+            .field("insts", static_cast<std::uint64_t>(p.cfg.insts))
+            .field("warmup",
+                   static_cast<std::uint64_t>(p.cfg.warmupInsts));
+        if (k)
+            pts += ", ";
+        pts += pw.str();
+    }
+    pts += "]";
+    JsonObjectWriter w;
+    w.field("verb", "submit");
+    w.raw("points", pts);
+    w.field("jobs", static_cast<std::uint64_t>(1));
+    w.field("arena", arena_mode);
+    if (!token.empty())
+        w.field("token", token);
+    return w.str();
+}
+
+/** FNV-1a over a shard's identity (worker address + global indices +
+ * grid size), folded into shard tokens so a token can only ever
+ * attach to a job with exactly this slice on exactly this worker. */
+std::uint64_t
+shardSliceHash(const std::string &worker,
+               const std::vector<std::size_t> &indices,
+               std::size_t total)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (char c : worker) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    mix(total);
+    for (std::size_t i : indices)
+        mix(i);
+    return h;
+}
+
+} // namespace
+
+void
+Server::runJobSharded(const std::shared_ptr<Job> &job)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t total = job->pointCount;
+    const std::size_t nWorkers = cfg_.workerAddrs.size();
+
+    struct WorkerHealth
+    {
+        bool connected = true; //!< last dispatch reached the worker
+        bool clean = true;     //!< last shard delivered every point
+    };
+
+    // Shared between the shard reader threads (producers) and this
+    // worker thread (the emitter). Rows land in `ready` keyed by
+    // global point index; emission advances strictly in index order,
+    // so the client-observed stream has point order no matter how
+    // the workers' streams interleave.
+    struct MergeState
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::map<std::size_t, std::string> ready;
+        std::vector<char> delivered;
+        std::size_t next = 0;
+        unsigned active = 0; //!< shard threads still running
+        bool allArena = true;
+    } m;
+    m.delivered.assign(total, 0);
+    std::vector<WorkerHealth> health(nWorkers);
+
+    // Shard tokens: deterministic from the client token (so a
+    // restarted front re-derives them and re-attaches to worker jobs
+    // that are still running) plus the slice hash (so a token can
+    // never attach to a differently-sliced job).
+    const std::string tokenBase =
+        "sfo." + (job->token.empty()
+                      ? "j" + std::to_string(job->id)
+                      : job->token);
+
+    auto runShard = [&](std::size_t widx,
+                        const std::vector<std::size_t> &indices,
+                        const std::string &token) {
+        const std::string &addr = cfg_.workerAddrs[widx];
+        bool connected = false;
+        std::string endState;
+        try {
+            ServeClient::ConnectRetry retry;
+            retry.retries = 4;
+            retry.baseDelayMs = 25;
+            retry.maxDelayMs = 400;
+            retry.seed = job->id * 1315423911ull + widx + 1;
+            ServeClient wc(addr, retry);
+            if (cfg_.pointTimeoutMs > 0)
+                wc.setReadTimeout(cfg_.pointTimeoutMs);
+            connected = true;
+            wc.submitStream(
+                shardSubmitJson(
+                    job->points, indices, token,
+                    arenaModeName(
+                        static_cast<int>(job->arenaWanted))),
+                [&](const JsonValue &parsed, const std::string &raw) {
+                    if (job->cancel.load())
+                        return false;
+                    const JsonValue *pt = parsed.find("point");
+                    if (pt && parsed.find("row")) {
+                        const std::size_t local =
+                            static_cast<std::size_t>(pt->asU64());
+                        if (local >= indices.size())
+                            return false; // not our framing: bail
+                        const std::size_t g = indices[local];
+                        bool arena = false;
+                        if (const JsonValue *a = parsed.find("arena"))
+                            arena =
+                                a->kind == JsonValue::Kind::Bool &&
+                                a->boolean;
+                        std::string payload = rowPayloadOf(raw);
+                        if (payload.empty())
+                            return false;
+                        JsonObjectWriter w;
+                        w.field("job", job->id)
+                            .field("point",
+                                   static_cast<std::uint64_t>(g))
+                            .field("of",
+                                   static_cast<std::uint64_t>(total))
+                            .field("arena", arena)
+                            .raw("row", payload);
+                        // Progress means delivery, not emission: a
+                        // row parked behind a lost shard's gap must
+                        // still hold the watchdog off.
+                        job->lastProgressMs = nowMs();
+                        std::lock_guard<std::mutex> lock(m.mu);
+                        if (!m.delivered[g]) {
+                            m.delivered[g] = 1;
+                            m.ready[g] = w.str();
+                            if (!arena)
+                                m.allArena = false;
+                            m.cv.notify_all();
+                        }
+                    } else if (const JsonValue *st =
+                                   parsed.find("state")) {
+                        if (parsed.find("done") &&
+                            st->kind == JsonValue::Kind::String)
+                            endState = st->string;
+                    }
+                    return true;
+                });
+        } catch (const std::exception &e) {
+            log("job " + std::to_string(job->id) + ": shard on " +
+                addr + " failed: " + e.what());
+        }
+        {
+            std::lock_guard<std::mutex> lock(m.mu);
+            std::size_t have = 0;
+            for (std::size_t g : indices)
+                have += m.delivered[g] ? 1 : 0;
+            health[widx].connected = connected;
+            health[widx].clean = connected &&
+                                 have == indices.size() &&
+                                 endState == "done";
+            --m.active;
+        }
+        m.cv.notify_all();
+    };
+
+    std::vector<std::size_t> missing(total);
+    for (std::size_t i = 0; i < total; ++i)
+        missing[i] = i;
+
+    unsigned shardSeq = 0;
+    for (unsigned gen = 0; gen <= cfg_.shardRetries &&
+                           !missing.empty() && !job->cancel.load();
+         ++gen) {
+        if (gen > 0) {
+            shardRetries_.fetch_add(1);
+            log("job " + std::to_string(job->id) +
+                ": re-dispatching " +
+                std::to_string(missing.size()) +
+                " missing point(s), generation " +
+                std::to_string(gen));
+        }
+        // Prefer workers whose previous shard came back complete,
+        // fall back to any that at least accepted a connection, and
+        // as a last resort give the whole fleet another chance
+        // through ConnectRetry.
+        std::vector<std::size_t> targets;
+        for (std::size_t w = 0; w < nWorkers; ++w)
+            if (health[w].connected && health[w].clean)
+                targets.push_back(w);
+        if (targets.empty())
+            for (std::size_t w = 0; w < nWorkers; ++w)
+                if (health[w].connected)
+                    targets.push_back(w);
+        if (targets.empty())
+            for (std::size_t w = 0; w < nWorkers; ++w)
+                targets.push_back(w);
+
+        // Block-partition the missing points across the targets:
+        // contiguous slices keep each worker's rows in shard order,
+        // which (with "jobs":1) the merge relies on for streaming —
+        // early global indices stream before late ones finish.
+        const std::size_t per =
+            (missing.size() + targets.size() - 1) / targets.size();
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0, at = 0;
+             t < targets.size() && at < missing.size();
+             ++t, at += per) {
+            const std::size_t hi = std::min(at + per, missing.size());
+            std::vector<std::size_t> part(missing.begin() + at,
+                                          missing.begin() + hi);
+            const std::string &addr = cfg_.workerAddrs[targets[t]];
+            const unsigned shard = shardSeq++;
+            std::string token =
+                tokenBase + ".g" + std::to_string(gen) + ".s" +
+                std::to_string(shard) + ".h" +
+                std::to_string(shardSliceHash(addr, part, total));
+            // A journalled dispatch of this same (gen, shard) whose
+            // worker and slice both match carries the token of a job
+            // the worker may still be running: reuse it and attach
+            // instead of re-simulating. (For tokenless submits the
+            // regenerated token differs — the recovered job was
+            // renumbered — which is exactly when the journal pays.)
+            const std::string suffix =
+                token.substr(token.rfind(".h"));
+            for (const ShardRecord &rec : job->priorShards)
+                if (rec.gen == gen && rec.shard == shard &&
+                    rec.worker == addr &&
+                    rec.token.size() > suffix.size() &&
+                    rec.token.compare(rec.token.size() -
+                                          suffix.size(),
+                                      suffix.size(), suffix) == 0)
+                    token = rec.token;
+            if (journal_)
+                journal_->shard(job->id, gen, shard, addr, token);
+            shardsDispatched_.fetch_add(1);
+            {
+                std::lock_guard<std::mutex> lock(m.mu);
+                ++m.active;
+            }
+            threads.emplace_back(runShard, targets[t],
+                                 std::move(part), std::move(token));
+        }
+
+        // Emit merged rows in global point order while this
+        // generation streams. A gap left by a lost shard blocks
+        // emission past it; later rows wait in `ready` until a
+        // re-dispatch fills the gap.
+        while (true) {
+            std::vector<std::string> lines;
+            bool roundDone = false;
+            {
+                std::unique_lock<std::mutex> lock(m.mu);
+                m.cv.wait(lock, [&] {
+                    return m.active == 0 || job->cancel.load() ||
+                           m.ready.count(m.next) != 0;
+                });
+                for (auto it = m.ready.find(m.next);
+                     it != m.ready.end(); it = m.ready.find(m.next)) {
+                    lines.push_back(std::move(it->second));
+                    m.ready.erase(it);
+                    ++m.next;
+                }
+                roundDone = m.active == 0;
+            }
+            for (std::string &l : lines) {
+                job->pointsDone.fetch_add(1);
+                job->lastProgressMs = nowMs();
+                rowsStreamed_.fetch_add(1);
+                pushLine(job, std::move(l));
+            }
+            if (roundDone || job->cancel.load())
+                break;
+        }
+        for (std::thread &t : threads)
+            t.join();
+
+        missing.clear();
+        {
+            std::lock_guard<std::mutex> lock(m.mu);
+            for (std::size_t i = 0; i < total; ++i)
+                if (!m.delivered[i])
+                    missing.push_back(i);
+        }
+    }
+
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    bool allArena;
+    {
+        std::lock_guard<std::mutex> lock(m.mu);
+        allArena = m.allArena && m.next == total;
+    }
+    if (job->cancel.load())
+        finishJob(job, JobState::Cancelled, "", wall, false);
+    else if (missing.empty())
+        finishJob(job, JobState::Done, "", wall, allArena);
+    else
+        finishJob(job, JobState::Failed,
+                  std::to_string(missing.size()) + " of " +
+                      std::to_string(total) +
+                      " point(s) undeliverable after " +
+                      std::to_string(cfg_.shardRetries + 1) +
+                      " fan-out generation(s)",
+                  wall, false);
 }
 
 void
@@ -989,6 +1422,8 @@ Server::stats() const
     s.jobsRecovered = jobsRecovered_.load();
     s.rowsStreamed = rowsStreamed_.load();
     s.arenaFallbacks = arenaFallbacks_.load();
+    s.shardsDispatched = shardsDispatched_.load();
+    s.shardRetries = shardRetries_.load();
     s.connsRejected = connsRejected_.load();
     s.connTimeouts = connTimeouts_.load();
     {
@@ -1033,6 +1468,10 @@ Server::statsJson() const
         .field("jobs_running", s.jobsRunning)
         .field("rows_streamed", s.rowsStreamed)
         .field("arena_fallbacks", s.arenaFallbacks)
+        .field("workers_configured",
+               static_cast<std::uint64_t>(cfg_.workerAddrs.size()))
+        .field("shards_dispatched", s.shardsDispatched)
+        .field("shard_retries", s.shardRetries)
         .field("conns_active", s.connsActive)
         .field("conns_rejected", s.connsRejected)
         .field("conn_timeouts", s.connTimeouts)

@@ -1,10 +1,11 @@
 /**
  * @file
  * sfetchd's engine room: a resident simulation service wrapping
- * SweepDriver behind a Unix-domain socket speaking line-delimited
- * JSON. One-shot bench binaries rebuild workloads and arenas from
- * scratch on every invocation; the daemon amortizes them across
- * requests under an explicit memory budget.
+ * SweepDriver behind a stream socket (Unix-domain or TCP — see
+ * serve/socket_io's address grammar) speaking line-delimited JSON.
+ * One-shot bench binaries rebuild workloads and arenas from scratch
+ * on every invocation; the daemon amortizes them across requests
+ * under an explicit memory budget.
  *
  * Protocol (one JSON object per line, both directions):
  *
@@ -56,6 +57,28 @@
  * Ordering: rows stream in completion order, which equals point
  * order when the job's sweep runs single-threaded ("jobs":1, the
  * default); the framing always carries the point index.
+ *
+ * Multi-node fan-out: a daemon started with worker addresses
+ * (ServeConfig::workerAddrs / `sfetchd --worker`) is a *front*: it
+ * accepts the same protocol, but instead of simulating, it block-
+ * partitions each job's points across the workers using the submit
+ * protocol's explicit `"points"` form —
+ *
+ *   {"verb":"submit","points":[{"bench":"gzip","spec":"stream",
+ *    "width":8,"layout":"opt","insts":50000,"warmup":10000},...]}
+ *
+ * — then merges the workers' row streams back into one stream in
+ * global point order, re-framed under the front's job id. Because a
+ * worker runs its shard single-threaded in shard order and rows are
+ * raw JSON passed through verbatim, the merged stream is
+ * bit-identical to a single-daemon run of the same submit. A worker
+ * that dies or stalls mid-shard only loses its undelivered points:
+ * after each fan-out generation the front re-partitions whatever is
+ * missing across the workers that behaved, under fresh idempotency
+ * tokens, up to ServeConfig::shardRetries extra generations. Shard
+ * dispatches are journalled (`shard` records) so a restarted front
+ * re-attaches to still-running worker jobs by token instead of
+ * re-simulating.
  */
 
 #ifndef SFETCH_SERVE_SERVER_HH
@@ -84,7 +107,23 @@ struct JsonValue;
 /** Daemon knobs (the sfetchd command line maps 1:1 onto these). */
 struct ServeConfig
 {
+    /**
+     * Listen address: `unix:PATH`, `tcp:HOST:PORT` (port 0 binds an
+     * ephemeral port — Server::listenAddress() reports the real
+     * one), or a bare Unix socket path.
+     */
     std::string socketPath = "/tmp/sfetchd.sock";
+    /**
+     * Worker-daemon addresses (`tcp:HOST:PORT` / `unix:PATH`). When
+     * non-empty this daemon is a multi-node *front*: every submitted
+     * sweep is split across these workers and the row streams merged
+     * back in point order, bit-identical to a local run.
+     */
+    std::vector<std::string> workerAddrs;
+    /** Extra fan-out generations after the first: how many times the
+     * front re-dispatches a job's missing points to surviving
+     * workers before failing the job. */
+    unsigned shardRetries = 2;
     /** Worker threads = jobs simulating concurrently. 0 picks
      * hardware_concurrency(). */
     unsigned workers = 1;
@@ -128,6 +167,8 @@ struct ServeStats
     std::uint64_t jobsRunning = 0; //!< current depth
     std::uint64_t rowsStreamed = 0;
     std::uint64_t arenaFallbacks = 0;
+    std::uint64_t shardsDispatched = 0; //!< worker shards sent (front)
+    std::uint64_t shardRetries = 0; //!< re-dispatch rounds after loss
     std::uint64_t connsActive = 0;   //!< current depth
     std::uint64_t connsRejected = 0; //!< turned away "busy"
     std::uint64_t connTimeouts = 0;  //!< idle/write deadline hits
@@ -182,6 +223,14 @@ class Server
 
     const ServeConfig &config() const { return cfg_; }
 
+    /**
+     * The address the daemon actually listens on, in canonical
+     * grammar form ("unix:PATH" / "tcp:HOST:PORT"). Differs from the
+     * configured socketPath when that requested TCP port 0: the
+     * kernel-assigned port is substituted. Valid after start().
+     */
+    const std::string &listenAddress() const { return boundAddress_; }
+
     ServeStats stats() const;
 
     /** The `stats` verb's reply (also dumped on SIGUSR1). */
@@ -224,6 +273,10 @@ class Server
     bool streamJob(const std::shared_ptr<Job> &job, LineChannel &ch);
 
     void runJob(const std::shared_ptr<Job> &job);
+    /** Multi-node front: split the job's points across
+     * cfg_.workerAddrs, merge the row streams in point order, and
+     * re-dispatch missing points when a worker dies mid-sweep. */
+    void runJobSharded(const std::shared_ptr<Job> &job);
     /** Governor: evict/reserve/fallback; true = replay from arenas. */
     bool decideArena(const std::shared_ptr<Job> &job);
     /** Return a decideArena() reservation to the budget pool. */
@@ -244,6 +297,7 @@ class Server
     std::atomic<bool> stopping_{false};
 
     int listenFd_ = -1;
+    std::string boundAddress_; //!< canonical, set by start()
     std::thread acceptThread_;
     std::thread watchdogThread_;
     std::vector<std::thread> workers_;
@@ -286,6 +340,8 @@ class Server
     std::atomic<std::uint64_t> jobsRecovered_{0};
     std::atomic<std::uint64_t> rowsStreamed_{0};
     std::atomic<std::uint64_t> arenaFallbacks_{0};
+    std::atomic<std::uint64_t> shardsDispatched_{0};
+    std::atomic<std::uint64_t> shardRetries_{0};
     std::atomic<std::uint64_t> connsRejected_{0};
     std::atomic<std::uint64_t> connTimeouts_{0};
 };

@@ -2,9 +2,13 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -45,7 +49,78 @@ nowMs()
         .count();
 }
 
+/**
+ * Parse a decimal port; rejects empty text, trailing garbage, signs,
+ * and values above 65535. The strict parse matters: "tcp:host:80x"
+ * or "tcp:host:-1" must be a configuration error, not port 80 or a
+ * silently wrapped value.
+ */
+std::uint16_t
+parsePort(const std::string &text, const std::string &whole)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        throw std::invalid_argument("bad port in socket address '" +
+                                    whole + "'");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        v > 65535)
+        throw std::invalid_argument("bad port in socket address '" +
+                                    whole + "'");
+    return static_cast<std::uint16_t>(v);
+}
+
 } // namespace
+
+std::string
+SocketAddr::text() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    const bool v6 = host.find(':') != std::string::npos;
+    return "tcp:" + (v6 ? "[" + host + "]" : host) + ":" +
+           std::to_string(port);
+}
+
+SocketAddr
+parseSocketAddr(const std::string &text)
+{
+    SocketAddr addr;
+    if (text.rfind("tcp:", 0) == 0) {
+        addr.kind = SocketAddr::Kind::Tcp;
+        std::string rest = text.substr(4);
+        if (!rest.empty() && rest[0] == '[') {
+            // "[v6-literal]:port"
+            const std::size_t close = rest.find(']');
+            if (close == std::string::npos || close + 1 >= rest.size() ||
+                rest[close + 1] != ':')
+                throw std::invalid_argument(
+                    "bad socket address '" + text +
+                    "' (expected tcp:[V6]:PORT)");
+            addr.host = rest.substr(1, close - 1);
+            addr.port = parsePort(rest.substr(close + 2), text);
+            return addr;
+        }
+        // "host:port" — split on the last ':' so unbracketed text
+        // with multiple colons still finds the port field.
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos)
+            throw std::invalid_argument(
+                "bad socket address '" + text +
+                "' (expected tcp:HOST:PORT)");
+        addr.host = rest.substr(0, colon);
+        addr.port = parsePort(rest.substr(colon + 1), text);
+        return addr;
+    }
+    addr.kind = SocketAddr::Kind::Unix;
+    addr.path = text.rfind("unix:", 0) == 0 ? text.substr(5) : text;
+    if (addr.path.empty())
+        throw std::invalid_argument("empty socket path in address '" +
+                                    text + "'");
+    return addr;
+}
 
 int
 listenUnix(const std::string &path, int backlog)
@@ -104,6 +179,154 @@ connectUnix(const std::string &path)
         failErrno("connect", path);
     }
     return fd;
+}
+
+namespace
+{
+
+/** getaddrinfo over the host/port pair; throws on resolver failure. */
+struct AddrInfoList
+{
+    addrinfo *head = nullptr;
+
+    AddrInfoList(const std::string &host, std::uint16_t port,
+                 bool passive)
+    {
+        addrinfo hints{};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+        const std::string service = std::to_string(port);
+        const int rc =
+            ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                          service.c_str(), &hints, &head);
+        if (rc != 0)
+            throw std::runtime_error("resolve '" + host + ":" +
+                                     service +
+                                     "': " + ::gai_strerror(rc));
+    }
+
+    ~AddrInfoList()
+    {
+        if (head)
+            ::freeaddrinfo(head);
+    }
+
+    AddrInfoList(const AddrInfoList &) = delete;
+    AddrInfoList &operator=(const AddrInfoList &) = delete;
+};
+
+std::string
+tcpName(const std::string &host, std::uint16_t port)
+{
+    return (host.empty() ? std::string("*") : host) + ":" +
+           std::to_string(port);
+}
+
+} // namespace
+
+int
+listenTcp(const std::string &host, std::uint16_t port, int backlog)
+{
+    AddrInfoList res(host, port, /*passive=*/true);
+    int lastErrno = 0;
+    for (addrinfo *ai = res.head; ai; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, backlog) == 0)
+            return fd;
+        lastErrno = errno;
+        ::close(fd);
+    }
+    errno = lastErrno ? lastErrno : EADDRNOTAVAIL;
+    failErrno("listen", tcpName(host, port));
+}
+
+int
+connectTcp(const std::string &host, std::uint16_t port)
+{
+    if (SFETCH_FAULT("socket.connect")) {
+        errno = ECONNREFUSED;
+        failErrno("connect", tcpName(host, port));
+    }
+    AddrInfoList res(host, port, /*passive=*/false);
+    int lastErrno = 0;
+    for (addrinfo *ai = res.head; ai; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0) {
+            lastErrno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            // One protocol line per round trip: Nagle only adds
+            // latency here.
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return fd;
+        }
+        lastErrno = errno;
+        ::close(fd);
+    }
+    errno = lastErrno ? lastErrno : ECONNREFUSED;
+    failErrno("connect", tcpName(host, port));
+}
+
+int
+listenSocket(const SocketAddr &addr, int backlog)
+{
+    return addr.kind == SocketAddr::Kind::Unix
+               ? listenUnix(addr.path, backlog)
+               : listenTcp(addr.host, addr.port, backlog);
+}
+
+int
+connectSocket(const SocketAddr &addr)
+{
+    return addr.kind == SocketAddr::Kind::Unix
+               ? connectUnix(addr.path)
+               : connectTcp(addr.host, addr.port);
+}
+
+int
+connectAddress(const std::string &text)
+{
+    return connectSocket(parseSocketAddr(text));
+}
+
+SocketAddr
+boundAddr(int fd, const SocketAddr &requested)
+{
+    SocketAddr out = requested;
+    if (out.kind != SocketAddr::Kind::Tcp)
+        return out;
+    sockaddr_storage ss{};
+    socklen_t len = sizeof(ss);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&ss), &len) ==
+        0) {
+        char host[NI_MAXHOST];
+        char serv[NI_MAXSERV];
+        if (::getnameinfo(reinterpret_cast<sockaddr *>(&ss), len,
+                          host, sizeof(host), serv, sizeof(serv),
+                          NI_NUMERICHOST | NI_NUMERICSERV) == 0) {
+            // Keep a requested concrete host (clients should not be
+            // told to dial the resolver's rewrite of it); always
+            // adopt the bound port so an ephemeral listen reports
+            // something dialable.
+            if (out.host.empty())
+                out.host = host;
+            out.port = parsePort(serv, serv);
+        }
+    }
+    return out;
 }
 
 LineChannel::~LineChannel()
@@ -224,6 +447,25 @@ LineChannel::shutdownRead()
 std::string
 LineChannel::peerId() const
 {
+    // Pick the identity source by address family, not by whichever
+    // call happens to succeed: SO_PEERCRED on a Linux TCP socket
+    // "succeeds" with uid -1 / pid 0, which would fold every TCP
+    // client into one shared quota bucket — a single client could
+    // then exhaust --max-jobs-per-client for the whole fleet.
+    sockaddr_storage ss{};
+    socklen_t slen = sizeof(ss);
+    if (::getpeername(fd_, reinterpret_cast<sockaddr *>(&ss),
+                      &slen) != 0)
+        return {};
+    if (ss.ss_family == AF_INET || ss.ss_family == AF_INET6) {
+        char host[NI_MAXHOST];
+        char serv[NI_MAXSERV];
+        if (::getnameinfo(reinterpret_cast<sockaddr *>(&ss), slen,
+                          host, sizeof(host), serv, sizeof(serv),
+                          NI_NUMERICHOST | NI_NUMERICSERV) == 0)
+            return std::string(host) + ":" + serv;
+        return {};
+    }
 #ifdef SO_PEERCRED
     ucred cred{};
     socklen_t len = sizeof(cred);

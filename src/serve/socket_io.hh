@@ -1,26 +1,64 @@
 /**
  * @file
- * Unix-domain socket plumbing for the sfetchd protocol: listener and
- * connector helpers plus LineChannel, a buffered newline-delimited
- * reader/writer over one connected fd. The protocol unit is a line
- * of JSON, so this is the only transport surface the server, the
- * client library, and the tests need.
+ * Socket plumbing for the sfetchd protocol: listener and connector
+ * helpers for both supported transports plus LineChannel, a buffered
+ * newline-delimited reader/writer over one connected fd. The
+ * protocol unit is a line of JSON, so this is the only transport
+ * surface the server, the client library, and the tests need.
+ *
+ * Transports share one address grammar:
+ *
+ *     unix:PATH        Unix-domain stream socket at PATH
+ *     tcp:HOST:PORT    TCP socket (HOST may be a name, an IPv4/IPv6
+ *                      literal, or "[v6]"; an empty HOST listens on
+ *                      every interface; PORT 0 binds an ephemeral
+ *                      port for listeners)
+ *     PATH             bare text without a scheme is a Unix path
+ *                      (back-compat with the original --socket flag)
  *
  * Deadlines: a LineChannel can carry per-call read and write
  * timeouts (poll()-based), so a stalled or dead peer surfaces as a
  * failed call with timedOut() set instead of wedging the calling
  * thread forever. sfetchd maps these onto --idle-timeout (time
  * between client requests) and --write-timeout (time to accept one
- * streamed line).
+ * streamed line). Both transports ride the same deadline layer and
+ * the same fault-injection sites.
  */
 
 #ifndef SFETCH_SERVE_SOCKET_IO_HH
 #define SFETCH_SERVE_SOCKET_IO_HH
 
+#include <cstdint>
 #include <string>
 
 namespace sfetch
 {
+
+/** One parsed listen/connect address (see the grammar above). */
+struct SocketAddr
+{
+    enum class Kind
+    {
+        Unix,
+        Tcp
+    };
+
+    Kind kind = Kind::Unix;
+    std::string path;        //!< Unix: filesystem path
+    std::string host;        //!< TCP: node ("" = all interfaces)
+    std::uint16_t port = 0;  //!< TCP: port (0 = ephemeral listen)
+
+    /** Canonical text: "unix:PATH" or "tcp:HOST:PORT". */
+    std::string text() const;
+};
+
+/**
+ * Parse the `unix:PATH | tcp:HOST:PORT | PATH` grammar. Throws
+ * std::invalid_argument on an empty path, a missing or non-numeric
+ * port, or a port out of range — address typos must fail loudly, not
+ * connect somewhere surprising.
+ */
+SocketAddr parseSocketAddr(const std::string &text);
 
 /**
  * Bind and listen on a Unix-domain socket at @p path. A stale
@@ -34,6 +72,35 @@ int listenUnix(const std::string &path, int backlog = 16);
 /** Connect to the Unix socket at @p path; throws std::runtime_error
  * on failure. Returns the connected fd (caller closes). */
 int connectUnix(const std::string &path);
+
+/**
+ * Bind and listen on TCP @p host:@p port (empty host = every
+ * interface, port 0 = kernel-assigned). SO_REUSEADDR is set so a
+ * restarting daemon does not trip over TIME_WAIT. Throws
+ * std::runtime_error on failure. Returns the listening fd.
+ */
+int listenTcp(const std::string &host, std::uint16_t port,
+              int backlog = 16);
+
+/** Connect to TCP @p host:@p port; throws std::runtime_error on
+ * failure (same socket.connect fault-injection site as Unix). */
+int connectTcp(const std::string &host, std::uint16_t port);
+
+/** Listen on @p addr via the matching transport. */
+int listenSocket(const SocketAddr &addr, int backlog = 16);
+
+/** Connect to @p addr via the matching transport. */
+int connectSocket(const SocketAddr &addr);
+
+/** Connect to an address in the grammar (parse + connectSocket). */
+int connectAddress(const std::string &text);
+
+/**
+ * The address @p fd actually listens on: @p requested with an
+ * ephemeral port 0 resolved to the bound port (getsockname). For
+ * Unix addresses this is just the canonical form of @p requested.
+ */
+SocketAddr boundAddr(int fd, const SocketAddr &requested);
 
 /**
  * Newline-delimited IO over one connected socket. Owns the fd.
@@ -86,9 +153,11 @@ class LineChannel
     void shutdownRead();
 
     /**
-     * Stable identity of the peer process ("uid.pid" from
-     * SO_PEERCRED), for per-client accounting. Empty when the
-     * platform or socket cannot say.
+     * Stable identity of the peer, for per-client accounting:
+     * "uid.pid" from SO_PEERCRED on Unix sockets, "HOST:PORT" of the
+     * remote endpoint on TCP (every remote connection is its own
+     * client). Empty only when the platform cannot say — callers
+     * treat that as "no identity", never as one shared bucket.
      */
     std::string peerId() const;
 

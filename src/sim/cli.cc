@@ -1,7 +1,9 @@
 #include "sim/cli.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -26,6 +28,27 @@ CliParser::CliParser(std::string prog, std::string summary)
     });
 }
 
+std::uint64_t
+CliParser::parseU64(const std::string &text)
+{
+    // strtoull alone is not enough: it accepts leading whitespace
+    // and a '-' sign (negating into a huge value), stops silently at
+    // the first non-digit ("5x" -> 5), and wraps on overflow unless
+    // errno is checked. Require pure digits and check ERANGE.
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        throw std::invalid_argument("bad number '" + text + "'");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        throw std::invalid_argument("bad number '" + text + "'");
+    if (errno == ERANGE)
+        throw std::invalid_argument("number out of range '" + text +
+                                    "'");
+    return v;
+}
+
 std::vector<unsigned>
 CliParser::parseUnsignedList(const std::string &text)
 {
@@ -35,10 +58,10 @@ CliParser::parseUnsignedList(const std::string &text)
     while (std::getline(ss, tok, ',')) {
         if (tok.empty())
             continue;
-        char *end = nullptr;
-        unsigned long v = std::strtoul(tok.c_str(), &end, 10);
-        if (end == tok.c_str() || *end != '\0')
-            throw std::invalid_argument("bad number '" + tok + "'");
+        const std::uint64_t v = parseU64(tok);
+        if (v > std::numeric_limits<unsigned>::max())
+            throw std::invalid_argument("number out of range '" +
+                                        tok + "'");
         out.push_back(static_cast<unsigned>(v));
     }
     if (out.empty())
@@ -93,8 +116,7 @@ CliParser::addStandard(CliOptions *opts, unsigned mask)
     if (mask & kInsts)
         addOption("--insts", "N", "measured instructions per run",
                   [opts](const std::string &v) {
-                      opts->insts = std::strtoull(v.c_str(), nullptr,
-                                                  10);
+                      opts->insts = parseU64(v);
                       if (opts->insts == 0)
                           throw std::invalid_argument(
                               "--insts must be positive");
@@ -103,8 +125,7 @@ CliParser::addStandard(CliOptions *opts, unsigned mask)
         addOption("--warmup", "N",
                   "warmup instructions (default: insts/5)",
                   [opts](const std::string &v) {
-                      opts->warmupInsts =
-                          std::strtoull(v.c_str(), nullptr, 10);
+                      opts->warmupInsts = parseU64(v);
                       opts->warmupSet = true;
                   });
     if (mask & kWidths)
@@ -146,11 +167,13 @@ CliParser::addStandard(CliOptions *opts, unsigned mask)
         addOption("--jobs", "N",
                   "worker threads (default: all hardware threads)",
                   [opts](const std::string &v) {
-                      opts->jobs = static_cast<unsigned>(
-                          std::strtoul(v.c_str(), nullptr, 10));
-                      if (opts->jobs == 0)
+                      const std::uint64_t n = parseU64(v);
+                      if (n == 0 ||
+                          n > std::numeric_limits<unsigned>::max())
                           throw std::invalid_argument(
-                              "--jobs must be positive");
+                              "--jobs must be a positive thread "
+                              "count");
+                      opts->jobs = static_cast<unsigned>(n);
                   });
     if (mask & kFormat)
         addOption("--format", "table|csv|json",

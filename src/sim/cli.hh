@@ -11,6 +11,7 @@
 #ifndef SFETCH_SIM_CLI_HH
 #define SFETCH_SIM_CLI_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -118,6 +119,13 @@ class CliParser
     std::string usage() const;
 
     // Shared token parsers (also used by binaries directly).
+    /**
+     * Strict decimal parse: the whole of @p text must be digits and
+     * fit in 64 bits. Throws std::invalid_argument on empty text,
+     * signs, trailing garbage ("5x"), or overflow — never silently
+     * truncates the way a bare strtoull(.., nullptr, ..) call does.
+     */
+    static std::uint64_t parseU64(const std::string &text);
     static std::vector<unsigned>
     parseUnsignedList(const std::string &text);
     static std::vector<std::string>

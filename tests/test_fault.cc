@@ -14,6 +14,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -28,6 +29,7 @@
 #include "serve/journal.hh"
 #include "serve/jsonio.hh"
 #include "serve/socket_io.hh"
+#include "sim/cli.hh"
 #include "sim/driver.hh"
 #include "sim/workload_cache.hh"
 #include "util/fault_inject.hh"
@@ -177,6 +179,120 @@ TEST_F(FaultTest, InjectedRecvAndSendFailTheChannelNotTheProcess)
     EXPECT_FALSE(b.readLine(line));
     EXPECT_TRUE(b.readLine(line)); // the delivered line is intact
     EXPECT_EQ(line, "{\"x\": 2}");
+}
+
+TEST_F(FaultTest, TcpConnectFaultFailsAndRetrySurvivesIt)
+{
+    // Same socket.connect site, TCP transport: an ephemeral loopback
+    // listener stands in for the daemon.
+    int lfd = listenTcp("127.0.0.1", 0);
+    ASSERT_GE(lfd, 0);
+    const SocketAddr addr =
+        boundAddr(lfd, parseSocketAddr("tcp:127.0.0.1:0"));
+    ASSERT_NE(addr.port, 0);
+
+    fault::arm("socket.connect", 0, 1);
+    EXPECT_THROW(ServeClient dead(addr.text()), std::runtime_error);
+
+    fault::arm("socket.connect", 0, 2);
+    ServeClient::ConnectRetry retry;
+    retry.retries = 3;
+    retry.baseDelayMs = 1;
+    retry.maxDelayMs = 2;
+    ASSERT_NO_THROW(ServeClient alive(addr.text(), retry));
+
+    ::close(lfd);
+}
+
+TEST_F(FaultTest, InjectedRecvAndSendFailATcpChannelNotTheProcess)
+{
+    // The recv/send fault sites sit in LineChannel, below the
+    // transport split — prove they bite a real TCP pair too.
+    int lfd = listenTcp("127.0.0.1", 0);
+    ASSERT_GE(lfd, 0);
+    const SocketAddr addr =
+        boundAddr(lfd, parseSocketAddr("tcp:127.0.0.1:0"));
+    LineChannel a(connectTcp(addr.host, addr.port));
+    int accepted = ::accept(lfd, nullptr, nullptr);
+    ASSERT_GE(accepted, 0);
+    LineChannel b(accepted);
+
+    fault::arm("socket.send", 0, 1);
+    EXPECT_FALSE(a.writeLine("{\"x\": 1}"));
+    EXPECT_TRUE(a.writeLine("{\"x\": 2}")); // trigger spent
+
+    fault::arm("socket.recv", 0, 1);
+    std::string line;
+    EXPECT_FALSE(b.readLine(line));
+    EXPECT_TRUE(b.readLine(line)); // the delivered line is intact
+    EXPECT_EQ(line, "{\"x\": 2}");
+
+    // Each side knows who the other is: host:port, never empty.
+    EXPECT_NE(a.peerId().find("127.0.0.1:"), std::string::npos);
+    EXPECT_NE(b.peerId().find("127.0.0.1:"), std::string::npos);
+    EXPECT_NE(a.peerId(), b.peerId());
+    ::close(lfd);
+}
+
+TEST_F(FaultTest, SocketAddressTyposFailLoudly)
+{
+    // Well-formed addresses round-trip through the parser...
+    EXPECT_EQ(parseSocketAddr("unix:/tmp/x.sock").text(),
+              "unix:/tmp/x.sock");
+    EXPECT_EQ(parseSocketAddr("/tmp/x.sock").text(),
+              "unix:/tmp/x.sock");
+    EXPECT_EQ(parseSocketAddr("tcp:127.0.0.1:7777").text(),
+              "tcp:127.0.0.1:7777");
+    EXPECT_EQ(parseSocketAddr("tcp:[::1]:7777").host, "::1");
+    EXPECT_EQ(parseSocketAddr("tcp::7777").host, "");
+
+    // ...and typos are structured errors, not surprise connects.
+    for (const char *bad :
+         {"", "unix:", "tcp:", "tcp:localhost", "tcp:host:",
+          "tcp:host:notaport", "tcp:host:12x", "tcp:host:65536",
+          "tcp:host:-1", "tcp:[::1]7777"})
+        EXPECT_THROW(parseSocketAddr(bad), std::invalid_argument)
+            << "accepted '" << bad << "'";
+}
+
+TEST_F(FaultTest, JsonNumberEmitsNullForNonFiniteValues)
+{
+    // %.17g would print "nan"/"inf" — not JSON; a daemon streaming
+    // such a row would kill every consumer's parser mid-sweep. The
+    // writer now emits null, which round-trips through our reader.
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(HUGE_VAL), "null");
+    EXPECT_EQ(jsonNumber(-HUGE_VAL), "null");
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+
+    const std::string doc =
+        "{\"ok\": " + jsonNumber(std::nan("")) + "}";
+    JsonValue parsed = JsonReader(doc).parse();
+    EXPECT_EQ(parsed.at("ok").kind, JsonValue::Kind::Null);
+}
+
+TEST_F(FaultTest, JsonU64RejectsNegativeAndFractionalNumbers)
+{
+    EXPECT_EQ(JsonReader("{\"n\": 42}").parse().at("n").asU64(), 42u);
+    for (const char *doc :
+         {"{\"n\": -1}", "{\"n\": 1.5}", "{\"n\": 2e64}",
+          "{\"n\": \"7\"}", "{\"n\": null}"})
+        EXPECT_THROW(JsonReader(doc).parse().at("n").asU64(),
+                     std::runtime_error)
+            << "accepted " << doc;
+}
+
+TEST_F(FaultTest, CliParseU64RejectsGarbageNumbers)
+{
+    EXPECT_EQ(CliParser::parseU64("0"), 0u);
+    EXPECT_EQ(CliParser::parseU64("18446744073709551615"),
+              18446744073709551615ull);
+    // strtoull would silently accept all of these (stopping at the
+    // first bad character or wrapping); the CLI must not.
+    for (const char *bad : {"", "5x", "x5", "-1", "1.5", " 7", "7 ",
+                            "0x10", "18446744073709551616"})
+        EXPECT_THROW(CliParser::parseU64(bad), std::invalid_argument)
+            << "accepted '" << bad << "'";
 }
 
 TEST_F(FaultTest, InjectedJournalFailuresDegradeNotCrash)

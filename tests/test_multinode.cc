@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Multi-node fan-out tests: a front daemon sharding sweeps across
+ * worker daemons over loopback TCP. The contract under test: the
+ * merged row stream a client sees from the front is bit-identical to
+ * both a single-daemon run and the offline SweepDriver — including
+ * when a worker is killed mid-sweep and its points are re-dispatched
+ * to a survivor — and a fully dead fleet fails the job structurally
+ * instead of hanging or crashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "serve/socket_io.hh"
+#include "sim/driver.hh"
+
+using namespace sfetch;
+
+namespace
+{
+
+ServeConfig
+tcpConfig()
+{
+    ServeConfig cfg;
+    cfg.socketPath = "tcp:127.0.0.1:0"; // ephemeral loopback port
+    cfg.workers = 2;
+    cfg.memBudgetBytes = std::size_t(64) << 20;
+    cfg.quiet = true;
+    return cfg;
+}
+
+/** The canonical 12-point submit these tests fan out. */
+constexpr const char *kSubmit12 =
+    "{\"verb\": \"submit\", \"bench\": \"gzip\", "
+    "\"arch\": \"stream,ev8,ftb,seq\", \"widths\": [2, 4, 8], "
+    "\"insts\": 20000, \"warmup\": 4000}";
+
+/** The offline grid matching kSubmit12 (same expansion order: width
+ * outer, arch inner — mirroring the server's submit handler). */
+std::vector<SweepPoint>
+grid12()
+{
+    std::vector<SimConfig> cfgs;
+    for (unsigned width : {2u, 4u, 8u})
+        for (const char *arch : {"stream", "ev8", "ftb", "seq"}) {
+            SimConfig cfg(arch);
+            cfg.width = width;
+            cfg.optimizedLayout = true;
+            cfg.insts = 20'000;
+            cfg.warmupInsts = 4'000;
+            cfgs.push_back(cfg);
+        }
+    return SweepDriver::grid({"gzip"}, cfgs);
+}
+
+struct Stream
+{
+    std::vector<std::string> raw; //!< every line, arrival order
+    std::vector<JsonValue> frames;
+    JsonValue summary;
+    bool done = false;
+};
+
+Stream
+collect(const std::string &address, const std::string &submit_json)
+{
+    Stream s;
+    ServeClient client(address);
+    s.done = client.submitStream(
+        submit_json,
+        [&](const JsonValue &parsed, const std::string &raw) {
+            s.raw.push_back(raw);
+            if (parsed.find("point"))
+                s.frames.push_back(parsed);
+            else if (const JsonValue *d = parsed.find("done");
+                     d && d->kind == JsonValue::Kind::Bool &&
+                     d->boolean)
+                s.summary = parsed;
+            return true;
+        });
+    return s;
+}
+
+/** The `"row": {...}` payload of a frame line, as raw JSON text. */
+std::string
+rowPayload(const std::string &frame_line)
+{
+    const std::string key = "\"row\": ";
+    std::size_t at = frame_line.find(key);
+    EXPECT_NE(at, std::string::npos) << frame_line;
+    return frame_line.substr(at + key.size(),
+                             frame_line.size() - at - key.size() - 1);
+}
+
+/** @p payload minus its trailing "wall_seconds" member: per-point
+ * wall clock is a measurement, not simulation output, so it is the
+ * one field byte-compares must mask. */
+std::string
+maskWallClock(const std::string &payload)
+{
+    const std::size_t at = payload.rfind(", \"wall_seconds\": ");
+    EXPECT_NE(at, std::string::npos) << payload;
+    return payload.substr(0, at) + "}";
+}
+
+/** Assert @p s carries all 12 rows, point-ordered and bit-identical
+ * to @p expect. */
+void
+expectMergedStreamMatches(const Stream &s, const ResultSet &expect)
+{
+    ASSERT_TRUE(s.done);
+    ASSERT_EQ(s.frames.size(), 12u);
+    std::string rows_doc = "{\"wall_seconds\": 0, \"rows\": [";
+    for (std::size_t i = 0; i < s.frames.size(); ++i) {
+        EXPECT_EQ(s.frames[i].at("point").asU64(), i)
+            << "merged stream must emit in global point order";
+        EXPECT_EQ(s.frames[i].at("of").asU64(), 12u);
+        rows_doc += (i ? "," : "") + rowPayload(s.raw[1 + i]);
+    }
+    rows_doc += "]}";
+    ResultSet streamed = ResultSet::fromJson(rows_doc);
+    ASSERT_EQ(streamed.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(streamed.at(i).bench, expect.at(i).bench);
+        EXPECT_EQ(streamed.at(i).cfg, expect.at(i).cfg) << "row " << i;
+        EXPECT_EQ(streamed.at(i).stats, expect.at(i).stats)
+            << "merged row " << i << " diverged from offline";
+    }
+    EXPECT_EQ(s.summary.at("state").asString(), "done");
+    EXPECT_EQ(s.summary.at("points_done").asU64(), 12u);
+}
+
+} // namespace
+
+TEST(MultiNode, TwoWorkerFanOutIsBitIdenticalToOfflineAndSingleNode)
+{
+    SweepDriver offline(1);
+    offline.setQuiet(true);
+    ResultSet expect = offline.run(grid12());
+    ASSERT_EQ(expect.size(), 12u);
+
+    Server workerA(tcpConfig());
+    Server workerB(tcpConfig());
+    workerA.start();
+    workerB.start();
+
+    // A single daemon serving the same submit is the row-for-row
+    // reference the merged stream must be indistinguishable from.
+    Server single(tcpConfig());
+    single.start();
+    Stream ref = collect(single.listenAddress(), kSubmit12);
+    expectMergedStreamMatches(ref, expect);
+
+    ServeConfig front_cfg = tcpConfig();
+    front_cfg.workerAddrs = {workerA.listenAddress(),
+                             workerB.listenAddress()};
+    Server front(front_cfg);
+    front.start();
+
+    Stream merged = collect(front.listenAddress(), kSubmit12);
+    expectMergedStreamMatches(merged, expect);
+
+    // Byte-for-byte against the single daemon: the fan-out is
+    // invisible in the row payloads.
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(maskWallClock(rowPayload(merged.raw[1 + i])),
+                  maskWallClock(rowPayload(ref.raw[1 + i])))
+            << "row " << i << " bytes differ from a single-node run";
+
+    // Both workers really took a shard; no re-dispatch was needed.
+    ServeStats st = front.stats();
+    EXPECT_EQ(st.shardsDispatched, 2u);
+    EXPECT_EQ(st.shardRetries, 0u);
+    EXPECT_EQ(st.jobsServed, 1u);
+    EXPECT_EQ(st.rowsStreamed, 12u);
+    EXPECT_GT(workerA.stats().rowsStreamed, 0u);
+    EXPECT_GT(workerB.stats().rowsStreamed, 0u);
+
+    front.stop(true);
+    single.stop(true);
+    workerA.stop(true);
+    workerB.stop(true);
+}
+
+TEST(MultiNode, WorkerKilledMidSweepIsReDispatchedBitIdentically)
+{
+    SweepDriver offline(1);
+    offline.setQuiet(true);
+    ResultSet expect = offline.run(grid12());
+
+    Server workerA(tcpConfig());
+    ServeConfig b_cfg = tcpConfig();
+    b_cfg.workers = 1; // one slot: a captive job blocks the shard
+    Server workerB(b_cfg);
+    workerA.start();
+    workerB.start();
+
+    // Occupy worker B's only slot with a slow multi-point job (read
+    // just the ack), so B queues its shard instead of running it —
+    // the kill below deterministically lands before B delivers a row.
+    LineChannel slow(
+        connectSocket(parseSocketAddr(workerB.listenAddress())));
+    ASSERT_TRUE(slow.writeLine(
+        "{\"verb\": \"submit\", \"bench\": \"gzip\", "
+        "\"arch\": \"stream,ev8\", \"widths\": [4, 8], "
+        "\"insts\": 500000, \"warmup\": 1000}"));
+    std::string ack;
+    ASSERT_TRUE(slow.readLine(ack));
+
+    ServeConfig front_cfg = tcpConfig();
+    front_cfg.workerAddrs = {workerA.listenAddress(),
+                             workerB.listenAddress()};
+    Server front(front_cfg);
+    front.start();
+
+    Stream merged;
+    std::thread submitter([&] {
+        merged = collect(front.listenAddress(), kSubmit12);
+    });
+
+    // The moment both shards are dispatched, kill worker B: its
+    // shard (queued behind the captive job) dies undelivered and the
+    // front must re-dispatch those points to worker A.
+    for (int i = 0; i < 15000 && front.stats().shardsDispatched < 2;
+         ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(front.stats().shardsDispatched, 2u);
+    workerB.stop(false);
+
+    submitter.join();
+    expectMergedStreamMatches(merged, expect);
+
+    ServeStats st = front.stats();
+    EXPECT_GE(st.shardRetries, 1u)
+        << "losing a worker mid-sweep must cost a re-dispatch round";
+    EXPECT_GE(st.shardsDispatched, 3u);
+    EXPECT_EQ(st.jobsServed, 1u);
+
+    front.stop(true);
+    workerA.stop(true);
+}
+
+TEST(MultiNode, DeadFleetFailsTheJobStructurally)
+{
+    // Nothing listens on the worker address: every generation fails
+    // to deliver, and the job must end "failed" with a diagnostic —
+    // not hang, not crash, not pretend success.
+    ServeConfig front_cfg = tcpConfig();
+    front_cfg.workerAddrs = {"tcp:127.0.0.1:1"};
+    front_cfg.shardRetries = 0; // one generation keeps the test fast
+    Server front(front_cfg);
+    front.start();
+
+    Stream s = collect(front.listenAddress(), kSubmit12);
+    ASSERT_TRUE(s.done);
+    EXPECT_EQ(s.frames.size(), 0u);
+    EXPECT_EQ(s.summary.at("state").asString(), "failed");
+    EXPECT_NE(s.summary.at("error").asString().find("undeliverable"),
+              std::string::npos);
+    EXPECT_EQ(front.stats().jobsFailed, 1u);
+    front.stop(true);
+}

@@ -137,7 +137,31 @@ constexpr const char *kSubmit1 =
 
 } // namespace
 
-TEST(Serve, ConcurrentSubmitsStreamBitIdenticalToOffline)
+/**
+ * Transport-parameterized suite: the core protocol guarantees hold
+ * identically over a Unix socket and loopback TCP. Servers listen on
+ * an ephemeral port under "tcp" (port 0); clients connect to the
+ * resolved server.listenAddress().
+ */
+class ServeTransport : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    ServeConfig config(const char *tag) const
+    {
+        ServeConfig cfg = testConfig(tag);
+        if (std::string(GetParam()) == "tcp")
+            cfg.socketPath = "tcp:127.0.0.1:0";
+        return cfg;
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, ServeTransport, ::testing::Values("unix", "tcp"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST_P(ServeTransport, ConcurrentSubmitsStreamBitIdenticalToOffline)
 {
     // Offline reference, same grid, single-threaded.
     SweepDriver offline(1);
@@ -145,7 +169,7 @@ TEST(Serve, ConcurrentSubmitsStreamBitIdenticalToOffline)
     ResultSet expect = offline.run(grid6());
     ASSERT_EQ(expect.size(), 6u);
 
-    Server server(testConfig("e2e"));
+    Server server(config("e2e"));
     server.start();
 
     // Two clients submit the same 6-point sweep concurrently; the
@@ -153,7 +177,7 @@ TEST(Serve, ConcurrentSubmitsStreamBitIdenticalToOffline)
     std::vector<std::string> raw_lines[2];
     Stream streams[2];
     std::thread t0([&] {
-        ServeClient client(server.config().socketPath);
+        ServeClient client(server.listenAddress());
         client.submitStream(
             kSubmit6,
             [&](const JsonValue &parsed, const std::string &raw) {
@@ -164,7 +188,7 @@ TEST(Serve, ConcurrentSubmitsStreamBitIdenticalToOffline)
             });
     });
     std::thread t1([&] {
-        ServeClient client(server.config().socketPath);
+        ServeClient client(server.listenAddress());
         client.submitStream(
             kSubmit6,
             [&](const JsonValue &parsed, const std::string &raw) {
@@ -228,11 +252,11 @@ TEST(Serve, ConcurrentSubmitsStreamBitIdenticalToOffline)
     server.stop(true);
 }
 
-TEST(Serve, ProtocolErrorsAreStructuredAndNonFatal)
+TEST_P(ServeTransport, ProtocolErrorsAreStructuredAndNonFatal)
 {
-    Server server(testConfig("proto"));
+    Server server(config("proto"));
     server.start();
-    ServeClient client(server.config().socketPath);
+    ServeClient client(server.listenAddress());
 
     // Malformed JSON.
     JsonValue r = client.request("this is not json {");
@@ -459,7 +483,7 @@ TEST(Serve, DrainingServerRejectsNewSubmits)
     stopper.join();
 }
 
-TEST(Serve, JournalCrashRecoveryIsBitIdenticalAfterTokenAttach)
+TEST_P(ServeTransport, JournalCrashRecoveryIsBitIdenticalAfterTokenAttach)
 {
     SweepDriver offline(1);
     offline.setQuiet(true);
@@ -486,7 +510,7 @@ TEST(Serve, JournalCrashRecoveryIsBitIdenticalAfterTokenAttach)
         torn << "{\"rec\": \"submitt";
     }
 
-    ServeConfig cfg = testConfig("recov");
+    ServeConfig cfg = config("recov");
     cfg.stateDir = dir;
     Server server(cfg);
     server.start();
@@ -499,7 +523,7 @@ TEST(Serve, JournalCrashRecoveryIsBitIdenticalAfterTokenAttach)
     std::vector<JsonValue> frames;
     JsonValue ack;
     {
-        ServeClient client(cfg.socketPath);
+        ServeClient client(server.listenAddress());
         ASSERT_TRUE(client.submitStream(
             spec6tok,
             [&](const JsonValue &parsed, const std::string &line) {
@@ -531,7 +555,7 @@ TEST(Serve, JournalCrashRecoveryIsBitIdenticalAfterTokenAttach)
     // A second resubmit of the same token is deduplicated: one
     // summary line, no third run.
     {
-        ServeClient client(cfg.socketPath);
+        ServeClient client(server.listenAddress());
         std::vector<JsonValue> lines;
         ASSERT_TRUE(client.submitStream(
             spec6tok,
@@ -550,7 +574,7 @@ TEST(Serve, JournalCrashRecoveryIsBitIdenticalAfterTokenAttach)
 
     // The journal now carries the terminal record: a third daemon on
     // the same state dir has nothing to replay.
-    ServeConfig cfg2 = testConfig("recov2");
+    ServeConfig cfg2 = config("recov2");
     cfg2.stateDir = dir;
     Server second(cfg2);
     second.start();
@@ -592,6 +616,46 @@ TEST(Serve, PerClientQuotaRejectsOverQuota)
     EXPECT_TRUE(r.at("ok").asBool());
     // (request() reads one line — the ack; the stream that follows
     // dies with the client connection, which cancels cleanly.)
+    server.stop(true);
+}
+
+TEST(Serve, TcpClientsGetIndependentPerClientQuotas)
+{
+    // Over TCP there is no SO_PEERCRED: peerId() falls back to the
+    // peer's host:port, so each connection is its own quota bucket.
+    // Before that fix every TCP client shared the daemon-uid bucket
+    // and one busy client could starve all the others.
+    ServeConfig cfg = testConfig("tcpquota");
+    cfg.socketPath = "tcp:127.0.0.1:0";
+    cfg.maxJobsPerClient = 1;
+    Server server(cfg);
+    server.start();
+    const std::string addr = server.listenAddress();
+
+    // Client A occupies its quota with a long job (read only the
+    // ack, leaving the job active).
+    LineChannel slow(connectSocket(parseSocketAddr(addr)));
+    ASSERT_TRUE(slow.writeLine(
+        "{\"verb\": \"submit\", \"bench\": \"gzip\", "
+        "\"arch\": \"stream\", \"widths\": [8], "
+        "\"insts\": 500000, \"warmup\": 1000}"));
+    std::string ack;
+    ASSERT_TRUE(slow.readLine(ack));
+    ASSERT_TRUE(JsonReader(ack).parse().at("ok").asBool());
+
+    // Client B is a distinct TCP peer (fresh ephemeral port): its
+    // budget is independent, so the submit is admitted — under the
+    // old shared-bucket keying this was an over_quota rejection.
+    ServeClient other(addr);
+    JsonValue r = other.request(kSubmit1);
+    EXPECT_TRUE(r.at("ok").asBool())
+        << "second TCP client hit the first client's quota";
+
+    // Drain client A's job so the server stops cleanly.
+    std::string line;
+    while (slow.readLine(line))
+        if (line.find("\"done\": true") != std::string::npos)
+            break;
     server.stop(true);
 }
 

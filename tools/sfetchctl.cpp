@@ -3,17 +3,21 @@
  * sfetchctl: command-line client for sfetchd.
  *
  * Usage:
- *   sfetchctl [--socket PATH] [--retries N] submit
+ *   sfetchctl [--connect ADDR] [--retries N] submit
  *             [--arch SPEC[,SPEC...]]
  *             [--bench SPEC[,SPEC...]|all] [--widths 2,4,8]
  *             [--layout base|opt] [--insts N] [--warmup N]
  *             [--jobs N] [--arena auto|off|require]
  *             [--token TOKEN]
- *   sfetchctl [--socket PATH] status JOB
- *   sfetchctl [--socket PATH] cancel JOB
- *   sfetchctl [--socket PATH] stats
- *   sfetchctl [--socket PATH] health
- *   sfetchctl [--socket PATH] shutdown [--no-drain]
+ *   sfetchctl [--connect ADDR] status JOB
+ *   sfetchctl [--connect ADDR] cancel JOB
+ *   sfetchctl [--connect ADDR] stats
+ *   sfetchctl [--connect ADDR] health
+ *   sfetchctl [--connect ADDR] shutdown [--no-drain]
+ *
+ * ADDR is `unix:PATH`, `tcp:HOST:PORT`, or a bare Unix socket path
+ * (default unix:/tmp/sfetchd.sock). --socket PATH survives as an
+ * alias for --connect.
  *
  * submit prints every streamed line (ack, row frames, summary) to
  * stdout as it arrives, so `sfetchctl submit ... | jq` follows a
@@ -95,8 +99,11 @@ main(int argc, char **argv)
     CliParser cli("sfetchctl",
                   "talk to a running sfetchd (submit streams rows "
                   "live; see serve/server.hh for the protocol)");
-    cli.addOption("--socket", "PATH",
-                  "daemon socket (default /tmp/sfetchd.sock)",
+    cli.addOption("--connect", "ADDR",
+                  "daemon address: unix:PATH, tcp:HOST:PORT, or a "
+                  "bare socket path (default /tmp/sfetchd.sock)",
+                  [&](const std::string &v) { socket_path = v; });
+    cli.addOption("--socket", "PATH", "alias for --connect",
                   [&](const std::string &v) { socket_path = v; });
     cli.addOption("--arch", "SPEC[,SPEC...]",
                   "engine specs (submit; default stream)",
@@ -113,12 +120,12 @@ main(int argc, char **argv)
     cli.addOption("--insts", "N",
                   "measured instructions (submit; default 1000000)",
                   [&](const std::string &v) {
-                      insts = std::stoull(v);
+                      insts = CliParser::parseU64(v);
                   });
     cli.addOption("--warmup", "N",
                   "warmup instructions (submit; default insts/5)",
                   [&](const std::string &v) {
-                      warmup = std::stoull(v);
+                      warmup = CliParser::parseU64(v);
                       warmup_set = true;
                   });
     cli.addOption("--jobs", "N",
@@ -192,11 +199,18 @@ main(int argc, char **argv)
                              command.c_str());
                 return 2;
             }
+            std::uint64_t job_id = 0;
+            try {
+                job_id = CliParser::parseU64(job_arg);
+            } catch (const std::exception &) {
+                std::fprintf(stderr,
+                             "sfetchctl: %s: JOB must be a job id, "
+                             "got '%s'\n",
+                             command.c_str(), job_arg.c_str());
+                return 2;
+            }
             JsonObjectWriter w;
-            w.field("verb", command)
-                .field("job",
-                       static_cast<std::uint64_t>(
-                           std::stoull(job_arg)));
+            w.field("verb", command).field("job", job_id);
             request = w.str();
         } else if (command == "stats" || command == "health") {
             JsonObjectWriter w;

@@ -1,17 +1,27 @@
 /**
  * @file
- * sfetchd: the sfetch simulation daemon. Binds a Unix-domain socket,
- * speaks the line-delimited JSON protocol documented in
+ * sfetchd: the sfetch simulation daemon. Binds a Unix-domain or TCP
+ * listener, speaks the line-delimited JSON protocol documented in
  * serve/server.hh, and keeps workloads and decoded arenas resident
  * between requests under --mem-budget-mb.
  *
  * Usage:
- *   sfetchd [--socket PATH] [--workers N] [--max-jobs N]
+ *   sfetchd [--listen unix:PATH|tcp:HOST:PORT] [--workers N]
+ *           [--worker HOST:PORT[,HOST:PORT...]]... [--max-jobs N]
  *           [--max-points-per-job N] [--mem-budget-mb N]
  *           [--sweep-jobs N] [--quiet]
  *           [--state-dir DIR] [--idle-timeout MS]
  *           [--write-timeout MS] [--point-timeout MS]
  *           [--max-conns N] [--max-jobs-per-client N]
+ *           [--shard-retries N]
+ *
+ * --socket PATH survives as an alias for --listen unix:PATH.
+ *
+ * With one or more --worker addresses the daemon becomes a
+ * multi-node *front*: submits are split across the worker daemons
+ * and their row streams merged back in point order, bit-identical
+ * to a single-daemon run; a worker lost mid-sweep only costs a
+ * re-dispatch of its undelivered points (see serve/server.hh).
  *
  * Lifecycle: SIGTERM (or SIGINT, or a `shutdown` request) drains —
  * queued and running jobs finish and their streams flush — then the
@@ -36,11 +46,37 @@ main(int argc, char **argv)
     ServeConfig cfg;
 
     CliParser cli("sfetchd",
-                  "serve simulations over a Unix socket with "
+                  "serve simulations over a Unix or TCP socket with "
                   "line-delimited JSON");
-    cli.addOption("--socket", "PATH",
-                  "socket path (default /tmp/sfetchd.sock)",
+    cli.addOption("--listen", "ADDR",
+                  "listen address: unix:PATH or tcp:HOST:PORT "
+                  "(default unix:/tmp/sfetchd.sock)",
                   [&](const std::string &v) { cfg.socketPath = v; });
+    cli.addOption("--socket", "PATH",
+                  "alias for --listen with a Unix socket path",
+                  [&](const std::string &v) { cfg.socketPath = v; });
+    cli.addOption("--worker", "ADDR[,ADDR...]",
+                  "worker daemon address(es); any --worker makes this "
+                  "daemon a multi-node front that shards submits "
+                  "across the workers (repeatable; bare HOST:PORT "
+                  "means tcp:HOST:PORT)",
+                  [&](const std::string &v) {
+                      for (std::string addr :
+                           CliParser::parseNameList(v)) {
+                          if (addr.rfind("unix:", 0) != 0 &&
+                              addr.rfind("tcp:", 0) != 0 &&
+                              addr.find(':') != std::string::npos)
+                              addr = "tcp:" + addr;
+                          cfg.workerAddrs.push_back(std::move(addr));
+                      }
+                  });
+    cli.addOption("--shard-retries", "N",
+                  "front mode: extra re-dispatch generations for "
+                  "points lost to dead workers (default 2)",
+                  [&](const std::string &v) {
+                      cfg.shardRetries = static_cast<unsigned>(
+                          CliParser::parseU64(v));
+                  });
     cli.addOption("--workers", "N",
                   "concurrent jobs (default 1, 0 = all cores)",
                   [&](const std::string &v) {
