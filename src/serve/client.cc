@@ -28,7 +28,7 @@ connectWithRetry(const std::string &address,
     int delay = retry.baseDelayMs;
     for (int attempt = 0;; ++attempt) {
         try {
-            return connectSocket(addr);
+            return connectSocket(addr, retry.connectTimeoutMs);
         } catch (const std::runtime_error &) {
             if (attempt >= retry.retries)
                 throw;

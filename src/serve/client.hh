@@ -39,6 +39,11 @@ class ServeClient
         int baseDelayMs = 50;     //!< backoff for the first retry
         int maxDelayMs = 2000;    //!< backoff cap
         std::uint64_t seed = 1;   //!< jitter stream seed
+        /** Deadline for each connect attempt, ms (<=0 = blocking).
+         * With a deadline, a blackholed host costs a bounded wait
+         * per attempt — the fleet prober's probe budget relies on
+         * this. */
+        int connectTimeoutMs = 0;
     };
 
     /**

@@ -64,6 +64,16 @@ renderShard(std::uint64_t id, const ShardRecord &s)
         .str();
 }
 
+std::string
+renderWorker(const std::string &addr, bool registered)
+{
+    return JsonObjectWriter()
+        .field("rec", "worker")
+        .field("addr", addr)
+        .field("op", registered ? "register" : "deregister")
+        .str();
+}
+
 /** Insert @p s into @p shards, replacing an existing (gen, shard)
  * entry — a re-dispatch supersedes the original assignment. */
 void
@@ -128,6 +138,13 @@ JobJournal::recover()
         try {
             JsonValue rec = JsonReader(line).parse();
             const std::string &kind = rec.at("rec").asString();
+            if (kind == "worker") {
+                // Membership records carry no job id; replay them
+                // into the final per-address op set.
+                upsertWorkerOp(rec.at("addr").asString(),
+                               rec.at("op").asString() == "register");
+                continue;
+            }
             const std::uint64_t id = rec.at("job").asU64();
             if (kind == "submitted") {
                 RecoveredJob job;
@@ -188,6 +205,10 @@ JobJournal::rewriteLog()
     if (tfd < 0)
         return false;
     std::string text;
+    for (const auto &[addr, registered] : workerOps_) {
+        text += renderWorker(addr, registered);
+        text += '\n';
+    }
     for (const auto &[id, entry] : live_) {
         text += renderSubmitted(id, entry.token, entry.spec);
         text += '\n';
@@ -271,6 +292,33 @@ JobJournal::started(std::uint64_t id)
     if (it != live_.end())
         it->second.started = true;
     appendLine(renderStarted(id));
+}
+
+void
+JobJournal::upsertWorkerOp(const std::string &addr, bool registered)
+{
+    for (auto &[have, op] : workerOps_) {
+        if (have == addr) {
+            op = registered;
+            return;
+        }
+    }
+    workerOps_.emplace_back(addr, registered);
+}
+
+std::vector<std::pair<std::string, bool>>
+JobJournal::recoveredWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return workerOps_;
+}
+
+void
+JobJournal::worker(const std::string &addr, bool registered)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    upsertWorkerOp(addr, registered);
+    appendLine(renderWorker(addr, registered));
 }
 
 void

@@ -9,11 +9,16 @@
  *     {"rec": "shard",     "job": 3, "gen": 0, "shard": 1,
  *      "worker": "tcp:h:9", "token": "sfo.t-3.g0.s1"}
  *     {"rec": "finished",  "job": 3, "state": "done"}
+ *     {"rec": "worker",    "addr": "tcp:h:9", "op": "register"}
  *
  * `shard` records exist only on a multi-node front daemon: they pin
  * down which worker received which slice of a fanned-out job under
  * which idempotency token, so a restarted front daemon re-attaches
  * to still-running worker jobs instead of re-simulating them.
+ * `worker` records journal dynamic fleet membership (the `register`
+ * and `deregister` protocol verbs): replaying them restores the
+ * fleet a restarted front should probe and dispatch to, including
+ * deregistrations that mask a static --worker seed member.
  *
  * Each append is one write(2) followed by fdatasync, so after a
  * kill -9 the log is a prefix of the true history plus at most one
@@ -43,6 +48,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sfetch
@@ -92,8 +98,18 @@ class JobJournal
      * Replay the existing log: returns every submitted job with no
      * terminal record, in submit order. Call once, before the first
      * append. Corrupt/torn lines are skipped and counted in torn().
+     * Worker membership records are replayed as a side effect —
+     * read the result via recoveredWorkers().
      */
     std::vector<RecoveredJob> recover();
+
+    /**
+     * Final (addr, registered) state of every worker named by a
+     * `worker` record, in first-seen order, as of the last recover().
+     * registered=false entries matter too: they mask a static seed
+     * member the operator deregistered at runtime.
+     */
+    std::vector<std::pair<std::string, bool>> recoveredWorkers() const;
 
     /**
      * Truncate the log and journal a fresh `submitted` record for
@@ -114,6 +130,10 @@ class JobJournal
      * dispatches of the same (gen, shard) overwrite on recovery. */
     void shard(std::uint64_t id, unsigned gen, unsigned shard_idx,
                const std::string &worker, const std::string &token);
+
+    /** Journal a fleet membership change: @p registered true for
+     * `register`, false for `deregister`. */
+    void worker(const std::string &addr, bool registered);
 
     /** Journal a terminal state: "done", "failed", "cancelled" or
      * "stuck". The job will not be recovered after this. */
@@ -148,14 +168,21 @@ class JobJournal
      * the append fd. Caller holds mu_. False on any failure. */
     bool rewriteLog();
 
+    /** Record or update @p addr's membership op in workerOps_,
+     * keeping first-seen order. Caller holds mu_. */
+    void upsertWorkerOp(const std::string &addr, bool registered);
+
     std::string dir_;
     std::string path_;
     int fd_ = -1;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     bool degraded_ = false;
     std::uint64_t torn_ = 0;
     std::uint64_t finishedSinceCompact_ = 0;
     std::map<std::uint64_t, Live> live_; //!< mirrors un-finished jobs
+    /** Final membership op per worker address, first-seen order —
+     * rewritten (one record each) on compaction. */
+    std::vector<std::pair<std::string, bool>> workerOps_;
 };
 
 } // namespace sfetch

@@ -12,6 +12,7 @@
 
 #include "layout/oracle_arena.hh"
 #include "serve/client.hh"
+#include "serve/fleet.hh"
 #include "serve/journal.hh"
 #include "serve/jsonio.hh"
 #include "serve/socket_io.hh"
@@ -68,6 +69,18 @@ nowMs()
         .count();
 }
 
+/** The --worker flag's address convention, shared with the register
+ * verb: bare HOST:PORT means tcp:HOST:PORT (a bare token without a
+ * scheme or colon stays a Unix path, per the address grammar). */
+std::string
+normalizeWorkerAddr(const std::string &text)
+{
+    if (text.rfind("unix:", 0) != 0 && text.rfind("tcp:", 0) != 0 &&
+        text.find(':') != std::string::npos)
+        return "tcp:" + text;
+    return text;
+}
+
 } // namespace
 
 /**
@@ -121,6 +134,8 @@ Server::Server(ServeConfig cfg) : cfg_(std::move(cfg))
         if (cfg_.workers == 0)
             cfg_.workers = 1;
     }
+    for (std::string &w : cfg_.workerAddrs)
+        w = normalizeWorkerAddr(w);
 }
 
 Server::~Server()
@@ -131,6 +146,7 @@ Server::~Server()
 void
 Server::start()
 {
+    startMs_ = nowMs();
     if (!cfg_.stateDir.empty()) {
         journal_ = std::make_unique<JobJournal>(cfg_.stateDir);
         const std::size_t n = recoverJobs();
@@ -139,6 +155,27 @@ Server::start()
                 " job(s), skipped " +
                 std::to_string(journal_->torn()) +
                 " torn/corrupt line(s)");
+    }
+    // The fleet exists on every daemon (a worker-only daemon just has
+    // an empty one), so the register verb can turn any instance into
+    // a front at runtime. Static seeds first, then the journalled
+    // membership ops — a journalled deregister masks a static seed.
+    fleet_ = std::make_unique<FleetManager>(FleetConfig{
+        cfg_.probeIntervalMs, cfg_.probeTimeoutMs, cfg_.quiet});
+    fleet_->seed(cfg_.workerAddrs);
+    if (journal_) {
+        for (const auto &[waddr, registered] :
+             journal_->recoveredWorkers()) {
+            try {
+                if (registered)
+                    fleet_->registerWorker(waddr);
+                else
+                    fleet_->deregisterWorker(waddr);
+            } catch (const std::exception &e) {
+                log("journal: dropping bad worker record '" + waddr +
+                    "': " + e.what());
+            }
+        }
     }
     const SocketAddr addr = parseSocketAddr(cfg_.socketPath);
     listenFd_ = listenSocket(addr);
@@ -153,14 +190,14 @@ Server::start()
         std::to_string(cfg_.workers) + " worker" +
         (cfg_.workers == 1 ? "" : "s") + ", budget " +
         std::to_string(cfg_.memBudgetBytes >> 20) + " MiB)");
-    if (!cfg_.workerAddrs.empty()) {
+    if (!fleet_->empty()) {
         std::string list;
-        for (const std::string &w : cfg_.workerAddrs)
+        for (const std::string &w : fleet_->members())
             list += (list.empty() ? "" : ", ") + w;
         log("front mode: fanning sweeps out across " +
-            std::to_string(cfg_.workerAddrs.size()) + " worker(s): " +
-            list);
+            std::to_string(fleet_->size()) + " worker(s): " + list);
     }
+    fleet_->start();
 }
 
 void
@@ -183,6 +220,10 @@ Server::stop(bool drain)
     for (std::thread &t : workers_)
         t.join();
     workers_.clear();
+    // Pumps (inside the worker threads) are gone; now the prober can
+    // go too.
+    if (fleet_)
+        fleet_->stop();
     watchdogCv_.notify_all();
     if (watchdogThread_.joinable())
         watchdogThread_.join();
@@ -360,8 +401,19 @@ Server::handleRequest(const std::string &line, LineChannel &ch)
                 .field("health", "ok")
                 .field("draining", draining_.load())
                 .field("jobs_queued", s.jobsQueued)
-                .field("jobs_running", s.jobsRunning);
+                .field("jobs_running", s.jobsRunning)
+                .field("queue_depth", s.jobsQueued)
+                .field("journal_degraded", s.journalDegraded)
+                .field("uptime_seconds",
+                       static_cast<std::uint64_t>(
+                           (nowMs() - startMs_) / 1000));
             ch.writeLine(w.str());
+        } else if (v == "workers") {
+            ch.writeLine(handleWorkers());
+        } else if (v == "register") {
+            ch.writeLine(handleWorkerMembership(req, true));
+        } else if (v == "deregister") {
+            ch.writeLine(handleWorkerMembership(req, false));
         } else if (v == "shutdown") {
             const JsonValue *d = req.find("drain");
             bool drain = !d || d->kind != JsonValue::Kind::Bool ||
@@ -796,6 +848,100 @@ Server::handleCancel(const JsonValue &req)
     return w.str();
 }
 
+namespace
+{
+
+/** Per-worker JSON array shared by the `workers` verb and stats. */
+std::string
+workersArrayJson(const std::vector<WorkerSnapshot> &workers)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        const WorkerSnapshot &w = workers[i];
+        JsonObjectWriter e;
+        e.field("addr", w.addr)
+            .field("state", workerStateName(w.state))
+            .field("static", w.staticSeed)
+            .field("probes", w.probes)
+            .field("probe_failures", w.probeFailures)
+            .field("transitions", w.transitions)
+            .field("dispatch_failures", w.dispatchFailures)
+            .field("dispatch_successes", w.dispatchSuccesses)
+            .field("deaths", w.deaths)
+            .field("consecutive_failures",
+                   static_cast<std::uint64_t>(w.consecutiveFailures))
+            .field("ewma_latency_ms", w.ewmaLatencyMs);
+        if (w.haveHealth)
+            e.field("queue_depth", w.queueDepth)
+                .field("jobs_running", w.jobsRunning)
+                .field("uptime_seconds", w.uptimeSeconds)
+                .field("journal_degraded", w.journalDegraded);
+        if (i)
+            out += ", ";
+        out += e.str();
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+std::string
+Server::handleWorkerMembership(const JsonValue &req, bool add)
+{
+    const JsonValue *wv = req.find("worker");
+    if (!wv || wv->kind != JsonValue::Kind::String ||
+        wv->string.empty())
+        return errorReply("bad_spec",
+                          std::string(add ? "register" : "deregister") +
+                              " needs a string 'worker' address");
+    const std::string addr = normalizeWorkerAddr(wv->string);
+    if (add) {
+        bool added;
+        try {
+            added = fleet_->registerWorker(addr);
+        } catch (const std::exception &e) {
+            return errorReply("bad_spec", e.what());
+        }
+        if (journal_)
+            journal_->worker(addr, true);
+        log(std::string("fleet: worker ") + addr +
+            (added ? " registered" : " re-registered"));
+        JsonObjectWriter w;
+        w.field("ok", true)
+            .field("worker", addr)
+            .field("registered", true)
+            .field("known", !added)
+            .field("workers",
+                   static_cast<std::uint64_t>(fleet_->size()));
+        return w.str();
+    }
+    if (!fleet_->deregisterWorker(addr))
+        return errorReply("unknown_worker",
+                          "'" + addr + "' is not a fleet member");
+    if (journal_)
+        journal_->worker(addr, false);
+    log("fleet: worker " + addr + " deregistered");
+    JsonObjectWriter w;
+    w.field("ok", true)
+        .field("worker", addr)
+        .field("registered", false)
+        .field("workers", static_cast<std::uint64_t>(fleet_->size()));
+    return w.str();
+}
+
+std::string
+Server::handleWorkers() const
+{
+    const std::vector<WorkerSnapshot> workers = fleet_->snapshot();
+    JsonObjectWriter w;
+    w.field("ok", true)
+        .field("workers_registered",
+               static_cast<std::uint64_t>(workers.size()))
+        .raw("workers", workersArrayJson(workers));
+    return w.str();
+}
+
 void
 Server::workerLoop()
 {
@@ -898,9 +1044,12 @@ Server::runJob(const std::shared_ptr<Job> &job)
         finishJob(job, JobState::Cancelled, "", 0.0, false);
         return;
     }
-    if (!cfg_.workerAddrs.empty()) {
+    if (fleet_ && !fleet_->empty()) {
         // Front daemon: nothing is simulated here — the job fans
-        // out across the worker fleet instead.
+        // out across the worker fleet instead. The decision is per
+        // job, so registering a first worker flips a local daemon
+        // into a front for subsequent jobs (and deregistering the
+        // last one flips it back).
         runJobSharded(job);
         std::lock_guard<std::mutex> lock(job->mu);
         job->points.clear();
@@ -1060,31 +1209,59 @@ Server::runJobSharded(const std::shared_ptr<Job> &job)
 {
     const auto t0 = std::chrono::steady_clock::now();
     const std::size_t total = job->pointCount;
-    const std::size_t nWorkers = cfg_.workerAddrs.size();
 
-    struct WorkerHealth
+    // The fleet as of job start. A worker registered mid-job joins
+    // at the next job; one deregistered mid-job just stops being
+    // usable() (its pump parks until the job ends).
+    const std::vector<std::string> members = fleet_->members();
+    if (members.empty()) {
+        finishJob(job, JobState::Failed,
+                  std::to_string(total) + " of " +
+                      std::to_string(total) +
+                      " point(s) undeliverable (fleet is empty)",
+                  0.0, false);
+        return;
+    }
+
+    /** One contiguous slice of the grid, the unit of work stealing. */
+    struct Chunk
     {
-        bool connected = true; //!< last dispatch reached the worker
-        bool clean = true;     //!< last shard delivered every point
+        std::vector<std::size_t> indices; //!< global point indices
+        unsigned attempts = 0; //!< stream losses survived so far
     };
 
-    // Shared between the shard reader threads (producers) and this
-    // worker thread (the emitter). Rows land in `ready` keyed by
-    // global point index; emission advances strictly in index order,
-    // so the client-observed stream has point order no matter how
-    // the workers' streams interleave.
-    struct MergeState
+    // One lock guards the chunk queue, the merge state and the
+    // in-flight accounting: pumps (consumers of chunks, producers of
+    // rows) and this worker thread (the emitter) all meet here. Rows
+    // land in `ready` keyed by global point index; emission advances
+    // strictly in index order, so the client-observed stream has
+    // point order no matter how chunks land on workers.
+    struct Dispatch
     {
         std::mutex mu;
         std::condition_variable cv;
+        std::deque<Chunk> queue;
         std::map<std::size_t, std::string> ready;
         std::vector<char> delivered;
-        std::size_t next = 0;
-        unsigned active = 0; //!< shard threads still running
+        std::size_t next = 0;  //!< next global index to emit
+        std::size_t deliveredCount = 0;
+        unsigned inFlight = 0; //!< chunks on a wire right now
+        unsigned chunkSeq = 0; //!< journal shard numbering
+        bool failed = false;   //!< structural-failure latch
+        std::string failReason;
         bool allArena = true;
-    } m;
-    m.delivered.assign(total, 0);
-    std::vector<WorkerHealth> health(nWorkers);
+    } d;
+    d.delivered.assign(total, 0);
+
+    const std::size_t chunkPts =
+        std::max<std::size_t>(cfg_.chunkPoints, 1);
+    for (std::size_t at = 0; at < total; at += chunkPts) {
+        Chunk c;
+        for (std::size_t i = at;
+             i < std::min(at + chunkPts, total); ++i)
+            c.indices.push_back(i);
+        d.queue.push_back(std::move(c));
+    }
 
     // Shard tokens: deterministic from the client token (so a
     // restarted front re-derives them and re-attaches to worker jobs
@@ -1095,231 +1272,275 @@ Server::runJobSharded(const std::shared_ptr<Job> &job)
                       ? "j" + std::to_string(job->id)
                       : job->token);
 
-    auto runShard = [&](std::size_t widx,
-                        const std::vector<std::size_t> &indices,
-                        const std::string &token) {
-        const std::string &addr = cfg_.workerAddrs[widx];
+    // Dispatch one chunk to one worker. Returns true when every
+    // point was delivered (failures requeue their undelivered rest).
+    auto runChunk = [&](const std::string &addr, Chunk chunk) {
+        unsigned seq;
+        {
+            std::lock_guard<std::mutex> lock(d.mu);
+            seq = d.chunkSeq++;
+        }
+        const std::uint64_t h =
+            shardSliceHash(addr, chunk.indices, total);
+        std::string token = tokenBase + ".g" +
+                            std::to_string(chunk.attempts) + ".s" +
+                            std::to_string(seq) + ".h" +
+                            std::to_string(h);
+        // A journalled dispatch of this same slice to this same
+        // worker carries the token of a job the worker may still be
+        // running: reuse it and attach instead of re-simulating.
+        // (Generation/sequence are ignored — chunk-to-worker
+        // assignment is nondeterministic under work stealing, so
+        // only the (worker, slice) identity is stable.)
+        const std::string suffix = ".h" + std::to_string(h);
+        for (const ShardRecord &rec : job->priorShards)
+            if (rec.worker == addr &&
+                rec.token.size() > suffix.size() &&
+                rec.token.compare(rec.token.size() - suffix.size(),
+                                  suffix.size(), suffix) == 0)
+                token = rec.token;
+        if (journal_)
+            journal_->shard(job->id, chunk.attempts, seq, addr,
+                            token);
+        shardsDispatched_.fetch_add(1);
+        if (chunk.attempts > 0) {
+            shardRetries_.fetch_add(1);
+            pointsRedispatched_.fetch_add(chunk.indices.size());
+            log("job " + std::to_string(job->id) +
+                ": re-dispatching " +
+                std::to_string(chunk.indices.size()) +
+                " point(s) to " + addr + " (attempt " +
+                std::to_string(chunk.attempts + 1) + ")");
+        }
         bool connected = false;
-        std::string endState;
         try {
             ServeClient::ConnectRetry retry;
-            retry.retries = 4;
-            retry.baseDelayMs = 25;
-            retry.maxDelayMs = 400;
-            retry.seed = job->id * 1315423911ull + widx + 1;
+            retry.retries = cfg_.workerRetries;
+            retry.baseDelayMs = cfg_.workerRetryDelayMs;
+            retry.maxDelayMs = cfg_.workerRetryMaxDelayMs;
+            retry.connectTimeoutMs = cfg_.probeTimeoutMs;
+            retry.seed = job->id * 1315423911ull + seq + 1;
             ServeClient wc(addr, retry);
             if (cfg_.pointTimeoutMs > 0)
                 wc.setReadTimeout(cfg_.pointTimeoutMs);
             connected = true;
             wc.submitStream(
                 shardSubmitJson(
-                    job->points, indices, token,
+                    job->points, chunk.indices, token,
                     arenaModeName(
                         static_cast<int>(job->arenaWanted))),
                 [&](const JsonValue &parsed, const std::string &raw) {
                     if (job->cancel.load())
                         return false;
                     const JsonValue *pt = parsed.find("point");
-                    if (pt && parsed.find("row")) {
-                        const std::size_t local =
-                            static_cast<std::size_t>(pt->asU64());
-                        if (local >= indices.size())
-                            return false; // not our framing: bail
-                        const std::size_t g = indices[local];
-                        bool arena = false;
-                        if (const JsonValue *a = parsed.find("arena"))
-                            arena =
-                                a->kind == JsonValue::Kind::Bool &&
+                    if (!pt || !parsed.find("row"))
+                        return true; // summary/terminator frame
+                    const std::size_t local =
+                        static_cast<std::size_t>(pt->asU64());
+                    if (local >= chunk.indices.size())
+                        return false; // not our framing: bail
+                    const std::size_t g = chunk.indices[local];
+                    bool arena = false;
+                    if (const JsonValue *a = parsed.find("arena"))
+                        arena = a->kind == JsonValue::Kind::Bool &&
                                 a->boolean;
-                        std::string payload = rowPayloadOf(raw);
-                        if (payload.empty())
-                            return false;
-                        JsonObjectWriter w;
-                        w.field("job", job->id)
-                            .field("point",
-                                   static_cast<std::uint64_t>(g))
-                            .field("of",
-                                   static_cast<std::uint64_t>(total))
-                            .field("arena", arena)
-                            .raw("row", payload);
-                        // Progress means delivery, not emission: a
-                        // row parked behind a lost shard's gap must
-                        // still hold the watchdog off.
-                        job->lastProgressMs = nowMs();
-                        std::lock_guard<std::mutex> lock(m.mu);
-                        if (!m.delivered[g]) {
-                            m.delivered[g] = 1;
-                            m.ready[g] = w.str();
-                            if (!arena)
-                                m.allArena = false;
-                            m.cv.notify_all();
-                        }
-                    } else if (const JsonValue *st =
-                                   parsed.find("state")) {
-                        if (parsed.find("done") &&
-                            st->kind == JsonValue::Kind::String)
-                            endState = st->string;
+                    std::string payload = rowPayloadOf(raw);
+                    if (payload.empty())
+                        return false;
+                    JsonObjectWriter w;
+                    w.field("job", job->id)
+                        .field("point",
+                               static_cast<std::uint64_t>(g))
+                        .field("of",
+                               static_cast<std::uint64_t>(total))
+                        .field("arena", arena)
+                        .raw("row", payload);
+                    // Progress means delivery, not emission: a row
+                    // parked behind an undelivered gap must still
+                    // hold the watchdog off.
+                    job->lastProgressMs = nowMs();
+                    std::lock_guard<std::mutex> lock(d.mu);
+                    if (!d.delivered[g]) {
+                        d.delivered[g] = 1;
+                        ++d.deliveredCount;
+                        d.ready[g] = w.str();
+                        if (!arena)
+                            d.allArena = false;
+                        d.cv.notify_all();
                     }
                     return true;
                 });
         } catch (const std::exception &e) {
-            log("job " + std::to_string(job->id) + ": shard on " +
+            log("job " + std::to_string(job->id) + ": chunk on " +
                 addr + " failed: " + e.what());
         }
+        if (job->cancel.load())
+            return true; // lost rows are moot; don't blame anyone
+        Chunk rest;
         {
-            std::lock_guard<std::mutex> lock(m.mu);
-            std::size_t have = 0;
-            for (std::size_t g : indices)
-                have += m.delivered[g] ? 1 : 0;
-            health[widx].connected = connected;
-            health[widx].clean = connected &&
-                                 have == indices.size() &&
-                                 endState == "done";
-            --m.active;
+            std::lock_guard<std::mutex> lock(d.mu);
+            for (std::size_t g : chunk.indices)
+                if (!d.delivered[g])
+                    rest.indices.push_back(g);
         }
-        m.cv.notify_all();
+        if (rest.indices.empty()) {
+            fleet_->reportDispatchSuccess(addr);
+            return true;
+        }
+        // Health evidence: a failed dispatch demotes the worker just
+        // like a failed probe, so a dying worker stops pulling work
+        // (usable() goes false at dead) without any job-level state.
+        fleet_->reportDispatchFailure(addr);
+        // A connect-level failure never reached the worker: requeue
+        // at no cost to the chunk's attempt budget — the worker's
+        // own march to `dead` is what bounds futile re-dispatch. A
+        // stream-level failure (connected, then lost rows) spends an
+        // attempt; a chunk that exhausts cfg_.shardRetries stream
+        // losses fails the job structurally.
+        rest.attempts = chunk.attempts + (connected ? 1 : 0);
+        {
+            std::lock_guard<std::mutex> lock(d.mu);
+            if (connected && rest.attempts > cfg_.shardRetries) {
+                d.failed = true;
+                d.failReason =
+                    "chunk lost its stream " +
+                    std::to_string(rest.attempts) +
+                    " time(s), retry budget is " +
+                    std::to_string(cfg_.shardRetries);
+            } else {
+                // Front of the queue: these points gate the in-order
+                // merge, so they go back on a wire first.
+                d.queue.push_front(std::move(rest));
+            }
+        }
+        // A requeue is progress too: the job is being repaired, not
+        // stuck, so the watchdog clock resets.
+        job->lastProgressMs = nowMs();
+        d.cv.notify_all();
+        return false;
     };
 
-    std::vector<std::size_t> missing(total);
-    for (std::size_t i = 0; i < total; ++i)
-        missing[i] = i;
-
-    unsigned shardSeq = 0;
-    for (unsigned gen = 0; gen <= cfg_.shardRetries &&
-                           !missing.empty() && !job->cancel.load();
-         ++gen) {
-        if (gen > 0) {
-            shardRetries_.fetch_add(1);
-            log("job " + std::to_string(job->id) +
-                ": re-dispatching " +
-                std::to_string(missing.size()) +
-                " missing point(s), generation " +
-                std::to_string(gen));
-        }
-        // Prefer workers whose previous shard came back complete,
-        // fall back to any that at least accepted a connection, and
-        // as a last resort give the whole fleet another chance
-        // through ConnectRetry.
-        std::vector<std::size_t> targets;
-        for (std::size_t w = 0; w < nWorkers; ++w)
-            if (health[w].connected && health[w].clean)
-                targets.push_back(w);
-        if (targets.empty())
-            for (std::size_t w = 0; w < nWorkers; ++w)
-                if (health[w].connected)
-                    targets.push_back(w);
-        if (targets.empty())
-            for (std::size_t w = 0; w < nWorkers; ++w)
-                targets.push_back(w);
-
-        // Block-partition the missing points across the targets:
-        // contiguous slices keep each worker's rows in shard order,
-        // which (with "jobs":1) the merge relies on for streaming —
-        // early global indices stream before late ones finish.
-        const std::size_t per =
-            (missing.size() + targets.size() - 1) / targets.size();
-        std::vector<std::thread> threads;
-        for (std::size_t t = 0, at = 0;
-             t < targets.size() && at < missing.size();
-             ++t, at += per) {
-            const std::size_t hi = std::min(at + per, missing.size());
-            std::vector<std::size_t> part(missing.begin() + at,
-                                          missing.begin() + hi);
-            const std::string &addr = cfg_.workerAddrs[targets[t]];
-            const unsigned shard = shardSeq++;
-            std::string token =
-                tokenBase + ".g" + std::to_string(gen) + ".s" +
-                std::to_string(shard) + ".h" +
-                std::to_string(shardSliceHash(addr, part, total));
-            // A journalled dispatch of this same (gen, shard) whose
-            // worker and slice both match carries the token of a job
-            // the worker may still be running: reuse it and attach
-            // instead of re-simulating. (For tokenless submits the
-            // regenerated token differs — the recovered job was
-            // renumbered — which is exactly when the journal pays.)
-            const std::string suffix =
-                token.substr(token.rfind(".h"));
-            for (const ShardRecord &rec : job->priorShards)
-                if (rec.gen == gen && rec.shard == shard &&
-                    rec.worker == addr &&
-                    rec.token.size() > suffix.size() &&
-                    rec.token.compare(rec.token.size() -
-                                          suffix.size(),
-                                      suffix.size(), suffix) == 0)
-                    token = rec.token;
-            if (journal_)
-                journal_->shard(job->id, gen, shard, addr, token);
-            shardsDispatched_.fetch_add(1);
-            {
-                std::lock_guard<std::mutex> lock(m.mu);
-                ++m.active;
-            }
-            threads.emplace_back(runShard, targets[t],
-                                 std::move(part), std::move(token));
-        }
-
-        // Emit merged rows in global point order while this
-        // generation streams. A gap left by a lost shard blocks
-        // emission past it; later rows wait in `ready` until a
-        // re-dispatch fills the gap.
+    // One pump per fleet member: pull a chunk when the worker is
+    // usable and the queue is non-empty, park otherwise. An idle
+    // healthy pump steals naturally — the queue is shared.
+    auto pump = [&](const std::string &addr) {
+        bool backoff = false;
         while (true) {
-            std::vector<std::string> lines;
-            bool roundDone = false;
+            Chunk c;
             {
-                std::unique_lock<std::mutex> lock(m.mu);
-                m.cv.wait(lock, [&] {
-                    return m.active == 0 || job->cancel.load() ||
-                           m.ready.count(m.next) != 0;
-                });
-                for (auto it = m.ready.find(m.next);
-                     it != m.ready.end(); it = m.ready.find(m.next)) {
-                    lines.push_back(std::move(it->second));
-                    m.ready.erase(it);
-                    ++m.next;
+                std::unique_lock<std::mutex> lock(d.mu);
+                if (backoff) {
+                    // After this worker's own failed dispatch, yield
+                    // for a beat: the requeue's notify wakes idle
+                    // healthy pumps, which should win the re-grab.
+                    d.cv.wait_for(lock,
+                                  std::chrono::milliseconds(150));
+                    backoff = false;
                 }
-                roundDone = m.active == 0;
+                while (true) {
+                    if (job->cancel.load() || d.failed ||
+                        d.deliveredCount == total)
+                        return;
+                    if (!d.queue.empty()) {
+                        if (fleet_->usable(addr)) {
+                            c = std::move(d.queue.front());
+                            d.queue.pop_front();
+                            ++d.inFlight;
+                            break;
+                        }
+                        // Work remains, nothing is in flight, and no
+                        // member of the job's fleet can take it: the
+                        // job is structurally stuck — fail it now
+                        // rather than spin until the watchdog.
+                        if (d.inFlight == 0 &&
+                            !fleet_->anyUsable(members)) {
+                            d.failed = true;
+                            d.failReason =
+                                "all " +
+                                std::to_string(members.size()) +
+                                " worker(s) dead";
+                            d.cv.notify_all();
+                            return;
+                        }
+                    }
+                    d.cv.wait_for(lock,
+                                  std::chrono::milliseconds(50));
+                }
             }
-            for (std::string &l : lines) {
-                job->pointsDone.fetch_add(1);
-                job->lastProgressMs = nowMs();
-                rowsStreamed_.fetch_add(1);
-                pushLine(job, std::move(l));
+            const bool clean = runChunk(addr, std::move(c));
+            {
+                std::lock_guard<std::mutex> lock(d.mu);
+                --d.inFlight;
             }
-            if (roundDone || job->cancel.load())
-                break;
+            d.cv.notify_all();
+            backoff = !clean;
         }
-        for (std::thread &t : threads)
-            t.join();
+    };
 
-        missing.clear();
+    std::vector<std::thread> pumps;
+    pumps.reserve(members.size());
+    for (const std::string &addr : members)
+        pumps.emplace_back(pump, addr);
+
+    // Emit merged rows in global point order while the pumps stream.
+    // A gap left by a lost chunk blocks emission past it; later rows
+    // wait in `ready` until the re-dispatched chunk fills the gap.
+    while (true) {
+        std::vector<std::string> lines;
+        bool finished = false;
         {
-            std::lock_guard<std::mutex> lock(m.mu);
-            for (std::size_t i = 0; i < total; ++i)
-                if (!m.delivered[i])
-                    missing.push_back(i);
+            std::unique_lock<std::mutex> lock(d.mu);
+            d.cv.wait_for(lock, std::chrono::milliseconds(50), [&] {
+                return job->cancel.load() || d.failed ||
+                       d.ready.count(d.next) != 0 ||
+                       d.deliveredCount == total;
+            });
+            for (auto it = d.ready.find(d.next); it != d.ready.end();
+                 it = d.ready.find(d.next)) {
+                lines.push_back(std::move(it->second));
+                d.ready.erase(it);
+                ++d.next;
+            }
+            finished = d.next == total || d.failed ||
+                       job->cancel.load();
         }
+        for (std::string &l : lines) {
+            job->pointsDone.fetch_add(1);
+            job->lastProgressMs = nowMs();
+            rowsStreamed_.fetch_add(1);
+            pushLine(job, std::move(l));
+        }
+        if (finished)
+            break;
     }
+    d.cv.notify_all();
+    for (std::thread &t : pumps)
+        t.join();
 
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
-    bool allArena;
+    bool allArena, failed;
+    std::size_t undelivered;
+    std::string reason;
     {
-        std::lock_guard<std::mutex> lock(m.mu);
-        allArena = m.allArena && m.next == total;
+        std::lock_guard<std::mutex> lock(d.mu);
+        allArena = d.allArena && d.next == total;
+        failed = d.failed;
+        undelivered = total - d.next;
+        reason = d.failReason;
     }
     if (job->cancel.load())
         finishJob(job, JobState::Cancelled, "", wall, false);
-    else if (missing.empty())
+    else if (!failed && undelivered == 0)
         finishJob(job, JobState::Done, "", wall, allArena);
     else
         finishJob(job, JobState::Failed,
-                  std::to_string(missing.size()) + " of " +
+                  std::to_string(undelivered) + " of " +
                       std::to_string(total) +
-                      " point(s) undeliverable after " +
-                      std::to_string(cfg_.shardRetries + 1) +
-                      " fan-out generation(s)",
+                      " point(s) undeliverable" +
+                      (reason.empty() ? "" : " (" + reason + ")"),
                   wall, false);
 }
 
@@ -1424,6 +1645,18 @@ Server::stats() const
     s.arenaFallbacks = arenaFallbacks_.load();
     s.shardsDispatched = shardsDispatched_.load();
     s.shardRetries = shardRetries_.load();
+    s.pointsRedispatched = pointsRedispatched_.load();
+    if (fleet_) {
+        const FleetTotals t = fleet_->totals();
+        s.workersRegistered = t.members;
+        s.workersAlive = t.alive;
+        s.workersSuspect = t.suspect;
+        s.workersDead = t.dead;
+        s.workersRecovering = t.recovering;
+        s.workerDeaths = t.workerDeaths;
+        s.probesSent = t.probesSent;
+        s.probeFailures = t.probeFailures;
+    }
     s.connsRejected = connsRejected_.load();
     s.connTimeouts = connTimeouts_.load();
     {
@@ -1470,8 +1703,17 @@ Server::statsJson() const
         .field("arena_fallbacks", s.arenaFallbacks)
         .field("workers_configured",
                static_cast<std::uint64_t>(cfg_.workerAddrs.size()))
+        .field("workers_registered", s.workersRegistered)
+        .field("workers_alive", s.workersAlive)
+        .field("workers_suspect", s.workersSuspect)
+        .field("workers_dead", s.workersDead)
+        .field("workers_recovering", s.workersRecovering)
+        .field("worker_deaths", s.workerDeaths)
+        .field("probes_sent", s.probesSent)
+        .field("probe_failures", s.probeFailures)
         .field("shards_dispatched", s.shardsDispatched)
         .field("shard_retries", s.shardRetries)
+        .field("points_redispatched", s.pointsRedispatched)
         .field("conns_active", s.connsActive)
         .field("conns_rejected", s.connsRejected)
         .field("conn_timeouts", s.connTimeouts)
@@ -1484,7 +1726,9 @@ Server::statsJson() const
                static_cast<std::uint64_t>(s.liveArenaBytes))
         .field("mem_budget_bytes",
                static_cast<std::uint64_t>(s.memBudgetBytes))
-        .field("journal_degraded", s.journalDegraded);
+        .field("journal_degraded", s.journalDegraded)
+        .raw("workers", fleet_ ? workersArrayJson(fleet_->snapshot())
+                               : std::string("[]"));
     return w.str();
 }
 

@@ -58,11 +58,13 @@
  * order when the job's sweep runs single-threaded ("jobs":1, the
  * default); the framing always carries the point index.
  *
- * Multi-node fan-out: a daemon started with worker addresses
- * (ServeConfig::workerAddrs / `sfetchd --worker`) is a *front*: it
- * accepts the same protocol, but instead of simulating, it block-
- * partitions each job's points across the workers using the submit
- * protocol's explicit `"points"` form —
+ * Multi-node fan-out: a daemon whose worker *fleet* is non-empty —
+ * seeded from ServeConfig::workerAddrs / `sfetchd --worker`, grown
+ * and shrunk at runtime by the `register`/`deregister` verbs
+ * (journalled as `worker` records, so a restarted front recovers
+ * its fleet) — is a *front*: it accepts the same protocol, but
+ * instead of simulating, it fans each job's points out across the
+ * workers using the submit protocol's explicit `"points"` form —
  *
  *   {"verb":"submit","points":[{"bench":"gzip","spec":"stream",
  *    "width":8,"layout":"opt","insts":50000,"warmup":10000},...]}
@@ -71,14 +73,30 @@
  * global point order, re-framed under the front's job id. Because a
  * worker runs its shard single-threaded in shard order and rows are
  * raw JSON passed through verbatim, the merged stream is
- * bit-identical to a single-daemon run of the same submit. A worker
- * that dies or stalls mid-shard only loses its undelivered points:
- * after each fan-out generation the front re-partitions whatever is
- * missing across the workers that behaved, under fresh idempotency
- * tokens, up to ServeConfig::shardRetries extra generations. Shard
- * dispatches are journalled (`shard` records) so a restarted front
- * re-attaches to still-running worker jobs by token instead of
- * re-simulating.
+ * bit-identical to a single-daemon run of the same submit.
+ *
+ * Dispatch is *work-stealing*: the job's points are cut into
+ * contiguous chunks of ServeConfig::chunkPoints, and one persistent
+ * pump thread per fleet member pulls the next chunk whenever its
+ * worker is idle — fast workers naturally steal load from slow
+ * ones, and there is no generation barrier to stall behind. A chunk
+ * whose worker dies or stalls mid-stream returns its undelivered
+ * points to the front of the queue immediately (attempt count + 1,
+ * structural failure once a chunk's stream breaks more than
+ * shardRetries times); a dispatch that never connects re-queues
+ * without burning an attempt and instead feeds the fleet health
+ * state machine (serve/fleet.hh) — only `dead` workers are excluded
+ * from pulls, and the job fails structurally when every member is
+ * dead with points still undelivered. Chunk dispatches are
+ * journalled (`shard` records) under slice-hashed idempotency
+ * tokens so a restarted front re-attaches to still-running worker
+ * jobs instead of re-simulating.
+ *
+ * Fleet health: a background prober drives each member through
+ * alive -> suspect -> dead -> recovering from `health`-verb probes
+ * (--probe-interval / --probe-timeout) and dispatch evidence; the
+ * `workers` verb and the stats output expose per-worker state,
+ * probe/dispatch counters, and EWMA probe latency.
  */
 
 #ifndef SFETCH_SERVE_SERVER_HH
@@ -102,6 +120,7 @@ namespace sfetch
 
 class LineChannel;
 class JobJournal;
+class FleetManager;
 struct JsonValue;
 
 /** Daemon knobs (the sfetchd command line maps 1:1 onto these). */
@@ -114,16 +133,33 @@ struct ServeConfig
      */
     std::string socketPath = "/tmp/sfetchd.sock";
     /**
-     * Worker-daemon addresses (`tcp:HOST:PORT` / `unix:PATH`). When
-     * non-empty this daemon is a multi-node *front*: every submitted
-     * sweep is split across these workers and the row streams merged
-     * back in point order, bit-identical to a local run.
+     * Worker-daemon addresses (`tcp:HOST:PORT` / `unix:PATH`) that
+     * seed the fleet. When the fleet is non-empty (static seeds
+     * and/or runtime `register` verbs) this daemon is a multi-node
+     * *front*: every submitted sweep is split across the workers and
+     * the row streams merged back in point order, bit-identical to a
+     * local run.
      */
     std::vector<std::string> workerAddrs;
-    /** Extra fan-out generations after the first: how many times the
-     * front re-dispatches a job's missing points to surviving
-     * workers before failing the job. */
+    /** Extra stream-loss re-dispatches per chunk: a chunk whose
+     * worker connection broke mid-stream more than this many times
+     * fails the job structurally. */
     unsigned shardRetries = 2;
+    /** Front mode: sweep points per work-stealing chunk. Small
+     * chunks spread load and shrink what a dying worker can lose;
+     * large chunks amortize per-dispatch overhead. */
+    std::size_t chunkPoints = 4;
+    /** Fleet heartbeat period per worker, ms; <=0 disables the
+     * background prober. */
+    int probeIntervalMs = 1000;
+    /** Connect + reply deadline for one heartbeat probe, ms. */
+    int probeTimeoutMs = 1000;
+    /** Connect retries per chunk dispatch towards a worker. */
+    int workerRetries = 4;
+    /** First-retry backoff for chunk dispatch connects, ms. */
+    int workerRetryDelayMs = 25;
+    /** Backoff cap for chunk dispatch connects, ms. */
+    int workerRetryMaxDelayMs = 400;
     /** Worker threads = jobs simulating concurrently. 0 picks
      * hardware_concurrency(). */
     unsigned workers = 1;
@@ -167,8 +203,17 @@ struct ServeStats
     std::uint64_t jobsRunning = 0; //!< current depth
     std::uint64_t rowsStreamed = 0;
     std::uint64_t arenaFallbacks = 0;
-    std::uint64_t shardsDispatched = 0; //!< worker shards sent (front)
-    std::uint64_t shardRetries = 0; //!< re-dispatch rounds after loss
+    std::uint64_t shardsDispatched = 0; //!< worker chunks sent (front)
+    std::uint64_t shardRetries = 0; //!< chunks re-dispatched after loss
+    std::uint64_t pointsRedispatched = 0; //!< points inside those
+    std::uint64_t workersRegistered = 0;  //!< current fleet size
+    std::uint64_t workersAlive = 0;       //!< gauge
+    std::uint64_t workersSuspect = 0;     //!< gauge
+    std::uint64_t workersDead = 0;        //!< gauge
+    std::uint64_t workersRecovering = 0;  //!< gauge
+    std::uint64_t workerDeaths = 0; //!< transitions into dead, ever
+    std::uint64_t probesSent = 0;
+    std::uint64_t probeFailures = 0;
     std::uint64_t connsActive = 0;   //!< current depth
     std::uint64_t connsRejected = 0; //!< turned away "busy"
     std::uint64_t connTimeouts = 0;  //!< idle/write deadline hits
@@ -236,6 +281,11 @@ class Server
     /** The `stats` verb's reply (also dumped on SIGUSR1). */
     std::string statsJson() const;
 
+    /** The worker fleet (membership + health). Valid after start();
+     * empty on a plain worker daemon. */
+    FleetManager &fleet() { return *fleet_; }
+    const FleetManager &fleet() const { return *fleet_; }
+
   private:
     enum class JobState
     {
@@ -262,6 +312,11 @@ class Server
                       LineChannel &ch);
     std::string handleStatus(const JsonValue &req);
     std::string handleCancel(const JsonValue &req);
+    /** `register` / `deregister`: mutate the fleet (journalled). */
+    std::string handleWorkerMembership(const JsonValue &req,
+                                       bool add);
+    /** `workers`: the fleet snapshot as a JSON reply. */
+    std::string handleWorkers() const;
 
     /** Parse a submit request into an un-admitted Job; throws on any
      * spec problem (shared by live submits and journal recovery). */
@@ -273,9 +328,10 @@ class Server
     bool streamJob(const std::shared_ptr<Job> &job, LineChannel &ch);
 
     void runJob(const std::shared_ptr<Job> &job);
-    /** Multi-node front: split the job's points across
-     * cfg_.workerAddrs, merge the row streams in point order, and
-     * re-dispatch missing points when a worker dies mid-sweep. */
+    /** Multi-node front: fan the job's points out across the fleet
+     * via a work-stealing chunk queue, merging the row streams in
+     * global point order; a lost chunk's undelivered points re-queue
+     * immediately. */
     void runJobSharded(const std::shared_ptr<Job> &job);
     /** Governor: evict/reserve/fallback; true = replay from arenas. */
     bool decideArena(const std::shared_ptr<Job> &job);
@@ -303,6 +359,8 @@ class Server
     std::vector<std::thread> workers_;
 
     std::unique_ptr<JobJournal> journal_;
+    std::unique_ptr<FleetManager> fleet_; //!< created by start()
+    std::int64_t startMs_ = 0; //!< start() time, for uptime_seconds
 
     mutable std::mutex mu_; //!< jobs_, queue_, tokens_, nextJobId_
     std::condition_variable queueCv_;
@@ -342,6 +400,7 @@ class Server
     std::atomic<std::uint64_t> arenaFallbacks_{0};
     std::atomic<std::uint64_t> shardsDispatched_{0};
     std::atomic<std::uint64_t> shardRetries_{0};
+    std::atomic<std::uint64_t> pointsRedispatched_{0};
     std::atomic<std::uint64_t> connsRejected_{0};
     std::atomic<std::uint64_t> connTimeouts_{0};
 };

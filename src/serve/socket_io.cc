@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -70,6 +71,59 @@ parsePort(const std::string &text, const std::string &whole)
         throw std::invalid_argument("bad port in socket address '" +
                                     whole + "'");
     return static_cast<std::uint16_t>(v);
+}
+
+/**
+ * connect(2) with an optional deadline: with @p timeout_ms > 0 the
+ * socket is flipped non-blocking, the in-progress connect is waited
+ * out with poll(POLLOUT), and SO_ERROR delivers the verdict — then
+ * the socket goes back to blocking for the LineChannel layer. 0 on
+ * success; -1 with errno set (ETIMEDOUT on deadline expiry).
+ */
+int
+connectWithDeadline(int fd, const sockaddr *sa, socklen_t len,
+                    int timeout_ms)
+{
+    if (timeout_ms <= 0)
+        return ::connect(fd, sa, len);
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        return -1;
+    int rc = ::connect(fd, sa, len);
+    if (rc != 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+        const std::int64_t deadline = nowMs() + timeout_ms;
+        while (true) {
+            const std::int64_t left = deadline - nowMs();
+            if (left <= 0) {
+                errno = ETIMEDOUT;
+                return -1;
+            }
+            pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            const int pr = ::poll(&pfd, 1, static_cast<int>(left));
+            if (pr > 0)
+                break;
+            if (pr == 0) {
+                errno = ETIMEDOUT;
+                return -1;
+            }
+            if (errno != EINTR)
+                return -1;
+        }
+        int soerr = 0;
+        socklen_t slen = sizeof(soerr);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0)
+            return -1;
+        if (soerr != 0) {
+            errno = soerr;
+            return -1;
+        }
+        rc = 0;
+    }
+    if (rc == 0 && ::fcntl(fd, F_SETFL, flags) < 0)
+        return -1;
+    return rc;
 }
 
 } // namespace
@@ -161,7 +215,7 @@ listenUnix(const std::string &path, int backlog)
 }
 
 int
-connectUnix(const std::string &path)
+connectUnix(const std::string &path, int timeout_ms)
 {
     if (SFETCH_FAULT("socket.connect")) {
         errno = ECONNREFUSED;
@@ -171,8 +225,9 @@ connectUnix(const std::string &path)
     if (fd < 0)
         failErrno("socket", path);
     sockaddr_un addr = unixAddr(path);
-    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+    if (connectWithDeadline(fd,
+                            reinterpret_cast<const sockaddr *>(&addr),
+                            sizeof(addr), timeout_ms) != 0) {
         int saved = errno;
         ::close(fd);
         errno = saved;
@@ -250,7 +305,8 @@ listenTcp(const std::string &host, std::uint16_t port, int backlog)
 }
 
 int
-connectTcp(const std::string &host, std::uint16_t port)
+connectTcp(const std::string &host, std::uint16_t port,
+           int timeout_ms)
 {
     if (SFETCH_FAULT("socket.connect")) {
         errno = ECONNREFUSED;
@@ -265,7 +321,8 @@ connectTcp(const std::string &host, std::uint16_t port)
             lastErrno = errno;
             continue;
         }
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        if (connectWithDeadline(fd, ai->ai_addr, ai->ai_addrlen,
+                                timeout_ms) == 0) {
             // One protocol line per round trip: Nagle only adds
             // latency here.
             int one = 1;
@@ -289,17 +346,17 @@ listenSocket(const SocketAddr &addr, int backlog)
 }
 
 int
-connectSocket(const SocketAddr &addr)
+connectSocket(const SocketAddr &addr, int timeout_ms)
 {
     return addr.kind == SocketAddr::Kind::Unix
-               ? connectUnix(addr.path)
-               : connectTcp(addr.host, addr.port);
+               ? connectUnix(addr.path, timeout_ms)
+               : connectTcp(addr.host, addr.port, timeout_ms);
 }
 
 int
-connectAddress(const std::string &text)
+connectAddress(const std::string &text, int timeout_ms)
 {
-    return connectSocket(parseSocketAddr(text));
+    return connectSocket(parseSocketAddr(text), timeout_ms);
 }
 
 SocketAddr

@@ -69,9 +69,14 @@ SocketAddr parseSocketAddr(const std::string &text);
  */
 int listenUnix(const std::string &path, int backlog = 16);
 
-/** Connect to the Unix socket at @p path; throws std::runtime_error
- * on failure. Returns the connected fd (caller closes). */
-int connectUnix(const std::string &path);
+/**
+ * Connect to the Unix socket at @p path; throws std::runtime_error
+ * on failure. Returns the connected fd (caller closes). A positive
+ * @p timeout_ms bounds the connect itself (non-blocking connect +
+ * poll): a wedged listener backlog surfaces as a timeout error
+ * instead of hanging the caller. <=0 = blocking connect.
+ */
+int connectUnix(const std::string &path, int timeout_ms = 0);
 
 /**
  * Bind and listen on TCP @p host:@p port (empty host = every
@@ -82,18 +87,26 @@ int connectUnix(const std::string &path);
 int listenTcp(const std::string &host, std::uint16_t port,
               int backlog = 16);
 
-/** Connect to TCP @p host:@p port; throws std::runtime_error on
- * failure (same socket.connect fault-injection site as Unix). */
-int connectTcp(const std::string &host, std::uint16_t port);
+/**
+ * Connect to TCP @p host:@p port; throws std::runtime_error on
+ * failure (same socket.connect fault-injection site as Unix). A
+ * positive @p timeout_ms bounds the connect (non-blocking connect +
+ * poll + SO_ERROR) so a blackholed host — packets dropped, no RST —
+ * costs a bounded wait, not a kernel-default TCP timeout. The fleet
+ * prober depends on this. <=0 = blocking connect.
+ */
+int connectTcp(const std::string &host, std::uint16_t port,
+               int timeout_ms = 0);
 
 /** Listen on @p addr via the matching transport. */
 int listenSocket(const SocketAddr &addr, int backlog = 16);
 
-/** Connect to @p addr via the matching transport. */
-int connectSocket(const SocketAddr &addr);
+/** Connect to @p addr via the matching transport (optionally under a
+ * connect deadline — see connectTcp/connectUnix). */
+int connectSocket(const SocketAddr &addr, int timeout_ms = 0);
 
 /** Connect to an address in the grammar (parse + connectSocket). */
-int connectAddress(const std::string &text);
+int connectAddress(const std::string &text, int timeout_ms = 0);
 
 /**
  * The address @p fd actually listens on: @p requested with an

@@ -177,14 +177,19 @@ TEST(MultiNode, TwoWorkerFanOutIsBitIdenticalToOfflineAndSingleNode)
                   maskWallClock(rowPayload(ref.raw[1 + i])))
             << "row " << i << " bytes differ from a single-node run";
 
-    // Both workers really took a shard; no re-dispatch was needed.
+    // 12 points at the default 4-point chunk = 3 clean dispatches,
+    // every row streamed by some worker (which pump won which chunk
+    // is the work-stealing scheduler's business, not the test's).
     ServeStats st = front.stats();
-    EXPECT_EQ(st.shardsDispatched, 2u);
+    EXPECT_EQ(st.shardsDispatched, 3u);
     EXPECT_EQ(st.shardRetries, 0u);
+    EXPECT_EQ(st.pointsRedispatched, 0u);
     EXPECT_EQ(st.jobsServed, 1u);
     EXPECT_EQ(st.rowsStreamed, 12u);
-    EXPECT_GT(workerA.stats().rowsStreamed, 0u);
-    EXPECT_GT(workerB.stats().rowsStreamed, 0u);
+    EXPECT_EQ(st.workersRegistered, 2u);
+    EXPECT_EQ(workerA.stats().rowsStreamed +
+                  workerB.stats().rowsStreamed,
+              12u);
 
     front.stop(true);
     single.stop(true);
@@ -248,6 +253,112 @@ TEST(MultiNode, WorkerKilledMidSweepIsReDispatchedBitIdentically)
 
     front.stop(true);
     workerA.stop(true);
+}
+
+TEST(MultiNode, SlowWorkerLosesChunksToHealthyPeer)
+{
+    SweepDriver offline(1);
+    offline.setQuiet(true);
+    ResultSet expect = offline.run(grid12());
+
+    Server workerA(tcpConfig());
+    ServeConfig b_cfg = tcpConfig();
+    b_cfg.workers = 1; // one slot: a captive job makes B slow
+    Server workerB(b_cfg);
+    workerA.start();
+    workerB.start();
+
+    // Occupy worker B's only slot with a multi-second job (read just
+    // the ack): B accepts chunks but queues them — slow, not dead.
+    // The front's per-chunk read timeout must reclaim B's chunk and
+    // the healthy worker A must absorb it, bit-identically.
+    LineChannel slow(
+        connectSocket(parseSocketAddr(workerB.listenAddress())));
+    ASSERT_TRUE(slow.writeLine(
+        "{\"verb\": \"submit\", \"bench\": \"gzip\", "
+        "\"arch\": \"stream,ev8,ftb,seq\", \"widths\": [4, 8], "
+        "\"insts\": 8000000, \"warmup\": 1000}"));
+    std::string ack;
+    ASSERT_TRUE(slow.readLine(ack));
+
+    ServeConfig front_cfg = tcpConfig();
+    front_cfg.workerAddrs = {workerA.listenAddress(),
+                             workerB.listenAddress()};
+    front_cfg.pointTimeoutMs = 2000; // bounds the wait on slow B
+    Server front(front_cfg);
+    front.start();
+
+    Stream merged = collect(front.listenAddress(), kSubmit12);
+    expectMergedStreamMatches(merged, expect);
+
+    ServeStats st = front.stats();
+    EXPECT_GE(st.shardRetries, 1u)
+        << "B's timed-out chunk must be re-dispatched";
+    EXPECT_GE(st.pointsRedispatched, 1u);
+    EXPECT_EQ(st.jobsServed, 1u);
+    // A alone delivered the whole grid (B's rowsStreamed is not
+    // asserted: it counts the captive job's own rows).
+    EXPECT_EQ(workerA.stats().rowsStreamed, 12u);
+
+    front.stop(true);
+    workerA.stop(true);
+    workerB.stop(false); // cancel the captive job
+}
+
+TEST(MultiNode, RegisterAndDeregisterFlipFrontModeAtRuntime)
+{
+    SweepDriver offline(1);
+    offline.setQuiet(true);
+    ResultSet expect = offline.run(grid12());
+
+    Server worker(tcpConfig());
+    worker.start();
+
+    // No --worker list: the daemon starts as a plain local server.
+    Server front(tcpConfig());
+    front.start();
+    Stream local = collect(front.listenAddress(), kSubmit12);
+    expectMergedStreamMatches(local, expect);
+    EXPECT_EQ(front.stats().shardsDispatched, 0u);
+    EXPECT_EQ(front.stats().workersRegistered, 0u);
+
+    // Register the worker over the protocol: the next submit must
+    // fan out (and stay bit-identical to the local run).
+    ServeClient ctl(front.listenAddress());
+    JsonValue rep = ctl.request(
+        "{\"verb\": \"register\", \"worker\": \"" +
+        worker.listenAddress() + "\"}");
+    ASSERT_TRUE(rep.at("ok").boolean);
+    EXPECT_EQ(rep.at("workers").asU64(), 1u);
+
+    JsonValue listed = ctl.request("{\"verb\": \"workers\"}");
+    ASSERT_TRUE(listed.at("ok").boolean);
+    EXPECT_EQ(listed.at("workers_registered").asU64(), 1u);
+    EXPECT_EQ(listed.at("workers").array.at(0).at("addr").asString(),
+              worker.listenAddress());
+
+    Stream fanned = collect(front.listenAddress(), kSubmit12);
+    expectMergedStreamMatches(fanned, expect);
+    EXPECT_EQ(front.stats().shardsDispatched, 3u);
+    EXPECT_EQ(worker.stats().rowsStreamed, 12u);
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(maskWallClock(rowPayload(fanned.raw[1 + i])),
+                  maskWallClock(rowPayload(local.raw[1 + i])))
+            << "row " << i
+            << " bytes differ between local and fanned-out runs";
+
+    // Deregister: the daemon reverts to local simulation.
+    rep = ctl.request("{\"verb\": \"deregister\", \"worker\": \"" +
+                      worker.listenAddress() + "\"}");
+    ASSERT_TRUE(rep.at("ok").boolean);
+    EXPECT_EQ(rep.at("workers").asU64(), 0u);
+    Stream again = collect(front.listenAddress(), kSubmit12);
+    expectMergedStreamMatches(again, expect);
+    EXPECT_EQ(front.stats().shardsDispatched, 3u)
+        << "a deregistered fleet must not receive dispatches";
+
+    front.stop(true);
+    worker.stop(true);
 }
 
 TEST(MultiNode, DeadFleetFailsTheJobStructurally)

@@ -13,7 +13,16 @@
  *   sfetchctl [--connect ADDR] cancel JOB
  *   sfetchctl [--connect ADDR] stats
  *   sfetchctl [--connect ADDR] health
+ *   sfetchctl [--connect ADDR] workers
+ *   sfetchctl [--connect ADDR] register WORKER
+ *   sfetchctl [--connect ADDR] deregister WORKER
  *   sfetchctl [--connect ADDR] shutdown [--no-drain]
+ *
+ * `workers` lists a front daemon's fleet with per-worker health
+ * (alive/suspect/dead/recovering, probe counters, EWMA latency);
+ * `register`/`deregister` grow and shrink the fleet at runtime.
+ * WORKER is `unix:PATH`, `tcp:HOST:PORT`, or bare HOST:PORT
+ * (meaning tcp:).
  *
  * ADDR is `unix:PATH`, `tcp:HOST:PORT`, or a bare Unix socket path
  * (default unix:/tmp/sfetchd.sock). --socket PATH survives as an
@@ -153,9 +162,9 @@ main(int argc, char **argv)
                 "shutdown: cancel jobs instead of finishing them",
                 [&] { no_drain = true; });
     cli.onPositional(
-        "COMMAND [JOB]",
+        "COMMAND [ARG]",
         "submit | status JOB | cancel JOB | stats | health | "
-        "shutdown",
+        "workers | register WORKER | deregister WORKER | shutdown",
         [&](const std::string &v) {
             if (command.empty())
                 command = v;
@@ -212,9 +221,21 @@ main(int argc, char **argv)
             JsonObjectWriter w;
             w.field("verb", command).field("job", job_id);
             request = w.str();
-        } else if (command == "stats" || command == "health") {
+        } else if (command == "stats" || command == "health" ||
+                   command == "workers") {
             JsonObjectWriter w;
             w.field("verb", command);
+            request = w.str();
+        } else if (command == "register" ||
+                   command == "deregister") {
+            if (job_arg.empty()) {
+                std::fprintf(stderr,
+                             "sfetchctl: %s needs a WORKER address\n",
+                             command.c_str());
+                return 2;
+            }
+            JsonObjectWriter w;
+            w.field("verb", command).field("worker", job_arg);
             request = w.str();
         } else if (command == "shutdown") {
             JsonObjectWriter w;

@@ -13,15 +13,22 @@
  *           [--state-dir DIR] [--idle-timeout MS]
  *           [--write-timeout MS] [--point-timeout MS]
  *           [--max-conns N] [--max-jobs-per-client N]
- *           [--shard-retries N]
+ *           [--shard-retries N] [--chunk-points N]
+ *           [--probe-interval MS] [--probe-timeout MS]
+ *           [--worker-retries N] [--worker-retry-delay-ms MS]
+ *           [--worker-retry-max-delay-ms MS]
  *
  * --socket PATH survives as an alias for --listen unix:PATH.
  *
  * With one or more --worker addresses the daemon becomes a
- * multi-node *front*: submits are split across the worker daemons
- * and their row streams merged back in point order, bit-identical
- * to a single-daemon run; a worker lost mid-sweep only costs a
- * re-dispatch of its undelivered points (see serve/server.hh).
+ * multi-node *front*: submits are split into --chunk-points chunks
+ * pulled by idle workers (work stealing) and the row streams merged
+ * back in point order, bit-identical to a single-daemon run; a
+ * worker lost mid-sweep only costs a re-dispatch of its undelivered
+ * points (see serve/server.hh). The fleet is also dynamic: the
+ * `register`/`deregister` verbs (sfetchctl register ADDR) grow and
+ * shrink it at runtime, and a background prober drives per-worker
+ * alive/suspect/dead/recovering health on --probe-interval.
  *
  * Lifecycle: SIGTERM (or SIGINT, or a `shutdown` request) drains —
  * queued and running jobs finish and their streams flush — then the
@@ -71,10 +78,52 @@ main(int argc, char **argv)
                       }
                   });
     cli.addOption("--shard-retries", "N",
-                  "front mode: extra re-dispatch generations for "
-                  "points lost to dead workers (default 2)",
+                  "front mode: stream losses one chunk may survive "
+                  "before the job fails structurally (default 2)",
                   [&](const std::string &v) {
                       cfg.shardRetries = static_cast<unsigned>(
+                          CliParser::parseU64(v));
+                  });
+    cli.addOption("--chunk-points", "N",
+                  "front mode: points per work-stealing chunk "
+                  "(default 4; smaller steals finer)",
+                  [&](const std::string &v) {
+                      cfg.chunkPoints = static_cast<std::size_t>(
+                          CliParser::parseU64(v));
+                  });
+    cli.addOption("--probe-interval", "MS",
+                  "front mode: worker heartbeat period (default "
+                  "1000, 0 = no background prober)",
+                  [&](const std::string &v) {
+                      cfg.probeIntervalMs = static_cast<int>(
+                          CliParser::parseU64(v));
+                  });
+    cli.addOption("--probe-timeout", "MS",
+                  "front mode: connect+reply deadline per heartbeat "
+                  "probe (default 1000)",
+                  [&](const std::string &v) {
+                      cfg.probeTimeoutMs = static_cast<int>(
+                          CliParser::parseU64(v));
+                  });
+    cli.addOption("--worker-retries", "N",
+                  "front mode: connect attempts per chunk dispatch "
+                  "beyond the first (default 4)",
+                  [&](const std::string &v) {
+                      cfg.workerRetries = static_cast<int>(
+                          CliParser::parseU64(v));
+                  });
+    cli.addOption("--worker-retry-delay-ms", "MS",
+                  "front mode: base backoff between connect retries "
+                  "(default 25)",
+                  [&](const std::string &v) {
+                      cfg.workerRetryDelayMs = static_cast<int>(
+                          CliParser::parseU64(v));
+                  });
+    cli.addOption("--worker-retry-max-delay-ms", "MS",
+                  "front mode: backoff cap between connect retries "
+                  "(default 400)",
+                  [&](const std::string &v) {
+                      cfg.workerRetryMaxDelayMs = static_cast<int>(
                           CliParser::parseU64(v));
                   });
     cli.addOption("--workers", "N",
